@@ -1,0 +1,39 @@
+"""Shared fixtures and report plumbing for the figure benchmarks.
+
+Each ``test_figN_*`` module regenerates one figure of the paper's
+evaluation section: it runs the simulation, prints the figure's data as a
+text table (visible with ``pytest benchmarks/ --benchmark-only -s`` and
+collected into ``benchmarks/results/``), attaches the rows to
+pytest-benchmark's ``extra_info``, and asserts the paper's qualitative
+shape (who wins, by roughly what factor, where crossovers fall).
+
+pytest-benchmark measures wall-clock time of the simulation itself; the
+scientifically meaningful output is the *simulated* time in the tables.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir):
+    """Print a table and persist it under benchmarks/results/<name>.txt."""
+
+    def _report(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _report

@@ -1,0 +1,55 @@
+"""Ablation — over-subscription level (blocks per SM).
+
+The paper's central mechanism: latency hiding needs spare parallelism.
+With one block per SM there is nothing to switch to during a wait, so
+communication time adds up; with 2-8 blocks per SM the halo exchange
+hides behind competing blocks' compute.  This sweep quantifies that.
+"""
+
+import pytest
+
+from repro.bench import Table, run_overlap
+
+STEPS = 20
+NODES = 4
+COPY_ITERS = 128
+BLOCKS_PER_SM = [1, 2, 4, 8]
+
+
+def run_ablation():
+    rows = []
+    for bps in BLOCKS_PER_SM:
+        rpd = 13 * bps
+        both = run_overlap("copy", COPY_ITERS, True, True, STEPS, NODES,
+                           rpd).elapsed
+        comp = run_overlap("copy", COPY_ITERS, True, False, STEPS, NODES,
+                           rpd).elapsed
+        ex = run_overlap("copy", 0, False, True, STEPS, NODES, rpd).elapsed
+        hideable = max(comp + ex - max(comp, ex), 1e-12)
+        frac = (comp + ex - both) / hideable
+        rows.append((bps, rpd, both, comp, ex, frac))
+    table = Table("Ablation - over-subscription (blocks per SM)",
+                  ["blocks/SM", "ranks/device", "both [ms]",
+                   "compute [ms]", "exchange [ms]", "overlap"])
+    for bps, rpd, both, comp, ex, frac in rows:
+        table.add_row(bps, rpd, both * 1e3, comp * 1e3, ex * 1e3, frac)
+    table.add_note("memory-to-memory copy workload, 4 nodes")
+    return table, rows
+
+
+def test_ablation_oversubscription(benchmark, report):
+    table, rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    report("ablation_oversubscription", table.render())
+    benchmark.extra_info["rows"] = [list(map(float, r)) for r in table.rows]
+
+    frac_by_bps = {bps: frac for bps, _, _, _, _, frac in rows}
+    # One block per SM cannot hide its own waits behind peers on the same
+    # SM: overlap is essentially zero.
+    assert frac_by_bps[1] < 0.2
+    # Over-subscription turns on latency hiding, monotonically...
+    assert frac_by_bps[1] < frac_by_bps[2] < frac_by_bps[4]
+    assert frac_by_bps[2] > 0.35
+    # ...until Little's law saturates: 4 blocks/SM already hides nearly
+    # everything and 8 adds nothing.
+    assert frac_by_bps[4] > 0.85
+    assert abs(frac_by_bps[8] - frac_by_bps[4]) < 0.1

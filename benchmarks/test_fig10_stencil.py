@@ -1,0 +1,47 @@
+"""Fig. 10 — weak scaling of the stencil program (horizontal diffusion).
+
+Paper result: similar single-node performance; in multi-node setups the
+dCUDA variant completely overlaps the significant halo-exchange costs
+(perfect load balance), whereas the MPI-CUDA variant's scaling cost
+corresponds to the halo-exchange time.
+"""
+
+import pytest
+
+from repro.bench import stencil_weak_scaling
+
+NODE_COUNTS = (1, 2, 4, 8)
+
+
+def run_figure():
+    return stencil_weak_scaling(node_counts=NODE_COUNTS, verify=True)
+
+
+def test_fig10_stencil(benchmark, report):
+    table = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    report("fig10_stencil", table.render())
+    benchmark.extra_info["rows"] = [list(map(float, r)) for r in table.rows]
+
+    nodes = table.column("nodes")
+    dcuda = table.column("dcuda [ms]")
+    mpicuda = table.column("mpi-cuda [ms]")
+    halo = table.column("halo exchange [ms]")
+    by_nodes = {n: (d, m, h)
+                for n, d, m, h in zip(nodes, dcuda, mpicuda, halo)}
+
+    d1, m1, _ = by_nodes[1]
+    d8, m8, h8 = by_nodes[8]
+    # Similar single-node performance (within 10%).
+    assert d1 == pytest.approx(m1, rel=0.10)
+    # MPI-CUDA pays the halo: its scaling cost matches the measured halo
+    # time within 25%.
+    assert (m8 - m1) == pytest.approx(h8, rel=0.25)
+    # dCUDA hides the halo: scaling cost below 40% of the halo time —
+    # near-flat weak scaling.
+    assert (d8 - d1) < 0.4 * h8
+    # Consequently dCUDA clearly wins at scale.
+    assert d8 < m8
+    # And the flatness holds across intermediate node counts too.
+    for n in (2, 4, 8):
+        dn = by_nodes[n][0]
+        assert dn < d1 * 1.08, f"dCUDA not flat at {n} nodes: {dn} vs {d1}"

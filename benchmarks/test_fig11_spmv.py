@@ -1,0 +1,46 @@
+"""Fig. 11 — weak scaling of sparse matrix-vector multiplication.
+
+Paper result: the worst case for dCUDA's overlap philosophy.  The tightly
+synchronized compute phases (broadcast — matvec — reduction — barrier)
+leave no room for overlap: the scaling cost of *both* variants corresponds
+roughly to the communication time, MPI-CUDA performs slightly better at
+small node counts, and dCUDA merely stays comparable (its reduction
+messages travel over the slower direct device-to-device path, while
+MPI-CUDA's larger messages get host-staged at higher bandwidth).
+"""
+
+import pytest
+
+from repro.bench import spmv_weak_scaling
+
+NODE_COUNTS = (1, 4, 9)
+
+
+def run_figure():
+    return spmv_weak_scaling(node_counts=NODE_COUNTS, verify=True)
+
+
+def test_fig11_spmv(benchmark, report):
+    table = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    report("fig11_spmv", table.render())
+    benchmark.extra_info["rows"] = [list(map(float, r)) for r in table.rows]
+
+    nodes = table.column("nodes")
+    dcuda = table.column("dcuda [ms]")
+    mpicuda = table.column("mpi-cuda [ms]")
+    comm = table.column("communication [ms]")
+    by_nodes = {n: (d, m, c)
+                for n, d, m, c in zip(nodes, dcuda, mpicuda, comm)}
+
+    d1, m1, _ = by_nodes[1]
+    d9, m9, c9 = by_nodes[9]
+    # MPI-CUDA performs (slightly) better at small node counts...
+    assert m1 < d1
+    # ...but dCUDA stays comparable even in this worst case (within ~1.6x).
+    assert d9 < 1.6 * m9
+    # No overlap benefit: both variants' scaling costs are on the order of
+    # the communication time.
+    assert (m9 - m1) == pytest.approx(c9, rel=0.35)
+    assert (d9 - d1) > 0.6 * c9
+    # dCUDA catches up relatively at scale: the ratio does not grow.
+    assert d9 / m9 <= d1 / m1 * 1.05

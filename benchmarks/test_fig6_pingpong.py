@@ -1,0 +1,62 @@
+"""Fig. 6 — put-bandwidth of shared and distributed memory ranks.
+
+Paper results (§IV-B): for empty packets, a notified-put latency of 7.8 µs
+(shared memory) and 9.4 µs (distributed memory); at large packets the
+bandwidth saturates near 4457.6 MB/s for shared-memory ranks (a single
+block cannot saturate the device-memory interface) and 2057.9 MB/s for
+distributed-memory ranks (GPUDirect RDMA ceiling).
+"""
+
+import pytest
+
+from repro.bench import Table, pingpong_sweep, run_pingpong
+
+PACKET_SIZES = [4 ** k for k in range(0, 12)]  # 1 B .. 4 MB
+
+PAPER_LATENCY_SHARED = 7.8e-6
+PAPER_LATENCY_DISTRIBUTED = 9.4e-6
+PAPER_BW_SHARED = 4457.6e6
+PAPER_BW_DISTRIBUTED = 2057.9e6
+
+
+def run_figure():
+    shared = pingpong_sweep(True, PACKET_SIZES, iterations=30)
+    distributed = pingpong_sweep(False, PACKET_SIZES, iterations=30)
+    table = Table("Fig. 6 - put bandwidth vs packet size",
+                  ["packet [B]", "shared [MB/s]", "distributed [MB/s]",
+                   "shared lat [us]", "distributed lat [us]"])
+    for s, d in zip(shared, distributed):
+        table.add_row(s.packet_bytes, s.bandwidth / 1e6, d.bandwidth / 1e6,
+                      s.latency * 1e6, d.latency * 1e6)
+    table.add_note("paper: 4457.6 MB/s shared / 2057.9 MB/s distributed "
+                   "at 4 MB; 7.8 / 9.4 us zero-byte latency")
+    return table, shared, distributed
+
+
+def test_fig6_pingpong(benchmark, report):
+    table, shared, distributed = benchmark.pedantic(
+        run_figure, rounds=1, iterations=1)
+    report("fig6_pingpong", table.render())
+    benchmark.extra_info["rows"] = [list(map(float, r)) for r in table.rows]
+
+    lat_s = run_pingpong(True, 0, iterations=100).latency
+    lat_d = run_pingpong(False, 0, iterations=100).latency
+    # Zero-byte latencies within 10% of the paper's measurements.
+    assert lat_s == pytest.approx(PAPER_LATENCY_SHARED, rel=0.10)
+    assert lat_d == pytest.approx(PAPER_LATENCY_DISTRIBUTED, rel=0.10)
+    # Distributed latency exceeds shared (network adds to the control path).
+    assert lat_d > lat_s
+
+    bw_s = shared[-1].bandwidth
+    bw_d = distributed[-1].bandwidth
+    # Large-packet bandwidth ceilings within 15%.
+    assert bw_s == pytest.approx(PAPER_BW_SHARED, rel=0.15)
+    assert bw_d == pytest.approx(PAPER_BW_DISTRIBUTED, rel=0.15)
+    # Crossover: shared overtakes distributed at large packets (the single
+    # block outpaces GPUDirect), while tiny packets are latency-bound for
+    # both.
+    assert bw_s > bw_d
+    # Bandwidth grows monotonically until saturation for both curves.
+    for curve in (shared, distributed):
+        bws = [p.bandwidth for p in curve]
+        assert bws[-1] > 100 * bws[0]

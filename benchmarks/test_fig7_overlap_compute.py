@@ -1,0 +1,61 @@
+"""Fig. 7 — overlap of computation and communication, compute-bound
+(Newton-Raphson square-root iterations).
+
+Paper result: good (but not perfect) overlap — the full execution time
+tracks max(compute, exchange) closely; the small residual is attributed to
+the notification matching itself being compute heavy.
+"""
+
+import pytest
+
+from repro.bench import Table, run_overlap
+
+NEWTON_ITERS = [0, 16, 64, 128, 256, 512]
+STEPS = 20
+NODES = 8
+RPD = 52
+
+
+def run_figure():
+    rows = []
+    exchange_only = run_overlap("newton", 0, False, True, STEPS, NODES,
+                                RPD).elapsed
+    for n in NEWTON_ITERS:
+        both = run_overlap("newton", n, True, True, STEPS, NODES,
+                           RPD).elapsed
+        comp = (run_overlap("newton", n, True, False, STEPS, NODES,
+                            RPD).elapsed if n else 0.0)
+        rows.append((n, both, comp, exchange_only))
+    table = Table("Fig. 7 - overlap for square root calculation "
+                  "(Newton-Raphson)",
+                  ["newton iters/exchange", "compute&exchange [ms]",
+                   "compute only [ms]", "halo exchange [ms]"])
+    for n, both, comp, ex in rows:
+        table.add_row(n, both * 1e3, comp * 1e3, ex * 1e3)
+    table.add_note("8 nodes, 1 kB halo packets, paper reports good overlap "
+                   "for compute-bound workloads")
+    return table, rows
+
+
+def test_fig7_overlap_compute(benchmark, report):
+    table, rows = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    report("fig7_overlap_compute", table.render())
+    benchmark.extra_info["rows"] = [list(map(float, r)) for r in table.rows]
+
+    fractions = []
+    for n, both, comp, ex in rows:
+        if n == 0:
+            continue
+        lo = max(comp, ex)          # perfect overlap
+        hi = comp + ex              # no overlap
+        frac = (hi - both) / max(hi - lo, 1e-12)
+        fractions.append(frac)
+        # Good overlap: more than half of the hideable cost disappears
+        # at every point (the paper's "good but not perfect": the
+        # notification matching competes for issue slots).
+        assert frac > 0.50, f"n={n}: overlap fraction {frac:.0%}"
+    assert sum(fractions) / len(fractions) > 0.60
+    # At large compute the combined time converges toward compute-only.
+    n, both, comp, ex = rows[-1]
+    assert comp > ex                # sweep reaches the compute-bound regime
+    assert both < comp + 0.5 * ex   # and the exchange is mostly hidden

@@ -1,0 +1,46 @@
+"""Fig. 9 — weak scaling of the particle-simulation mini-application.
+
+Paper result: both variants perform similarly up to three nodes; for
+higher node counts the dCUDA variant clearly outperforms MPI-CUDA, whose
+scaling costs roughly correspond to the halo-exchange time.  The dCUDA
+variant partly overlaps the halo exchange (the dynamic load imbalance of
+the particle distribution prevents entirely flat scaling).
+"""
+
+import pytest
+
+from repro.bench import particles_weak_scaling
+
+NODE_COUNTS = (1, 2, 4, 8)
+
+
+def run_figure():
+    return particles_weak_scaling(node_counts=NODE_COUNTS, verify=True)
+
+
+def test_fig9_particles(benchmark, report):
+    table = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    report("fig9_particles", table.render())
+    benchmark.extra_info["rows"] = [list(map(float, r)) for r in table.rows]
+
+    nodes = table.column("nodes")
+    dcuda = table.column("dcuda [ms]")
+    mpicuda = table.column("mpi-cuda [ms]")
+    halo = table.column("halo exchange [ms]")
+    by_nodes = {n: (d, m, h)
+                for n, d, m, h in zip(nodes, dcuda, mpicuda, halo)}
+
+    d1, m1, _ = by_nodes[1]
+    d8, m8, h8 = by_nodes[8]
+    # Similar single-node performance (within 15%).
+    assert d1 == pytest.approx(m1, rel=0.15)
+    # dCUDA wins at the highest node count.
+    assert d8 < m8
+    # MPI-CUDA's scaling cost is in the ballpark of the halo time, and
+    # dCUDA hides part of it (strictly smaller scaling cost).
+    mpicuda_cost = m8 - m1
+    dcuda_cost = d8 - d1
+    assert dcuda_cost < mpicuda_cost
+    assert mpicuda_cost > 0.4 * h8
+    # Halo time grows with node count then saturates (more boundaries).
+    assert by_nodes[2][2] > by_nodes[1][2]

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: device-side notified remote memory access in 60 lines.
+
+Builds a two-node simulated GPU cluster, runs four dCUDA ranks (two per
+device), and passes a token around a ring using ``put_notify`` /
+``wait_notifications`` — the paper's core primitives.  Same-device hops
+stay on the device; cross-device hops use the (simulated) InfiniBand
+fabric, all through one uniform API.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.dcuda import launch
+from repro.hw import Cluster, greina
+
+NODES = 2
+RANKS_PER_DEVICE = 2
+LAPS = 3
+
+
+def ring_kernel(rank, buffers, log):
+    """Each rank owns a one-slot window; a counter token circulates."""
+    r = rank.comm_rank()
+    size = rank.comm_size()
+    win = yield from rank.win_create(buffers[r])
+    yield from rank.barrier()
+
+    right = (r + 1) % size
+    left = (r - 1) % size
+    for lap in range(LAPS):
+        if r == 0 and lap == 0:
+            buffers[0][0] = 1.0  # inject the token
+        else:
+            # Wait for the token from the left neighbour, then bump it.
+            yield from rank.wait_notifications(win, source=left, tag=0,
+                                               count=1)
+            buffers[r][0] += 1.0
+        log.append((rank.now, r, lap, buffers[r][0]))
+        if not (lap == LAPS - 1 and right == 0):
+            yield from rank.put_notify(win, right, 0, buffers[r][:1],
+                                       tag=0)
+
+    yield from rank.win_free(win)
+    yield from rank.finish()
+    return buffers[r][0]
+
+
+def main():
+    cluster = Cluster(greina(NODES))
+    size = NODES * RANKS_PER_DEVICE
+    buffers = {r: np.zeros(1) for r in range(size)}
+    log = []
+    result = launch(cluster, ring_kernel, RANKS_PER_DEVICE,
+                    kernel_args={"buffers": buffers, "log": log})
+
+    print(f"{size} ranks on {NODES} simulated devices, {LAPS} ring laps")
+    print(f"simulated time: {result.elapsed * 1e6:.1f} us\n")
+    print(f"{'time [us]':>10}  {'rank':>4}  {'lap':>3}  token")
+    for t, r, lap, token in log:
+        place = "shared-mem hop" if r % RANKS_PER_DEVICE else "network hop"
+        print(f"{t * 1e6:10.2f}  {r:4d}  {lap:3d}  {token:.0f}   ({place})")
+
+    final = max(b[0] for b in buffers.values())
+    expected = LAPS * size  # one increment per ring visit after injection
+    assert final == expected, (final, expected)
+    print(f"\ntoken reached {final:.0f} increments — OK")
+
+
+if __name__ == "__main__":
+    main()

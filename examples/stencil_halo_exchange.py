@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The paper's running example (Fig. 2): a 2-D stencil with halo exchange.
+
+Runs the same workload three ways — serial reference, dCUDA, MPI-CUDA —
+verifies that all three produce bit-identical fields, and compares the
+simulated execution times on a 4-node cluster.  The dCUDA variant's
+overlapping windows make same-device halo exchanges zero-copy; only device
+boundaries touch the network.
+
+Run:  python examples/stencil_halo_exchange.py
+"""
+
+import numpy as np
+
+from repro.apps.stencil2d import (
+    Stencil2DWorkload,
+    reference,
+    run_dcuda_stencil2d,
+    run_mpicuda_stencil2d,
+)
+from repro.bench import Table
+from repro.hw import Cluster, greina
+
+NODES = 4
+RANKS_PER_DEVICE = 26
+
+
+def main():
+    wl = Stencil2DWorkload(ni=128, nj_per_device=104, steps=20)
+    print(f"domain: {wl.ni} x {wl.nj_per_device * NODES} grid points over "
+          f"{NODES} devices, {wl.steps} stencil sweeps\n")
+
+    ref = reference(wl, NODES)
+
+    t_dcuda, out_dcuda, res = run_dcuda_stencil2d(
+        Cluster(greina(NODES)), wl, RANKS_PER_DEVICE)
+    np.testing.assert_allclose(out_dcuda, ref, rtol=1e-12)
+
+    t_mpicuda, out_mpicuda, stats = run_mpicuda_stencil2d(
+        Cluster(greina(NODES)), wl, nblocks=208)
+    np.testing.assert_allclose(out_mpicuda, ref, rtol=1e-12)
+
+    halo = max(s["halo_time"] for s in stats.values())
+    table = Table("2-D stencil, 4 nodes",
+                  ["variant", "time [ms]", "notes"])
+    table.add_row("dCUDA", t_dcuda * 1e3,
+                  f"{RANKS_PER_DEVICE} ranks/device, halo hidden")
+    table.add_row("MPI-CUDA", t_mpicuda * 1e3,
+                  f"halo exchange costs {halo * 1e3:.3f} ms")
+    table.add_note("both variants verified against the serial reference")
+    print(table.render())
+
+    msgs = sum(res.runtime.cluster.fabric.nic_stats(n)["messages"]
+               for n in range(NODES))
+    print(f"\ndCUDA network messages: {msgs} "
+          f"(only device-boundary halos; interior halos are zero-copy)")
+
+
+if __name__ == "__main__":
+    main()

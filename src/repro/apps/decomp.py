@@ -1,0 +1,59 @@
+"""Domain-decomposition helpers shared by the mini-applications."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["partition_1d", "block_range", "square_grid", "Neighbors1D"]
+
+
+def partition_1d(total: int, parts: int) -> List[int]:
+    """Split *total* items into *parts* contiguous chunks, sizes balanced
+    to within one."""
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    if total < parts:
+        raise ValueError(f"cannot give {parts} parts of {total} items at "
+                         "least one item each")
+    base = total // parts
+    rem = total % parts
+    return [base + (1 if i < rem else 0) for i in range(parts)]
+
+
+def block_range(total: int, parts: int, index: int) -> Tuple[int, int]:
+    """Half-open item range ``[lo, hi)`` of chunk *index*."""
+    sizes = partition_1d(total, parts)
+    lo = sum(sizes[:index])
+    return lo, lo + sizes[index]
+
+
+def square_grid(num_nodes: int) -> Tuple[int, int]:
+    """The paper's SpMV decomposition requires a square grid of devices."""
+    side = int(round(math.sqrt(num_nodes)))
+    if side * side != num_nodes:
+        raise ValueError(
+            f"SpMV needs a square node count (1, 4, 9, ...), got {num_nodes}")
+    return side, side
+
+
+@dataclass(frozen=True)
+class Neighbors1D:
+    """Left/right neighbour ranks of a 1-D decomposition (None at edges)."""
+
+    rank: int
+    size: int
+
+    @property
+    def left(self):
+        return self.rank - 1 if self.rank - 1 >= 0 else None
+
+    @property
+    def right(self):
+        return self.rank + 1 if self.rank + 1 < self.size else None
+
+    @property
+    def count(self) -> int:
+        """Number of neighbours (what the stencil waits for)."""
+        return (self.left is not None) + (self.right is not None)

@@ -1,0 +1,604 @@
+"""Particle simulation with short-range repulsive forces (Fig. 9 mini-app).
+
+Particles live in a wide two-dimensional domain decomposed into cells
+aligned along the wide edge; the cell width equals the cutoff distance, so
+forces act only between particles of the same or neighbouring cells.  The
+state is a structure of arrays (id, position, velocity) with fixed-size,
+non-overlapping index ranges per cell and a counter per cell; storage is
+over-allocated four-fold to absorb non-uniform distributions.
+
+Main-loop steps (paper §IV-C):
+
+1. halo-cell exchange between neighbouring ranks,
+2. force computation + position update (reads the pre-update state, so the
+   result is decomposition-invariant),
+3. sorting out particles that moved to a neighbouring cell,
+4. communication of particles that moved to a neighbouring rank,
+5. integration of arrived particles (and a canonical per-cell id sort that
+   keeps the particle order — and therefore float summation order —
+   identical to the serial reference).
+
+The dCUDA variant registers one window per array; counters are directly
+accessible on the device.  The MPI-CUDA variant must fetch the bookkeeping
+counters to the host (a ``cudaMemcpy`` per exchange) before it can size its
+messages — the overhead the paper calls out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..dcuda import DRank, launch
+from ..hw.cluster import Cluster
+from ..mpicuda import MPICudaContext, run_mpicuda
+from .decomp import Neighbors1D, block_range
+
+__all__ = ["ParticleWorkload", "reference", "run_dcuda_particles",
+           "run_mpicuda_particles"]
+
+TAG_HALO = 31
+TAG_MOVE = 32
+
+FIELDS = ("pid", "x", "y", "vx", "vy")
+
+
+@dataclass(frozen=True)
+class ParticleWorkload:
+    """Per-node workload (weak scaling keeps this constant per node)."""
+
+    cells_per_node: int = 16
+    particles_per_node: int = 256
+    steps: int = 4
+    cutoff: float = 1.0       # = cell width
+    dt: float = 0.005
+    force_k: float = 20.0
+    #: Force softening radius (fraction of the cutoff): bounds the 1/r
+    #: repulsion for overlapping particles so dense (clustered) initial
+    #: conditions stay numerically tame.
+    softening: float = 0.05
+    #: Initial spatial distribution: "uniform", or "clustered" (a Gaussian
+    #: bump per node) — the latter produces the dynamic load imbalance the
+    #: paper blames for the particle simulation's non-flat dCUDA scaling
+    #: ("the minimal and maximal halo exchange times ... differ by a
+    #: factor of two").
+    distribution: str = "uniform"
+
+    @property
+    def capacity(self) -> int:
+        """Per-cell storage: four times the average occupancy (paper)."""
+        avg = max(1, -(-self.particles_per_node // self.cells_per_node))
+        return 4 * avg
+
+    def width(self, num_nodes: int) -> float:
+        return self.cells_per_node * num_nodes * self.cutoff
+
+    def validate(self, ranks_per_device: int) -> None:
+        if self.cells_per_node < ranks_per_device:
+            raise ValueError(
+                f"{self.cells_per_node} cells per node cannot feed "
+                f"{ranks_per_device} ranks")
+
+
+class CellArrays:
+    """Structure-of-arrays particle storage over a range of cells.
+
+    Index 0 and -1 are halo cells; ``counts`` tracks per-cell occupancy.
+    """
+
+    def __init__(self, ncells_with_halo: int, capacity: int):
+        self.capacity = capacity
+        self.counts = np.zeros(ncells_with_halo, dtype=np.float64)
+        self.fields: Dict[str, np.ndarray] = {
+            name: np.zeros((ncells_with_halo, capacity)) for name in FIELDS}
+
+    @property
+    def ncells(self) -> int:
+        return len(self.counts)
+
+    def count(self, cell: int) -> int:
+        return int(self.counts[cell])
+
+    def insert(self, cell: int, rows: Dict[str, np.ndarray]) -> None:
+        k = len(rows["pid"])
+        if k == 0:
+            return
+        n = self.count(cell)
+        if n + k > self.capacity:
+            raise OverflowError(
+                f"cell {cell} overflows: {n}+{k} > capacity {self.capacity}")
+        for name in FIELDS:
+            self.fields[name][cell, n:n + k] = rows[name]
+        self.counts[cell] = n + k
+
+    def extract(self, cell: int, mask: np.ndarray) -> Dict[str, np.ndarray]:
+        """Remove masked particles from *cell*; returns their rows."""
+        n = self.count(cell)
+        taken = {name: self.fields[name][cell, :n][mask].copy()
+                 for name in FIELDS}
+        keep = ~mask
+        k = int(keep.sum())
+        for name in FIELDS:
+            kept = self.fields[name][cell, :n][keep]
+            self.fields[name][cell, :k] = kept
+            self.fields[name][cell, k:n] = 0.0
+        self.counts[cell] = k
+        return taken
+
+    def sort_cell(self, cell: int) -> None:
+        """Canonical per-cell order: ascending particle id."""
+        n = self.count(cell)
+        if n < 2:
+            return
+        order = np.argsort(self.fields["pid"][cell, :n], kind="stable")
+        for name in FIELDS:
+            self.fields[name][cell, :n] = self.fields[name][cell, :n][order]
+
+    def rows(self, cell: int) -> Dict[str, np.ndarray]:
+        n = self.count(cell)
+        return {name: self.fields[name][cell, :n].copy() for name in FIELDS}
+
+
+# ------------------------------------------------------------- physics ------
+def compute_forces(arr: CellArrays, lo: int, hi: int,
+                   wl: ParticleWorkload) -> Tuple[np.ndarray, np.ndarray]:
+    """Accelerations for cells [lo, hi) from the 3-cell neighbourhoods.
+
+    Reads only (no in-place update), so every rank computes from the same
+    synchronized snapshot.
+    """
+    ax = np.zeros((hi - lo, arr.capacity))
+    ay = np.zeros((hi - lo, arr.capacity))
+    cut2 = wl.cutoff * wl.cutoff
+    for c in range(lo, hi):
+        n = arr.count(c)
+        if n == 0:
+            continue
+        nb_x, nb_y = [], []
+        for cc in (c - 1, c, c + 1):
+            m = arr.count(cc)
+            nb_x.append(arr.fields["x"][cc, :m])
+            nb_y.append(arr.fields["y"][cc, :m])
+        nx = np.concatenate(nb_x)
+        ny = np.concatenate(nb_y)
+        dx = arr.fields["x"][c, :n, None] - nx[None, :]
+        dy = arr.fields["y"][c, :n, None] - ny[None, :]
+        r2 = dx * dx + dy * dy
+        mask = (r2 < cut2) & (r2 > 1e-18)
+        r = np.sqrt(np.where(mask, r2, 1.0))
+        r_soft = np.maximum(r, wl.softening * wl.cutoff)
+        f = np.where(mask, wl.force_k * (wl.cutoff - r) / r_soft, 0.0)
+        ax[c - lo, :n] = (f * dx).sum(axis=1)
+        ay[c - lo, :n] = (f * dy).sum(axis=1)
+    return ax, ay
+
+
+def integrate(arr: CellArrays, lo: int, hi: int, ax: np.ndarray,
+              ay: np.ndarray, wl: ParticleWorkload, width: float) -> None:
+    """Velocity/position update with wall reflection, cells [lo, hi)."""
+    max_step = 0.95 * wl.cutoff
+    for c in range(lo, hi):
+        n = arr.count(c)
+        if n == 0:
+            continue
+        f = arr.fields
+        f["vx"][c, :n] += wl.dt * ax[c - lo, :n]
+        f["vy"][c, :n] += wl.dt * ay[c - lo, :n]
+        step_x = np.clip(wl.dt * f["vx"][c, :n], -max_step, max_step)
+        step_y = np.clip(wl.dt * f["vy"][c, :n], -max_step, max_step)
+        f["x"][c, :n] += step_x
+        f["y"][c, :n] += step_y
+        # Reflect at the domain walls.
+        for coord, vel, limit in (("x", "vx", width), ("y", "vy", 1.0)):
+            low = f[coord][c, :n] < 0.0
+            f[coord][c, :n] = np.where(low, -f[coord][c, :n],
+                                       f[coord][c, :n])
+            f[vel][c, :n] = np.where(low, -f[vel][c, :n], f[vel][c, :n])
+            highv = f[coord][c, :n] >= limit
+            f[coord][c, :n] = np.where(
+                highv, np.nextafter(2.0 * limit - f[coord][c, :n], 0.0),
+                f[coord][c, :n])
+            f[vel][c, :n] = np.where(highv, -f[vel][c, :n], f[vel][c, :n])
+
+
+def collect_movers(arr: CellArrays, lo: int, hi: int, first_global: int,
+                   wl: ParticleWorkload
+                   ) -> Tuple[Dict[int, Dict], Dict[int, Dict]]:
+    """Remove particles that left their cell; returns per-cell rows moving
+    left / right (local cell indices)."""
+    left: Dict[int, Dict] = {}
+    right: Dict[int, Dict] = {}
+    for c in range(lo, hi):
+        n = arr.count(c)
+        if n == 0:
+            continue
+        gcell = first_global + (c - lo)
+        xlo = gcell * wl.cutoff
+        xhi = xlo + wl.cutoff
+        xs = arr.fields["x"][c, :n]
+        move_l = xs < xlo
+        move_r = xs >= xhi
+        if move_l.any():
+            left[c] = arr.extract(c, move_l)
+            n = arr.count(c)
+            xs = arr.fields["x"][c, :n]
+            move_r = xs >= xhi
+        if move_r.any():
+            right[c] = arr.extract(c, move_r)
+    return left, right
+
+
+def apply_local_moves(arr: CellArrays, lo: int, hi: int,
+                      left: Dict[int, Dict], right: Dict[int, Dict]
+                      ) -> Tuple[Optional[Dict], Optional[Dict]]:
+    """Insert movers into destination cells; canonical order is
+    from-left arrivals then from-right arrivals.  Returns the rows leaving
+    through the lo / hi boundary (or None)."""
+    for c in range(lo, hi):
+        if c - 1 in right and c - 1 >= lo:
+            arr.insert(c, right[c - 1])
+        if c + 1 in left and c + 1 < hi:
+            arr.insert(c, left[c + 1])
+    out_left = left.get(lo)
+    out_right = right.get(hi - 1)
+    return out_left, out_right
+
+
+def pack_rows(rows: Optional[Dict[str, np.ndarray]]) -> np.ndarray:
+    """[count, pid..., x..., y..., vx..., vy...] wire format."""
+    if rows is None or len(rows["pid"]) == 0:
+        return np.zeros(1)
+    k = len(rows["pid"])
+    return np.concatenate([[float(k)]] + [rows[name] for name in FIELDS])
+
+
+def unpack_rows(buf: np.ndarray) -> Optional[Dict[str, np.ndarray]]:
+    k = int(buf[0])
+    if k == 0:
+        return None
+    rows = {}
+    for idx, name in enumerate(FIELDS):
+        rows[name] = buf[1 + idx * k:1 + (idx + 1) * k].copy()
+    return rows
+
+
+def interactions_count(arr: CellArrays, lo: int, hi: int) -> float:
+    """Pair-count for the cost model (data-dependent load!)."""
+    total = 0.0
+    for c in range(lo, hi):
+        n = arr.count(c)
+        if n:
+            total += n * (arr.count(c - 1) + n + arr.count(c + 1))
+    return total
+
+
+def particle_costs(arr: CellArrays, lo: int, hi: int
+                   ) -> Dict[str, Tuple[float, float]]:
+    inter = interactions_count(arr, lo, hi)
+    npart = float(arr.counts[lo:hi].sum())
+    return {
+        "force": (12.0 * inter, 16.0 * inter + 40.0 * npart),
+        "sort": (6.0 * npart, 6.0 * 8.0 * npart * 2),
+        "insert": (2.0 * npart, 5.0 * 8.0 * npart),
+    }
+
+
+def per_block_force_costs(arr: CellArrays, lo: int, hi: int,
+                          nblocks: int) -> List[Tuple[float, float]]:
+    """Per-block (flops, bytes) of the force kernel when blocks map to
+    contiguous cell chunks — non-uniform distributions make some blocks
+    stragglers, gating the fork-join kernel (MPI-CUDA baseline)."""
+    per_cell = []
+    for c in range(lo, hi):
+        n = arr.count(c)
+        inter = n * (arr.count(c - 1) + n + arr.count(c + 1)) if n else 0.0
+        per_cell.append(inter)
+    chunks = np.array_split(np.asarray(per_cell, dtype=float),
+                            min(nblocks, len(per_cell)))
+    return [(12.0 * chunk.sum(), 16.0 * chunk.sum()) for chunk in chunks]
+
+
+# ---------------------------------------------------------------- setup ------
+def seed_particles(wl: ParticleWorkload, num_nodes: int) -> CellArrays:
+    """Deterministic global initial state over all cells (+1 halo each end,
+    unused at the walls)."""
+    total_cells = wl.cells_per_node * num_nodes
+    n = wl.particles_per_node * num_nodes
+    rng = np.random.default_rng(2016)
+    width = wl.width(num_nodes)
+    arr = CellArrays(total_cells + 2, wl.capacity)
+    if wl.distribution == "uniform":
+        xs = rng.uniform(0.0, width, n)
+    elif wl.distribution == "clustered":
+        # One Gaussian bump per node, centred off-middle so boundary cells
+        # carry unequal populations (controlled load imbalance).
+        node_width = wl.cells_per_node * wl.cutoff
+        centers = (np.arange(num_nodes) + 0.3) * node_width
+        xs = rng.normal(centers[rng.integers(0, num_nodes, n)],
+                        0.15 * node_width)
+        xs = np.clip(xs, 0.0, np.nextafter(width, 0.0))
+    else:
+        raise ValueError(f"unknown distribution {wl.distribution!r}")
+    ys = rng.uniform(0.0, 1.0, n)
+    vxs = rng.standard_normal(n) * 0.5
+    vys = rng.standard_normal(n) * 0.5
+    cells = np.minimum((xs / wl.cutoff).astype(int), total_cells - 1)
+    for c in range(total_cells):
+        sel = cells == c
+        arr.insert(c + 1, {"pid": np.flatnonzero(sel).astype(float),
+                           "x": xs[sel], "y": ys[sel],
+                           "vx": vxs[sel], "vy": vys[sel]})
+        arr.sort_cell(c + 1)
+    return arr
+
+
+def global_state(arr: CellArrays, lo: int, hi: int) -> np.ndarray:
+    """(pid, x, y, vx, vy) rows over cells [lo, hi), sorted by pid."""
+    rows = []
+    for c in range(lo, hi):
+        n = arr.count(c)
+        rows.append(np.stack([arr.fields[name][c, :n] for name in FIELDS],
+                             axis=1))
+    out = np.concatenate(rows, axis=0)
+    return out[np.argsort(out[:, 0], kind="stable")]
+
+
+def reference(wl: ParticleWorkload, num_nodes: int) -> np.ndarray:
+    """Serial reference; returns the final sorted particle state."""
+    arr = seed_particles(wl, num_nodes)
+    total = wl.cells_per_node * num_nodes
+    width = wl.width(num_nodes)
+    lo, hi = 1, total + 1
+    for _ in range(wl.steps):
+        ax, ay = compute_forces(arr, lo, hi, wl)
+        integrate(arr, lo, hi, ax, ay, wl, width)
+        left, right = collect_movers(arr, lo, hi, 0, wl)
+        out_l, out_r = apply_local_moves(arr, lo, hi, left, right)
+        assert out_l is None and out_r is None, "wall reflection failed"
+        for c in range(lo, hi):
+            arr.sort_cell(c)
+    return global_state(arr, lo, hi)
+
+
+def _local_setup(wl: ParticleWorkload, num_nodes: int, total_ranks: int,
+                 rank: int) -> Tuple[CellArrays, int, int]:
+    """This rank's private cell arrays (with halo slots) + global range."""
+    seed = seed_particles(wl, num_nodes)
+    total_cells = wl.cells_per_node * num_nodes
+    g_lo, g_hi = block_range(total_cells, total_ranks, rank)
+    local = CellArrays(g_hi - g_lo + 2, wl.capacity)
+    for c in range(g_lo, g_hi):
+        local.insert(c - g_lo + 1, seed.rows(c + 1))
+    return local, g_lo, g_hi
+
+
+# --------------------------------------------------------------- dCUDA ------
+def dcuda_particle_kernel(rank: DRank, wl: ParticleWorkload,
+                          outputs: Dict[int, np.ndarray],
+                          stats: Dict[int, dict]):
+    size = rank.comm_size()
+    r = rank.comm_rank()
+    num_nodes = rank.runtime.cluster.num_nodes
+    neigh = Neighbors1D(r, size)
+    width = wl.width(num_nodes)
+    arr, g_lo, g_hi = _local_setup(wl, num_nodes, size, r)
+    lo, hi = 1, arr.ncells - 1
+    inbox = np.zeros((2, 1 + 5 * wl.capacity))  # mover inbox per side
+
+    # One window per array (paper) + counters + the mover inbox.
+    wins = {}
+    for name in FIELDS:
+        wins[name] = yield from rank.win_create(
+            arr.fields[name].reshape(-1))
+    wins["counts"] = yield from rank.win_create(arr.counts)
+    wins["inbox"] = yield from rank.win_create(inbox.reshape(-1))
+    yield from rank.barrier()
+    cap = wl.capacity
+    t_start = rank.now
+
+    def send_halo(to_left: bool):
+        """Send my boundary cell into the neighbour's halo slot: one put
+        per array plus the counter (direct device access to the counts —
+        no host round trip, unlike MPI-CUDA)."""
+        target = neigh.left if to_left else neigh.right
+        cell = lo if to_left else hi - 1
+        # Neighbour's halo slot: its last slot when I am its right
+        # neighbour, its slot 0 when I am its left neighbour.
+        t_sizes = block_range(wl.cells_per_node * num_nodes, size, target)
+        t_cells = t_sizes[1] - t_sizes[0]
+        t_slot = t_cells + 1 if to_left else 0
+        n = arr.count(cell)
+        for name in FIELDS:
+            src = arr.fields[name][cell, :max(n, 1)]
+            yield from rank.put_notify(wins[name], target, t_slot * cap,
+                                       src, tag=TAG_HALO)
+        yield from rank.put_notify(wins["counts"], target, t_slot,
+                                   arr.counts[cell:cell + 1], tag=TAG_HALO)
+
+    def send_movers(rows, to_left: bool):
+        target = neigh.left if to_left else neigh.right
+        side = 1 if to_left else 0  # my-left mover lands in their R inbox
+        buf = pack_rows(rows)
+        yield from rank.put_notify(wins["inbox"], target,
+                                   side * inbox.shape[1], buf, tag=TAG_MOVE)
+
+    for _ in range(wl.steps):
+        # 1) halo-cell exchange
+        if neigh.left is not None:
+            yield from send_halo(True)
+        if neigh.right is not None:
+            yield from send_halo(False)
+        yield from rank.wait_notifications(
+            None, tag=TAG_HALO, count=(len(FIELDS) + 1) * neigh.count)
+
+        # 2) force computation + integration
+        costs = particle_costs(arr, lo, hi)
+        fl, mb = costs["force"]
+        acc = yield from rank.compute(
+            fl, mb, fn=lambda: compute_forces(arr, lo, hi, wl),
+            detail="force")
+        yield from rank.compute(
+            *costs["insert"],
+            fn=lambda: integrate(arr, lo, hi, acc[0], acc[1], wl, width),
+            detail="integrate")
+
+        # 3) sort out movers
+        moved = yield from rank.compute(
+            *costs["sort"],
+            fn=lambda: apply_local_moves(
+                arr, lo, hi, *collect_movers(arr, lo, hi, g_lo, wl)),
+            detail="sort")
+        out_l, out_r = moved
+
+        # 4) communicate movers (always, so the wait count is static)
+        if neigh.left is not None:
+            yield from send_movers(out_l, True)
+        else:
+            assert out_l is None
+        if neigh.right is not None:
+            yield from send_movers(out_r, False)
+        else:
+            assert out_r is None
+        yield from rank.wait_notifications(wins["inbox"], tag=TAG_MOVE,
+                                           count=neigh.count)
+
+        # 5) integrate arrivals + canonical sort
+        def absorb():
+            if neigh.left is not None:
+                rows = unpack_rows(inbox[0])
+                if rows is not None:
+                    arr.insert(lo, rows)
+            if neigh.right is not None:
+                rows = unpack_rows(inbox[1])
+                if rows is not None:
+                    arr.insert(hi - 1, rows)
+            for c in range(lo, hi):
+                arr.sort_cell(c)
+        yield from rank.compute(*costs["insert"], fn=absorb,
+                                detail="absorb")
+
+    elapsed = rank.now - t_start
+    for win in wins.values():
+        yield from rank.win_free(win)
+    yield from rank.finish()
+    outputs[r] = global_state(arr, lo, hi)
+    if rank.comm_rank("device") == 0:
+        stats[rank.node.index] = {"main_loop": elapsed}
+    return g_lo
+
+
+def run_dcuda_particles(cluster: Cluster, wl: ParticleWorkload,
+                        ranks_per_device: int):
+    wl.validate(ranks_per_device)
+    outputs: Dict[int, np.ndarray] = {}
+    stats: Dict[int, dict] = {}
+    res = launch(cluster, dcuda_particle_kernel, ranks_per_device,
+                 kernel_args={"wl": wl, "outputs": outputs, "stats": stats})
+    state = np.concatenate([outputs[r] for r in sorted(outputs)], axis=0)
+    state = state[np.argsort(state[:, 0], kind="stable")]
+    return res.elapsed, state, res
+
+
+# ------------------------------------------------------------- MPI-CUDA ------
+def mpicuda_particle_program(ctx: MPICudaContext, wl: ParticleWorkload,
+                             outputs: Dict[int, np.ndarray],
+                             stats: Dict[int, dict], nblocks: int):
+    node = ctx.rank
+    num_nodes = ctx.size
+    neigh = Neighbors1D(node, num_nodes)
+    width = wl.width(num_nodes)
+    arr, g_lo, g_hi = _local_setup(wl, num_nodes, num_nodes, node)
+    lo, hi = 1, arr.ncells - 1
+    halo_time = 0.0
+
+    def exchange_cells():
+        """Two-sided halo-cell exchange.  The host must first fetch the
+        boundary-cell counters from the device to size the messages."""
+        nonlocal halo_time
+        t0 = ctx.now
+        yield from ctx.memcpy(16.0)  # fetch 2 counters
+        reqs = []
+        if neigh.left is not None:
+            buf = yield from ctx.launch(
+                nblocks, mem_bytes_per_block=48.0 * arr.count(lo) / nblocks,
+                fn=lambda: pack_rows(arr.rows(lo)), detail="pack")
+            ctx.isend(neigh.left, buf, tag=TAG_HALO)
+            reqs.append((ctx.irecv(source=neigh.left, tag=TAG_HALO), 0))
+        if neigh.right is not None:
+            buf = yield from ctx.launch(
+                nblocks,
+                mem_bytes_per_block=48.0 * arr.count(hi - 1) / nblocks,
+                fn=lambda: pack_rows(arr.rows(hi - 1)), detail="pack")
+            ctx.isend(neigh.right, buf, tag=TAG_HALO)
+            reqs.append((ctx.irecv(source=neigh.right, tag=TAG_HALO),
+                         hi))
+        for req, slot in reqs:
+            msg = yield from req.wait()
+            rows = unpack_rows(msg.payload)
+            arr.counts[slot] = 0.0
+            if rows is not None:
+                arr.insert(slot, rows)
+        halo_time += ctx.now - t0
+
+    def exchange_movers(out_l, out_r):
+        nonlocal halo_time
+        t0 = ctx.now
+        yield from ctx.memcpy(16.0)
+        reqs = []
+        if neigh.left is not None:
+            ctx.isend(neigh.left, pack_rows(out_l), tag=TAG_MOVE)
+            reqs.append((ctx.irecv(source=neigh.left, tag=TAG_MOVE), lo))
+        if neigh.right is not None:
+            ctx.isend(neigh.right, pack_rows(out_r), tag=TAG_MOVE)
+            reqs.append((ctx.irecv(source=neigh.right, tag=TAG_MOVE),
+                         hi - 1))
+        for req, cell in reqs:
+            msg = yield from req.wait()
+            rows = unpack_rows(msg.payload)
+            if rows is not None:
+                arr.insert(cell, rows)
+        halo_time += ctx.now - t0
+
+    for _ in range(wl.steps):
+        yield from exchange_cells()
+        costs = particle_costs(arr, lo, hi)
+        acc = yield from ctx.launch(
+            per_block=per_block_force_costs(arr, lo, hi, nblocks),
+            fn=lambda: compute_forces(arr, lo, hi, wl), detail="force")
+        yield from ctx.launch(
+            nblocks, costs["insert"][0] / nblocks,
+            costs["insert"][1] / nblocks,
+            fn=lambda: integrate(arr, lo, hi, acc[0], acc[1], wl, width),
+            detail="integrate")
+        moved = yield from ctx.launch(
+            nblocks, costs["sort"][0] / nblocks,
+            costs["sort"][1] / nblocks,
+            fn=lambda: apply_local_moves(
+                arr, lo, hi, *collect_movers(arr, lo, hi, g_lo, wl)),
+            detail="sort")
+        yield from exchange_movers(*moved)
+
+        def absorb_sort():
+            for c in range(lo, hi):
+                arr.sort_cell(c)
+        yield from ctx.launch(
+            nblocks, costs["insert"][0] / nblocks,
+            costs["insert"][1] / nblocks, fn=absorb_sort, detail="absorb")
+        yield from ctx.loop_overhead()
+
+    outputs[node] = global_state(arr, lo, hi)
+    stats[node] = {"halo_time": halo_time}
+
+
+def run_mpicuda_particles(cluster: Cluster, wl: ParticleWorkload,
+                          nblocks: int = 26):
+    outputs: Dict[int, np.ndarray] = {}
+    stats: Dict[int, dict] = {}
+    res = run_mpicuda(cluster, mpicuda_particle_program,
+                      program_args={"wl": wl, "outputs": outputs,
+                                    "stats": stats, "nblocks": nblocks})
+    state = np.concatenate([outputs[r] for r in sorted(outputs)], axis=0)
+    state = state[np.argsort(state[:, 0], kind="stable")]
+    return res.elapsed, state, stats

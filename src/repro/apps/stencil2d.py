@@ -1,0 +1,239 @@
+"""The paper's running example (Fig. 2): a 2-D 5-point stencil with halo
+exchange, in dCUDA and MPI-CUDA variants plus a serial reference.
+
+Domain: ``(nj_global + 2) x ni`` points (one fixed zero boundary row on each
+j-side), 1-D decomposition along j.  Each device owns ``nj_per_device`` rows
+plus one halo row per side; dCUDA ranks split the device rows further and
+register *overlapping* windows into the device array (Fig. 3): a halo
+exchange between same-device ranks is the zero-copy case, only device
+boundaries travel over the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..dcuda import DRank, launch
+from ..hw.cluster import Cluster
+from ..mpicuda import MPICudaContext, run_mpicuda
+from .decomp import Neighbors1D, block_range
+
+__all__ = ["Stencil2DWorkload", "reference", "make_device_arrays",
+           "run_dcuda_stencil2d", "run_mpicuda_stencil2d", "apply_stencil"]
+
+HALO_TAG = 11
+
+
+@dataclass(frozen=True)
+class Stencil2DWorkload:
+    """Parameters of one stencil run."""
+
+    ni: int = 64              # i extent (contiguous dimension)
+    nj_per_device: int = 32   # j rows owned by each device
+    steps: int = 4            # stencil iterations
+
+    @property
+    def jstride(self) -> int:
+        return self.ni
+
+    def nj_global(self, num_nodes: int) -> int:
+        return self.nj_per_device * num_nodes
+
+    def validate(self, num_nodes: int, ranks_per_device: int) -> None:
+        if self.nj_per_device < ranks_per_device:
+            raise ValueError(
+                f"{self.nj_per_device} rows per device cannot feed "
+                f"{ranks_per_device} ranks")
+
+
+def apply_stencil(src: np.ndarray, dst: np.ndarray, rows: slice) -> None:
+    """Apply the 5-point stencil on *rows* of a (j, i) array.
+
+    ``dst[j,i] = -4 src[j,i] + src[j,i±1] + src[j±1,i]`` on interior i;
+    the i-boundary columns are copied through (fixed boundary).
+    """
+    j0, j1 = rows.start, rows.stop
+    dst[j0:j1, 1:-1] = (-4.0 * src[j0:j1, 1:-1]
+                        + src[j0:j1, 2:] + src[j0:j1, :-2]
+                        + src[j0 + 1:j1 + 1, 1:-1]
+                        + src[j0 - 1:j1 - 1, 1:-1])
+    dst[j0:j1, 0] = src[j0:j1, 0]
+    dst[j0:j1, -1] = src[j0:j1, -1]
+
+
+def stencil_costs(points: int) -> Tuple[float, float]:
+    """(flops, memory bytes) of a stencil phase over *points* grid points."""
+    return 6.0 * points, 3.0 * 8.0 * points
+
+
+def initial_grid(wl: Stencil2DWorkload, num_nodes: int) -> np.ndarray:
+    """Deterministic initial condition on the full (nj_global+2, ni) grid
+    (halo rows included, zeroed)."""
+    nj = wl.nj_global(num_nodes)
+    rng = np.random.default_rng(42)
+    grid = np.zeros((nj + 2, wl.ni))
+    grid[1:-1, :] = rng.standard_normal((nj, wl.ni))
+    return grid
+
+
+def reference(wl: Stencil2DWorkload, num_nodes: int) -> np.ndarray:
+    """Serial reference: returns the interior rows after `steps` sweeps."""
+    cur = initial_grid(wl, num_nodes)
+    nxt = np.zeros_like(cur)
+    for _ in range(wl.steps):
+        apply_stencil(cur, nxt, slice(1, cur.shape[0] - 1))
+        cur, nxt = nxt, cur
+    return cur[1:-1, :].copy()
+
+
+def make_device_arrays(wl: Stencil2DWorkload,
+                       num_nodes: int) -> Dict[int, List[np.ndarray]]:
+    """Per-device ``[in, out]`` arrays of shape (nj_per_device+2, ni),
+    initialized with the node's slice of the global grid."""
+    grid = initial_grid(wl, num_nodes)
+    arrays: Dict[int, List[np.ndarray]] = {}
+    for node in range(num_nodes):
+        lo = node * wl.nj_per_device
+        dev_in = grid[lo:lo + wl.nj_per_device + 2, :].copy()
+        arrays[node] = [dev_in, np.zeros_like(dev_in)]
+    return arrays
+
+
+def gather_result(wl: Stencil2DWorkload,
+                  arrays: Dict[int, List[np.ndarray]],
+                  which: int) -> np.ndarray:
+    """Stack the interior rows of every device's array *which*."""
+    return np.concatenate([arrays[node][which][1:-1, :]
+                           for node in sorted(arrays)], axis=0)
+
+
+# --------------------------------------------------------------- dCUDA ------
+def dcuda_stencil_kernel(rank: DRank, wl: Stencil2DWorkload,
+                         arrays: Dict[int, List[np.ndarray]]):
+    """The Fig. 2 program, one instance per rank."""
+    size = rank.comm_size()
+    r = rank.comm_rank()
+    node = rank.node.index
+    rpd = rank.runtime.ranks_per_device
+    neigh = Neighbors1D(r, size)
+    # This rank's rows within the device array (1-based, halo row at 0).
+    lo, hi = block_range(wl.nj_per_device, rpd, rank.comm_rank("device"))
+    rows = slice(lo + 1, hi + 1)
+    dev_in, dev_out = arrays[node]
+    flat = [dev_in.reshape(-1), dev_out.reshape(-1)]
+    # Overlapping windows: every rank registers the full device array.
+    win = yield from rank.win_create(flat[0])
+    wout = yield from rank.win_create(flat[1])
+    wins = [win, wout]
+    cur = 0  # index of the "in" array/window
+    yield from rank.barrier()
+
+    points = (hi - lo) * wl.ni
+    flops, mem_bytes = stencil_costs(points)
+    js = wl.jstride
+    for _ in range(wl.steps):
+        src, dst = arrays[node][cur], arrays[node][1 - cur]
+        yield from rank.compute(
+            flops=flops, mem_bytes=mem_bytes,
+            fn=lambda s=src, d=dst: apply_stencil(s, d, rows),
+            detail="stencil")
+        # Move the domain boundaries of `out` to the neighbour windows.
+        w = wins[1 - cur]
+        dst_flat = flat[1 - cur]
+        if neigh.left is not None:
+            # My first row -> left neighbour's bottom halo row.  Offsets are
+            # in the coordinates of the *target's* window; windows span the
+            # whole device array, so same-device targets alias my memory.
+            src_row = dst_flat[rows.start * js:(rows.start + 1) * js]
+            if rank.comm_rank("device") > 0:
+                off = rows.start * js          # same device: same address
+            else:
+                off = (wl.nj_per_device + 1) * js  # remote: its halo row
+            yield from rank.put_notify(w, neigh.left, off, src_row,
+                                       tag=HALO_TAG)
+        if neigh.right is not None:
+            src_row = dst_flat[(rows.stop - 1) * js:rows.stop * js]
+            if rank.comm_rank("device") < rpd - 1:
+                off = (rows.stop - 1) * js     # same device: same address
+            else:
+                off = 0                        # remote: its top halo row
+            yield from rank.put_notify(w, neigh.right, off, src_row,
+                                       tag=HALO_TAG)
+        yield from rank.wait_notifications(w, tag=HALO_TAG,
+                                           count=neigh.count)
+        cur = 1 - cur
+
+    yield from rank.win_free(win)
+    yield from rank.win_free(wout)
+    yield from rank.finish()
+    return cur
+
+
+def run_dcuda_stencil2d(cluster: Cluster, wl: Stencil2DWorkload,
+                        ranks_per_device: int):
+    """Run the dCUDA variant; returns (elapsed, result grid, LaunchResult)."""
+    wl.validate(cluster.num_nodes, ranks_per_device)
+    arrays = make_device_arrays(wl, cluster.num_nodes)
+    res = launch(cluster, dcuda_stencil_kernel, ranks_per_device,
+                 kernel_args={"wl": wl, "arrays": arrays})
+    final = res.results[0]
+    return res.elapsed, gather_result(wl, arrays, final), res
+
+
+# ------------------------------------------------------------- MPI-CUDA ------
+def mpicuda_stencil_program(ctx: MPICudaContext, wl: Stencil2DWorkload,
+                            arrays: Dict[int, List[np.ndarray]],
+                            nblocks: int, stats: Dict[int, dict]):
+    """Host main loop: kernel, then two-sided halo exchange, repeat."""
+    node = ctx.rank
+    neigh = Neighbors1D(node, ctx.size)
+    dev = arrays[node]
+    cur = 0
+    rows = slice(1, wl.nj_per_device + 1)
+    points = wl.nj_per_device * wl.ni
+    flops, mem_bytes = stencil_costs(points)
+    halo_time = 0.0
+    row_bytes = wl.ni * 8.0
+
+    for _ in range(wl.steps):
+        src, dst = dev[cur], dev[1 - cur]
+        yield from ctx.launch(
+            nblocks, flops_per_block=flops / nblocks,
+            mem_bytes_per_block=mem_bytes / nblocks,
+            fn=lambda s=src, d=dst: apply_stencil(s, d, rows),
+            detail="stencil")
+        t0 = ctx.now
+        reqs = []
+        if neigh.left is not None:
+            ctx.isend(neigh.left, dst[1, :].copy(), tag=HALO_TAG)
+            reqs.append(ctx.irecv(source=neigh.left, tag=HALO_TAG))
+        if neigh.right is not None:
+            ctx.isend(neigh.right, dst[wl.nj_per_device, :].copy(),
+                      tag=HALO_TAG)
+            reqs.append(ctx.irecv(source=neigh.right, tag=HALO_TAG))
+        for req in reqs:
+            msg = yield from req.wait()
+            if msg.src == neigh.left:
+                dst[0, :] = msg.payload
+            else:
+                dst[wl.nj_per_device + 1, :] = msg.payload
+        halo_time += ctx.now - t0
+        yield from ctx.loop_overhead()
+        cur = 1 - cur
+    stats[node] = {"halo_time": halo_time}
+    return cur
+
+
+def run_mpicuda_stencil2d(cluster: Cluster, wl: Stencil2DWorkload,
+                          nblocks: int = 26):
+    """Run the baseline; returns (elapsed, result grid, stats per node)."""
+    arrays = make_device_arrays(wl, cluster.num_nodes)
+    stats: Dict[int, dict] = {}
+    res = run_mpicuda(cluster, mpicuda_stencil_program,
+                      program_args={"wl": wl, "arrays": arrays,
+                                    "nblocks": nblocks, "stats": stats})
+    final = res.results[0]
+    return res.elapsed, gather_result(wl, arrays, final), stats

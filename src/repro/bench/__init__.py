@@ -1,0 +1,36 @@
+"""Benchmark harness: microbenchmarks, weak-scaling drivers, statistics."""
+
+from .profile import LaunchProfile, NodeProfile
+from .stats import Measurement, median, median_ci, summarize
+from .table import Table, ascii_series, format_value
+from .pingpong import (
+    DEFAULT_PACKET_SIZES,
+    PingPongResult,
+    pingpong_sweep,
+    run_pingpong,
+)
+from .overlap import (
+    COPY_BYTES_PER_ITER,
+    NEWTON_FLOPS_PER_ITER,
+    OverlapPoint,
+    overlap_sweep,
+    run_overlap,
+)
+from .weak_scaling import (
+    ScalingRow,
+    particles_weak_scaling,
+    spmv_weak_scaling,
+    stencil_weak_scaling,
+)
+
+__all__ = [
+    "LaunchProfile", "NodeProfile",
+    "Measurement", "median", "median_ci", "summarize",
+    "Table", "ascii_series", "format_value",
+    "DEFAULT_PACKET_SIZES", "PingPongResult", "pingpong_sweep",
+    "run_pingpong",
+    "COPY_BYTES_PER_ITER", "NEWTON_FLOPS_PER_ITER", "OverlapPoint",
+    "overlap_sweep", "run_overlap",
+    "ScalingRow", "particles_weak_scaling", "spmv_weak_scaling",
+    "stencil_weak_scaling",
+]

@@ -1,0 +1,82 @@
+"""Ping-pong microbenchmark: put latency and bandwidth (Fig. 6, §IV-B).
+
+Two ranks bounce a data packet using notified puts; latency is half of one
+iteration, bandwidth is packet size over latency.  Ranks are placed either
+on the same device (shared memory) or on two nodes (distributed memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..dcuda import launch
+from ..hw import Cluster, greina
+from ..hw.config import MachineConfig
+
+__all__ = ["PingPongResult", "run_pingpong", "pingpong_sweep",
+           "DEFAULT_PACKET_SIZES"]
+
+DEFAULT_PACKET_SIZES = tuple(4 ** k for k in range(0, 12))  # 1 B .. 4 MB
+
+
+@dataclass(frozen=True)
+class PingPongResult:
+    shared: bool
+    packet_bytes: int
+    iterations: int
+    latency: float            # seconds, half round trip
+
+    @property
+    def bandwidth(self) -> float:
+        """Payload rate [B/s]."""
+        return self.packet_bytes / self.latency if self.latency > 0 else 0.0
+
+
+def run_pingpong(shared: bool, packet_bytes: int = 0, iterations: int = 100,
+                 cfg: MachineConfig | None = None) -> PingPongResult:
+    """One ping-pong measurement.
+
+    Setup time (window creation, barrier) is excluded by timing only the
+    iteration loop — the paper's subtract-zero-iterations methodology.
+    """
+    if packet_bytes < 0:
+        raise ValueError(f"negative packet size {packet_bytes}")
+    nodes = 1 if shared else 2
+    rpd = 2 if shared else 1
+    cluster = Cluster((cfg or greina()).with_nodes(nodes))
+    buffers = {r: np.zeros(max(packet_bytes, 1), dtype=np.uint8)
+               for r in range(2)}
+    loop_time: Dict[int, float] = {}
+
+    def kernel(rank):
+        r = rank.world_rank
+        win = yield from rank.win_create(buffers[r])
+        yield from rank.barrier()
+        t0 = rank.now
+        data = buffers[r][:packet_bytes]
+        for _ in range(iterations):
+            if r == 0:
+                yield from rank.put_notify(win, 1, 0, data, tag=1)
+                yield from rank.wait_notifications(win, source=1, tag=1,
+                                                   count=1)
+            else:
+                yield from rank.wait_notifications(win, source=0, tag=1,
+                                                   count=1)
+                yield from rank.put_notify(win, 0, 0, data, tag=1)
+        loop_time[r] = rank.now - t0
+        yield from rank.finish()
+
+    launch(cluster, kernel, ranks_per_device=rpd)
+    latency = loop_time[0] / iterations / 2.0
+    return PingPongResult(shared=shared, packet_bytes=packet_bytes,
+                          iterations=iterations, latency=latency)
+
+
+def pingpong_sweep(shared: bool,
+                   packet_sizes: Sequence[int] = DEFAULT_PACKET_SIZES,
+                   iterations: int = 50) -> List[PingPongResult]:
+    """The Fig. 6 bandwidth curve for one placement."""
+    return [run_pingpong(shared, size, iterations) for size in packet_sizes]

@@ -1,0 +1,121 @@
+"""Launch profiling: where did the time and the transactions go?
+
+``LaunchProfile.from_result`` digests a :class:`~repro.dcuda.LaunchResult`
+into per-node hardware counters (PCIe transactions, DMA traffic, NIC
+messages/bytes, device-memory utilization, host-worker busy time, queue
+flow-control statistics) and — when tracing was enabled — a per-activity
+time breakdown.  This is the observability layer the paper's performance
+discussion implies: it makes statements like "the notification matching is
+compute heavy" directly measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..dcuda.launch import LaunchResult
+from .table import Table
+
+__all__ = ["NodeProfile", "LaunchProfile"]
+
+
+@dataclass(frozen=True)
+class NodeProfile:
+    """Hardware counters of one node over a launch."""
+
+    node: int
+    pcie_mapped_writes: int
+    pcie_mapped_reads: int
+    dma_copies: int
+    dma_bytes: float
+    nic_messages: int
+    nic_bytes: float
+    mem_bytes: float
+    mem_utilization: float
+    worker_busy: float
+    worker_utilization: float
+    queue_credit_reloads: int
+    queue_full_stalls: int
+
+
+@dataclass
+class LaunchProfile:
+    """Aggregated post-mortem of one kernel launch."""
+
+    elapsed: float
+    nodes: List[NodeProfile]
+    #: Per activity kind (compute/comm/wait/match): total block time [s].
+    activity: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_result(cls, result: LaunchResult) -> "LaunchProfile":
+        runtime = result.runtime
+        cluster = runtime.cluster
+        elapsed = max(result.elapsed, 1e-30)
+        nodes: List[NodeProfile] = []
+        for system in runtime.systems:
+            node = system.node
+            mem = node.device.memory
+            reloads = sum(st.cmd_queue.stats.credit_reloads
+                          + st.ack_queue.stats.credit_reloads
+                          + st.notif_queue.stats.credit_reloads
+                          + st.log_queue.stats.credit_reloads
+                          for st in system.states)
+            stalls = sum(st.cmd_queue.stats.full_stalls
+                         + st.ack_queue.stats.full_stalls
+                         + st.notif_queue.stats.full_stalls
+                         + st.log_queue.stats.full_stalls
+                         for st in system.states)
+            nic = cluster.fabric.nic_stats(node.index)
+            nodes.append(NodeProfile(
+                node=node.index,
+                pcie_mapped_writes=node.pcie.mapped_writes,
+                pcie_mapped_reads=node.pcie.mapped_reads,
+                dma_copies=node.pcie.dma_copies,
+                dma_bytes=node.pcie.dma_bytes,
+                nic_messages=nic["messages"],
+                nic_bytes=nic["bytes"],
+                mem_bytes=mem.bytes_transferred,
+                mem_utilization=(mem.bytes_transferred
+                                 / mem.link.bandwidth / elapsed),
+                worker_busy=node.worker.busy_time,
+                worker_utilization=node.worker.utilization(elapsed),
+                queue_credit_reloads=reloads,
+                queue_full_stalls=stalls,
+            ))
+        activity: Dict[str, float] = {}
+        for iv in result.tracer.intervals:
+            activity[iv.kind] = activity.get(iv.kind, 0.0) + iv.duration
+        return cls(elapsed=result.elapsed, nodes=nodes, activity=activity)
+
+    # -- aggregates ------------------------------------------------------
+    def total(self, attr: str) -> float:
+        return sum(getattr(n, attr) for n in self.nodes)
+
+    def activity_share(self, kind: str) -> float:
+        """Fraction of total traced block time spent in *kind*."""
+        total = sum(self.activity.values())
+        if total <= 0:
+            return 0.0
+        return self.activity.get(kind, 0.0) / total
+
+    # -- rendering ----------------------------------------------------------
+    def render(self) -> str:
+        table = Table("launch profile",
+                      ["node", "pcie wr", "pcie rd", "dma", "nic msgs",
+                       "nic MB", "mem util", "worker util", "reloads",
+                       "stalls"])
+        for n in self.nodes:
+            table.add_row(n.node, n.pcie_mapped_writes, n.pcie_mapped_reads,
+                          n.dma_copies, n.nic_messages,
+                          n.nic_bytes / 1e6, n.mem_utilization,
+                          n.worker_utilization, n.queue_credit_reloads,
+                          n.queue_full_stalls)
+        table.add_note(f"simulated time: {self.elapsed * 1e3:.3f} ms")
+        if self.activity:
+            total = sum(self.activity.values())
+            parts = ", ".join(f"{k}={v / total:.0%}"
+                              for k, v in sorted(self.activity.items()))
+            table.add_note(f"block activity: {parts}")
+        return table.render()

@@ -1,0 +1,80 @@
+"""Plain-text table/series rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+__all__ = ["Table", "format_value", "ascii_series"]
+
+
+def format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """Aligned text table; one per reproduced figure."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(f"row has {len(values)} cells, table has "
+                             f"{len(self.columns)} columns")
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Any]:
+        idx = list(self.columns).index(name)
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        cells = [[format_value(v) for v in row] for row in self.rows]
+        widths = [max(len(str(col)), *(len(r[i]) for r in cells))
+                  if cells else len(str(col))
+                  for i, col in enumerate(self.columns)]
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(str(c).rjust(w)
+                           for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def ascii_series(xs: Sequence[float], ys: Sequence[float], width: int = 60,
+                 height: int = 12, label: str = "") -> str:
+    """A tiny ASCII scatter/line plot for terminal benchmark reports."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("series must be equal-length and non-empty")
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    xspan = max(xmax - xmin, 1e-30)
+    yspan = max(ymax - ymin, 1e-30)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - xmin) / xspan * (width - 1))
+        row = height - 1 - int((y - ymin) / yspan * (height - 1))
+        grid[row][col] = "*"
+    lines = [f"{label} (y: {ymin:.3g}..{ymax:.3g}, x: {xmin:.3g}..{xmax:.3g})"]
+    lines += ["|" + "".join(r) + "|" for r in grid]
+    return "\n".join(lines)

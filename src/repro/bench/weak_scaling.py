@@ -1,0 +1,137 @@
+"""Weak-scaling drivers for the three mini-applications (Figs. 9-11).
+
+Each driver runs the dCUDA and MPI-CUDA variants over a list of node
+counts with a constant per-node workload, verifies both against the serial
+reference, and returns a :class:`~repro.bench.table.Table` with one row per
+node count: dCUDA time, MPI-CUDA time, and the communication time measured
+by the MPI-CUDA variant (the paper's "halo exchange" line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..apps.diffusion import (
+    DiffusionWorkload,
+    reference as diffusion_reference,
+    run_dcuda_diffusion,
+    run_mpicuda_diffusion,
+)
+from ..apps.particles import (
+    ParticleWorkload,
+    reference as particles_reference,
+    run_dcuda_particles,
+    run_mpicuda_particles,
+)
+from ..apps.spmv import (
+    SpmvWorkload,
+    reference as spmv_reference,
+    run_dcuda_spmv,
+    run_mpicuda_spmv,
+)
+from ..hw import Cluster, greina
+from .table import Table
+
+__all__ = ["ScalingRow", "particles_weak_scaling", "stencil_weak_scaling",
+           "spmv_weak_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    nodes: int
+    dcuda_time: float
+    mpicuda_time: float
+    comm_time: float
+
+
+def _scaling_table(title: str, comm_label: str,
+                   rows: List[ScalingRow]) -> Table:
+    table = Table(title,
+                  ["nodes", "dcuda [ms]", "mpi-cuda [ms]",
+                   f"{comm_label} [ms]"])
+    for row in rows:
+        table.add_row(row.nodes, row.dcuda_time * 1e3,
+                      row.mpicuda_time * 1e3, row.comm_time * 1e3)
+    return table
+
+
+def particles_weak_scaling(node_counts: Sequence[int] = (1, 2, 4, 8),
+                           wl: Optional[ParticleWorkload] = None,
+                           ranks_per_device: int = 26,
+                           nblocks: int = 208,
+                           verify: bool = True) -> Table:
+    """Fig. 9: particle simulation, constant cells/particles per node."""
+    wl = wl or ParticleWorkload(cells_per_node=104,
+                                particles_per_node=10400, steps=10)
+    rows = []
+    for nodes in node_counts:
+        t_d, state_d, _ = run_dcuda_particles(Cluster(greina(nodes)), wl,
+                                              ranks_per_device)
+        t_m, state_m, stats = run_mpicuda_particles(Cluster(greina(nodes)),
+                                                    wl, nblocks=nblocks)
+        if verify:
+            ref = particles_reference(wl, nodes)
+            np.testing.assert_allclose(state_d, ref, rtol=1e-9, atol=1e-9)
+            np.testing.assert_allclose(state_m, ref, rtol=1e-9, atol=1e-9)
+        halo = max(s["halo_time"] for s in stats.values())
+        rows.append(ScalingRow(nodes, t_d, t_m, halo))
+    table = _scaling_table("Fig. 9 - particle simulation weak scaling",
+                           "halo exchange", rows)
+    table.add_note(f"{wl.cells_per_node} cells and {wl.particles_per_node} "
+                   f"particles per node, {wl.steps} iterations")
+    return table
+
+
+def stencil_weak_scaling(node_counts: Sequence[int] = (1, 2, 4, 8),
+                         wl: Optional[DiffusionWorkload] = None,
+                         ranks_per_device: int = 208,
+                         nblocks: int = 208,
+                         verify: bool = True) -> Table:
+    """Fig. 10: horizontal-diffusion stencil, constant grid per device."""
+    wl = wl or DiffusionWorkload(ni=128, nj_per_device=416, nk=26, steps=10)
+    rows = []
+    for nodes in node_counts:
+        t_d, out_d, _ = run_dcuda_diffusion(Cluster(greina(nodes)), wl,
+                                            ranks_per_device)
+        t_m, out_m, stats = run_mpicuda_diffusion(Cluster(greina(nodes)),
+                                                  wl, nblocks=nblocks)
+        if verify:
+            ref = diffusion_reference(wl, nodes)
+            np.testing.assert_allclose(out_d, ref, rtol=1e-9)
+            np.testing.assert_allclose(out_m, ref, rtol=1e-9)
+        halo = max(s["halo_time"] for s in stats.values())
+        rows.append(ScalingRow(nodes, t_d, t_m, halo))
+    table = _scaling_table("Fig. 10 - stencil program weak scaling",
+                           "halo exchange", rows)
+    table.add_note(f"{wl.ni}x{wl.nj_per_device}x{wl.nk} grid points per "
+                   f"device, {wl.steps} iterations")
+    return table
+
+
+def spmv_weak_scaling(node_counts: Sequence[int] = (1, 4, 9),
+                      wl: Optional[SpmvWorkload] = None,
+                      ranks_per_device: int = 208,
+                      nblocks: int = 208,
+                      verify: bool = True) -> Table:
+    """Fig. 11: sparse matrix-vector multiplication, square device grids."""
+    wl = wl or SpmvWorkload(n_per_device=10486, density=0.03, iters=10)
+    rows = []
+    for nodes in node_counts:
+        t_d, y_d, _ = run_dcuda_spmv(Cluster(greina(nodes)), wl,
+                                     ranks_per_device)
+        t_m, y_m, stats = run_mpicuda_spmv(Cluster(greina(nodes)), wl,
+                                           nblocks=nblocks)
+        if verify:
+            ref = spmv_reference(wl, nodes)
+            np.testing.assert_allclose(y_d, ref, rtol=1e-9)
+            np.testing.assert_allclose(y_m, ref, rtol=1e-9)
+        comm = max(s["comm_time"] for s in stats.values())
+        rows.append(ScalingRow(nodes, t_d, t_m, comm))
+    table = _scaling_table("Fig. 11 - sparse matrix-vector weak scaling",
+                           "communication", rows)
+    table.add_note(f"{wl.n_per_device}^2 elements per device, "
+                   f"{wl.density:.1%} populated, {wl.iters} iterations")
+    return table

@@ -1,0 +1,42 @@
+"""dCUDA: device-side remote memory access with target notification.
+
+The paper's primary contribution — a single coherent GPU-cluster
+programming model.  Write a kernel as a generator over :class:`DRank`,
+then :func:`launch` it on a simulated :class:`~repro.hw.Cluster`::
+
+    from repro.hw import Cluster, greina
+    from repro.dcuda import launch, DCUDA_ANY_SOURCE
+
+    def kernel(rank):
+        win = yield from rank.win_create(my_buffer)
+        yield from rank.put_notify(win, rank.world_rank ^ 1, 0, data, tag=0)
+        yield from rank.wait_notifications(win, DCUDA_ANY_SOURCE, 0, 1)
+        yield from rank.win_free(win)
+        yield from rank.finish()
+
+    result = launch(Cluster(greina(2)), kernel, ranks_per_device=2)
+"""
+
+from . import capi, collectives, ext
+from .device_api import (
+    DCUDA_ANY_SOURCE,
+    DCUDA_ANY_TAG,
+    DCUDA_ANY_WINDOW,
+    DCUDA_COMM_DEVICE,
+    DCUDA_COMM_WORLD,
+    DRank,
+)
+from .errors import DCudaError
+from .launch import LaunchResult, launch
+from .notifications import NotificationMatcher
+from .window import Window, same_memory
+
+__all__ = [
+    "capi", "collectives", "ext",
+    "DCUDA_ANY_SOURCE", "DCUDA_ANY_TAG", "DCUDA_ANY_WINDOW",
+    "DCUDA_COMM_DEVICE", "DCUDA_COMM_WORLD", "DRank",
+    "DCudaError",
+    "LaunchResult", "launch",
+    "NotificationMatcher",
+    "Window", "same_memory",
+]

@@ -1,0 +1,116 @@
+"""The paper's C calling convention (Fig. 2), as thin function wrappers.
+
+Kernels written against the original dCUDA API translate almost line by
+line; every function takes the context (here: the :class:`DRank`) first and
+follows the paper's parameter order::
+
+    dcuda_comm_size(ctx, DCUDA_COMM_WORLD, &size)
+        -> size = dcuda_comm_size(ctx, DCUDA_COMM_WORLD)
+    dcuda_win_create(ctx, DCUDA_COMM_WORLD, &in[0], len, &win)
+        -> win = yield from dcuda_win_create(ctx, DCUDA_COMM_WORLD, buf)
+    dcuda_put_notify(ctx, wout, rank - 1, off, count, &out[j], tag)
+        -> yield from dcuda_put_notify(ctx, wout, rank - 1, off, src, tag)
+    dcuda_wait_notifications(ctx, wout, DCUDA_ANY_SOURCE, tag, n)
+        -> yield from dcuda_wait_notifications(ctx, wout, src, tag, n)
+
+The count parameter is implied by the numpy view's length, and output
+parameters become return values — the only concessions to Python.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from ..sim import Event
+from .device_api import (
+    DCUDA_ANY_SOURCE,
+    DCUDA_ANY_TAG,
+    DCUDA_COMM_DEVICE,
+    DCUDA_COMM_WORLD,
+    DRank,
+)
+from .window import Window
+
+__all__ = [
+    "DCUDA_ANY_SOURCE", "DCUDA_ANY_TAG", "DCUDA_COMM_DEVICE",
+    "DCUDA_COMM_WORLD",
+    "dcuda_comm_size", "dcuda_comm_rank",
+    "dcuda_win_create", "dcuda_win_free", "dcuda_win_flush",
+    "dcuda_put", "dcuda_put_notify", "dcuda_get", "dcuda_get_notify",
+    "dcuda_wait_notifications", "dcuda_test_notifications",
+    "dcuda_barrier", "dcuda_finish",
+]
+
+
+def dcuda_comm_size(ctx: DRank, comm: str = DCUDA_COMM_WORLD) -> int:
+    return ctx.comm_size(comm)
+
+
+def dcuda_comm_rank(ctx: DRank, comm: str = DCUDA_COMM_WORLD) -> int:
+    return ctx.comm_rank(comm)
+
+
+def dcuda_win_create(ctx: DRank, comm: str, buffer: np.ndarray
+                     ) -> Generator[Event, Any, Window]:
+    win = yield from ctx.win_create(buffer, comm)
+    return win
+
+
+def dcuda_win_free(ctx: DRank, win: Window) -> Generator[Event, Any, None]:
+    yield from ctx.win_free(win)
+
+
+def dcuda_win_flush(ctx: DRank, win: Window) -> Generator[Event, Any, None]:
+    yield from ctx.flush(win)
+
+
+def dcuda_put_notify(ctx: DRank, win: Window, target_rank: int,
+                     target_offset: int, src: np.ndarray,
+                     tag: int = 0) -> Generator[Event, Any, None]:
+    yield from ctx.put_notify(win, target_rank, target_offset, src, tag)
+
+
+def dcuda_put(ctx: DRank, win: Window, target_rank: int,
+              target_offset: int,
+              src: np.ndarray) -> Generator[Event, Any, None]:
+    yield from ctx.put(win, target_rank, target_offset, src)
+
+
+def dcuda_get_notify(ctx: DRank, win: Window, target_rank: int,
+                     target_offset: int, dst: np.ndarray,
+                     tag: int = 0) -> Generator[Event, Any, None]:
+    yield from ctx.get_notify(win, target_rank, target_offset, dst, tag)
+
+
+def dcuda_get(ctx: DRank, win: Window, target_rank: int,
+              target_offset: int,
+              dst: np.ndarray) -> Generator[Event, Any, None]:
+    yield from ctx.get(win, target_rank, target_offset, dst)
+
+
+def dcuda_wait_notifications(ctx: DRank, win: Window,
+                             source: int = DCUDA_ANY_SOURCE,
+                             tag: int = DCUDA_ANY_TAG,
+                             count: int = 1
+                             ) -> Generator[Event, Any, None]:
+    yield from ctx.wait_notifications(win, source, tag, count)
+
+
+def dcuda_test_notifications(ctx: DRank, win: Window,
+                             source: int = DCUDA_ANY_SOURCE,
+                             tag: int = DCUDA_ANY_TAG,
+                             count: int = 1
+                             ) -> Generator[Event, Any, int]:
+    matched = yield from ctx.test_notifications(win, source, tag, count)
+    return matched
+
+
+def dcuda_barrier(ctx: DRank, comm: str = DCUDA_COMM_WORLD
+                  ) -> Generator[Event, Any, None]:
+    yield from ctx.barrier(comm)
+
+
+def dcuda_finish(ctx: DRank) -> Generator[Event, Any, None]:
+    yield from ctx.finish()

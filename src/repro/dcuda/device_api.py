@@ -1,0 +1,352 @@
+"""The dCUDA device-side programming interface.
+
+A dCUDA kernel is a Python generator taking one :class:`DRank` — the
+equivalent of the per-block view of the paper's single persistent CUDA
+kernel.  All communication methods are generators and must be invoked with
+``yield from``; everything else is plain Python.  The surface mirrors the
+paper's API:
+
+====================================  =====================================
+paper (§II-C)                         here
+====================================  =====================================
+``dcuda_comm_size/rank``              :meth:`DRank.comm_size` / ``comm_rank``
+``dcuda_win_create/free``             :meth:`DRank.win_create` / ``win_free``
+``dcuda_put_notify``/``get_notify``   :meth:`DRank.put_notify` / ``get_notify``
+``dcuda_put``/``get`` (unnotified)    ``notify=False``
+``dcuda_wait/test_notifications``     :meth:`DRank.wait_notifications` /
+                                      ``test_notifications``
+window ``flush``                      :meth:`DRank.flush`
+``barrier`` collective                :meth:`DRank.barrier`
+``DCUDA_ANY_SOURCE`` etc.             module constants
+====================================  =====================================
+
+Compute phases are expressed through :meth:`DRank.compute`, which executes
+real numpy work immediately and charges the calibrated device time for it —
+the simulation equivalent of the kernel's arithmetic between communication
+calls.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional, Tuple
+
+import numpy as np
+
+from ..hw.gpu import Block, Device
+from ..runtime.commands import (
+    BarrierCommand,
+    FinishCommand,
+    GetCommand,
+    LogCommand,
+    NotifyCommand,
+    PutCommand,
+    WinCreateCommand,
+    WinFreeCommand,
+)
+from ..runtime.system import DCudaRuntime
+from ..sim import Event
+from .errors import DCudaError
+from .notifications import (
+    DCUDA_ANY_SOURCE,
+    DCUDA_ANY_TAG,
+    DCUDA_ANY_WINDOW,
+    NotificationMatcher,
+)
+from .window import Window, same_memory
+
+__all__ = ["DRank", "DCUDA_COMM_WORLD", "DCUDA_COMM_DEVICE",
+           "DCUDA_ANY_SOURCE", "DCUDA_ANY_TAG", "DCUDA_ANY_WINDOW"]
+
+DCUDA_COMM_WORLD = "world"
+DCUDA_COMM_DEVICE = "device"
+
+
+class DRank:
+    """One rank's device-side library instance (the context object)."""
+
+    def __init__(self, runtime: DCudaRuntime, world_rank: int):
+        runtime.check_rank(world_rank)
+        self.runtime = runtime
+        self.world_rank = world_rank
+        self.env = runtime.env
+        self.system = runtime.system_of(world_rank)
+        self.node = self.system.node
+        self.device: Device = self.node.device
+        self.state = runtime.state_of(world_rank)
+        self.block: Block = self.state.block
+        self.cfg = runtime.cfg
+        self.matcher = NotificationMatcher(self.state, self.device,
+                                           self.block, self.cfg.devicelib)
+        self._finished = False
+
+    # ------------------------------------------------------------- identity --
+    def _comm_name(self, comm: str) -> str:
+        if comm == DCUDA_COMM_WORLD:
+            return "world"
+        if comm == DCUDA_COMM_DEVICE:
+            return f"device{self.node.index}"
+        raise ValueError(f"unknown communicator {comm!r}")
+
+    def comm_size(self, comm: str = DCUDA_COMM_WORLD) -> int:
+        """Number of ranks in *comm* (dcuda_comm_size)."""
+        self._comm_name(comm)
+        if comm == DCUDA_COMM_WORLD:
+            return self.runtime.total_ranks
+        return self.runtime.ranks_per_device
+
+    def comm_rank(self, comm: str = DCUDA_COMM_WORLD) -> int:
+        """This rank's id within *comm* (dcuda_comm_rank)."""
+        self._comm_name(comm)
+        if comm == DCUDA_COMM_WORLD:
+            return self.world_rank
+        return self.state.device_rank
+
+    def comm_participants(self, comm: str) -> Tuple[int, ...]:
+        """World ranks belonging to *comm*."""
+        self._comm_name(comm)
+        if comm == DCUDA_COMM_WORLD:
+            return tuple(range(self.runtime.total_ranks))
+        rpd = self.runtime.ranks_per_device
+        base = self.node.index * rpd
+        return tuple(range(base, base + rpd))
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (device-side clock)."""
+        return self.env.now
+
+    # ------------------------------------------------------------- windows --
+    def win_create(self, buffer: np.ndarray,
+                   comm: str = DCUDA_COMM_WORLD
+                   ) -> Generator[Event, Any, Window]:
+        """Collectively create a window over *buffer* (dcuda_win_create).
+
+        Every rank of *comm* must call with its own (possibly overlapping)
+        local memory range; sizes may differ per rank.
+        """
+        buffer = np.asarray(buffer)
+        if buffer.ndim != 1:
+            raise ValueError(f"window buffers must be 1-D views, got "
+                             f"{buffer.ndim}-D")
+        if self._finished:
+            raise DCudaError(f"rank {self.world_rank} already finished")
+        comm_name = self._comm_name(comm)
+        local_id = self.state.allocate_local_win()
+        yield from self._assemble()
+        yield from self.state.cmd_queue.enqueue(WinCreateCommand(
+            origin_rank=self.world_rank, local_win_id=local_id,
+            comm_name=comm_name, buffer=buffer,
+            participants=self.comm_participants(comm)))
+        ack = yield from self.state.ack_queue.dequeue()
+        if ack.kind != "win_create":  # pragma: no cover - protocol guard
+            raise DCudaError(f"expected win_create ack, got {ack.kind}")
+        return Window(local_id=local_id, global_id=ack.value,
+                      comm_name=comm_name, owner_rank=self.world_rank,
+                      buffer=buffer,
+                      participants=self.comm_participants(comm))
+
+    def win_free(self, win: Window) -> Generator[Event, Any, None]:
+        """Collectively free *win* (dcuda_win_free)."""
+        yield from self._assemble()
+        yield from self.state.cmd_queue.enqueue(WinFreeCommand(
+            origin_rank=self.world_rank, global_win_id=win.global_id))
+        ack = yield from self.state.ack_queue.dequeue()
+        if ack.kind != "win_free":  # pragma: no cover - protocol guard
+            raise DCudaError(f"expected win_free ack, got {ack.kind}")
+
+    # ------------------------------------------------------------------ RMA --
+    def put_notify(self, win: Window, target_rank: int, target_offset: int,
+                   src: np.ndarray, tag: int = 0,
+                   notify: bool = True) -> Generator[Event, Any, None]:
+        """Notified put: write *src* into the target's window region and,
+        once complete, enqueue a notification at the target
+        (dcuda_put_notify).  Returns immediately after command submission —
+        completion is tracked by ``flush`` and the target's notification.
+        """
+        src = np.asarray(src)
+        win.check_target(target_rank, target_offset, src.size)
+        flush_id = self._issue_flush_id(win)
+        if self._is_shared(target_rank):
+            yield from self._shared_put(win, target_rank, target_offset,
+                                        src, tag, flush_id, notify)
+        else:
+            yield from self._assemble()
+            # Snapshot at issue time: the block manager isends later, and
+            # the application may legitimately start its next compute phase
+            # (overwriting the source) as soon as its own waits complete.
+            yield from self.state.cmd_queue.enqueue(PutCommand(
+                origin_rank=self.world_rank, global_win_id=win.global_id,
+                target_rank=target_rank, target_offset=target_offset,
+                count=int(src.size), src=src.copy(), tag=tag,
+                flush_id=flush_id, notify=notify))
+
+    def put(self, win: Window, target_rank: int, target_offset: int,
+            src: np.ndarray, tag: int = 0) -> Generator[Event, Any, None]:
+        """Unnotified put (dcuda_put); complete it with ``flush``."""
+        yield from self.put_notify(win, target_rank, target_offset, src,
+                                   tag, notify=False)
+
+    def get_notify(self, win: Window, target_rank: int, target_offset: int,
+                   dst: np.ndarray, tag: int = 0,
+                   notify: bool = True) -> Generator[Event, Any, None]:
+        """Notified get: fetch the target's window region into *dst*
+        (dcuda_get_notify).  The notification is delivered to *this* rank's
+        queue with the target as its source, so the caller can wait for its
+        own gets.
+        """
+        dst = np.asarray(dst)
+        if not dst.flags.writeable:
+            raise ValueError("get destination must be writeable")
+        win.check_target(target_rank, target_offset, dst.size)
+        flush_id = self._issue_flush_id(win)
+        if self._is_shared(target_rank):
+            yield from self._shared_get(win, target_rank, target_offset,
+                                        dst, tag, flush_id, notify)
+        else:
+            yield from self._assemble()
+            yield from self.state.cmd_queue.enqueue(GetCommand(
+                origin_rank=self.world_rank, global_win_id=win.global_id,
+                target_rank=target_rank, target_offset=target_offset,
+                count=int(dst.size), dst=dst, tag=tag, flush_id=flush_id,
+                notify=notify))
+
+    def get(self, win: Window, target_rank: int, target_offset: int,
+            dst: np.ndarray, tag: int = 0) -> Generator[Event, Any, None]:
+        """Unnotified get (dcuda_get); complete it with ``flush``."""
+        yield from self.get_notify(win, target_rank, target_offset, dst,
+                                   tag, notify=False)
+
+    # -------------------------------------------------------- notifications --
+    def wait_notifications(self, win: Optional[Window] = None,
+                           source: int = DCUDA_ANY_SOURCE,
+                           tag: int = DCUDA_ANY_TAG,
+                           count: int = 1) -> Generator[Event, Any, None]:
+        """Block until *count* matching notifications arrived and were
+        consumed (dcuda_wait_notifications)."""
+        win_id = DCUDA_ANY_WINDOW if win is None else win.local_id
+        yield from self.matcher.wait(win_id, source, tag, count,
+                                     detail=f"tag={tag}")
+
+    def test_notifications(self, win: Optional[Window] = None,
+                           source: int = DCUDA_ANY_SOURCE,
+                           tag: int = DCUDA_ANY_TAG,
+                           count: int = 1) -> Generator[Event, Any, int]:
+        """Consume up to *count* matching notifications without blocking;
+        returns how many matched (dcuda_test_notifications)."""
+        win_id = DCUDA_ANY_WINDOW if win is None else win.local_id
+        matched = yield from self.matcher.test(win_id, source, tag, count)
+        return matched
+
+    # ------------------------------------------------------------- ordering --
+    def flush(self, win: Optional[Window] = None
+              ) -> Generator[Event, Any, None]:
+        """Wait until pending RMA operations completed at the origin —
+        all of this rank's operations, or only *win*'s when given."""
+        target = (self.state.next_flush_id - 1 if win is None
+                  else win._last_flush_id)
+        while self.state.flush_counter < target:
+            yield self.state.flush_signal.wait()
+
+    def barrier(self, comm: str = DCUDA_COMM_WORLD
+                ) -> Generator[Event, Any, None]:
+        """Barrier over all ranks of *comm* (looped through the host)."""
+        comm_name = self._comm_name(comm)
+        t0 = self.env.now
+        yield from self._assemble()
+        yield from self.state.cmd_queue.enqueue(BarrierCommand(
+            origin_rank=self.world_rank, comm_name=comm_name))
+        ack = yield from self.state.ack_queue.dequeue()
+        if ack.kind != "barrier":  # pragma: no cover - protocol guard
+            raise DCudaError(f"expected barrier ack, got {ack.kind}")
+        self.device.tracer.record(self.block.name, "wait", t0, self.env.now,
+                                  f"barrier:{comm_name}")
+
+    # -------------------------------------------------------------- compute --
+    def compute(self, flops: float = 0.0, mem_bytes: float = 0.0,
+                fn: Optional[Callable[[], Any]] = None,
+                detail: str = "") -> Generator[Event, Any, Any]:
+        """One compute phase: run *fn* (real numpy work) immediately and
+        charge the device cost model for it."""
+        result = fn() if fn is not None else None
+        yield from self.device.compute(self.block, flops=flops,
+                                       mem_bytes=mem_bytes, detail=detail)
+        return result
+
+    def log(self, message: str) -> Generator[Event, Any, None]:
+        """Print through the logging queue (host collects the records)."""
+        yield from self.state.log_queue.enqueue(LogCommand(
+            origin_rank=self.world_rank, message=str(message)))
+
+    def finish(self) -> Generator[Event, Any, None]:
+        """Collective teardown (dcuda_finish): global barrier + shutdown
+        of this rank's block manager."""
+        if self._finished:
+            raise DCudaError(f"rank {self.world_rank} already finished")
+        yield from self._assemble()
+        yield from self.state.cmd_queue.enqueue(FinishCommand(
+            origin_rank=self.world_rank))
+        ack = yield from self.state.ack_queue.dequeue()
+        if ack.kind != "finish":  # pragma: no cover - protocol guard
+            raise DCudaError(f"expected finish ack, got {ack.kind}")
+        self._finished = True
+
+    # ------------------------------------------------------------ internals --
+    def _assemble(self) -> Generator[Event, Any, None]:
+        """Charge the device-side command assembly on the issue unit."""
+        yield from self.device.issue_use(
+            self.block, self.cfg.devicelib.command_assembly, kind="comm",
+            detail="assemble")
+
+    def _issue_flush_id(self, win: Window) -> int:
+        fid = self.state.allocate_flush_id()
+        win._last_flush_id = fid
+        return fid
+
+    def _is_shared(self, target_rank: int) -> bool:
+        """Shared-memory rank = resident on the same device (§II-B)."""
+        return self.runtime.node_of_rank(target_rank) == self.node.index
+
+    def _shared_put(self, win: Window, target_rank: int, target_offset: int,
+                    src: np.ndarray, tag: int, flush_id: int, notify: bool):
+        """Shared-memory put: the device moves the data itself; only the
+        notification loops through the host (§III-B)."""
+        dst_buf = self.system.window_buffer(win.global_id, target_rank)
+        if target_offset + src.size > dst_buf.size:
+            raise IndexError(
+                f"put [{target_offset}:{target_offset + src.size}] out of "
+                f"bounds for window {win.global_id} of rank {target_rank}")
+        dst_view = dst_buf[target_offset:target_offset + src.size]
+        if not same_memory(src, dst_view):
+            if src.dtype != dst_buf.dtype:
+                raise TypeError(
+                    f"put dtype {src.dtype} does not match window "
+                    f"{win.global_id} dtype {dst_buf.dtype}")
+            # Data transfer by this block's threads; no-copy when source
+            # and target addresses are identical (overlapping windows).
+            yield from self.device.copy(self.block, float(src.nbytes),
+                                        detail="shared-put")
+            dst_view[:] = src
+        yield from self._assemble()
+        yield from self.state.cmd_queue.enqueue(NotifyCommand(
+            origin_rank=self.world_rank, global_win_id=win.global_id,
+            target_rank=target_rank, tag=tag, flush_id=flush_id,
+            notify=notify))
+
+    def _shared_get(self, win: Window, target_rank: int, target_offset: int,
+                    dst: np.ndarray, tag: int, flush_id: int, notify: bool):
+        """Shared-memory get: device-side copy, self-notification via host."""
+        src_buf = self.system.window_buffer(win.global_id, target_rank)
+        if target_offset + dst.size > src_buf.size:
+            raise IndexError(
+                f"get [{target_offset}:{target_offset + dst.size}] out of "
+                f"bounds for window {win.global_id} of rank {target_rank}")
+        src_view = src_buf[target_offset:target_offset + dst.size]
+        if not same_memory(dst, src_view):
+            yield from self.device.copy(self.block, float(dst.nbytes),
+                                        detail="shared-get")
+            dst[:] = src_view
+        yield from self._assemble()
+        yield from self.state.cmd_queue.enqueue(NotifyCommand(
+            origin_rank=target_rank, global_win_id=win.global_id,
+            target_rank=self.world_rank, tag=tag, flush_id=flush_id,
+            notify=notify))

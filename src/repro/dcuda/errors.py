@@ -1,0 +1,7 @@
+"""dCUDA error types."""
+
+__all__ = ["DCudaError"]
+
+
+class DCudaError(RuntimeError):
+    """Raised for dCUDA protocol/usage errors (bad acks, use after finish)."""

@@ -1,0 +1,19 @@
+"""Extensions the paper proposes in its discussion section (§V):
+
+* :mod:`nonblocking` — nonblocking collectives that run asynchronously and
+  notify the participating ranks after completion,
+* :mod:`multidim` — multi-dimensional storage: a put variant that copies a
+  rectangular region of a two-dimensional array,
+* :mod:`notify_all` — shared-memory awareness: transfer data once and
+  notify *all* ranks associated with the target memory,
+* :mod:`host_ranks` — host ranks that, like device ranks, communicate
+  using notified remote memory access.
+"""
+
+from .nonblocking import ibarrier, wait_collective
+from .multidim import get_2d, put_notify_2d
+from .notify_all import put_notify_all
+from .host_ranks import HostRank, notify_host
+
+__all__ = ["ibarrier", "wait_collective", "get_2d", "put_notify_2d",
+           "put_notify_all", "HostRank", "notify_host"]

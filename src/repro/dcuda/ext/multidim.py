@@ -1,0 +1,69 @@
+"""Multi-dimensional storage support (§V, "Multi-Dimensional Storage").
+
+The base API only supports one-dimensional storage, "similar to dynamically
+allocated memory in C programs".  These helpers add the put/get variants
+the paper suggests: they copy a *rectangular region* of a two-dimensional
+array — one transfer per row, with a single notification once the whole
+rectangle arrived (so the target waits for one event per rectangle, not one
+per row).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from ...sim import Event
+from ..device_api import DRank
+from ..window import Window
+
+__all__ = ["put_notify_2d", "get_2d"]
+
+
+def put_notify_2d(rank: DRank, win: Window, target_rank: int,
+                  target_offset: int, target_stride: int,
+                  src: np.ndarray, tag: int = 0,
+                  notify: bool = True) -> Generator[Event, Any, None]:
+    """Write the 2-D array *src* into the target window.
+
+    Row *r* of *src* lands at ``target_offset + r * target_stride``.  Only
+    the final row carries the notification, so the receiver can wait for
+    the rectangle with ``count=1``.
+    """
+    src = np.asarray(src)
+    if src.ndim != 2:
+        raise ValueError(f"put_notify_2d needs a 2-D source, got "
+                         f"{src.ndim}-D")
+    rows, cols = src.shape
+    if target_stride < cols:
+        raise ValueError(
+            f"target stride {target_stride} smaller than row width {cols}")
+    for r in range(rows):
+        last = r == rows - 1
+        yield from rank.put_notify(
+            win, target_rank, target_offset + r * target_stride,
+            np.ascontiguousarray(src[r]), tag=tag,
+            notify=notify and last)
+
+
+def get_2d(rank: DRank, win: Window, target_rank: int, target_offset: int,
+           target_stride: int, dst: np.ndarray,
+           tag: int = 0) -> Generator[Event, Any, None]:
+    """Read a rectangular region of the target window into the 2-D *dst*.
+
+    The notification of the final row signals rectangle completion at the
+    origin; earlier rows are plain (unnotified) gets.
+    """
+    dst = np.asarray(dst)
+    if dst.ndim != 2:
+        raise ValueError(f"get_2d needs a 2-D destination, got {dst.ndim}-D")
+    rows, cols = dst.shape
+    if target_stride < cols:
+        raise ValueError(
+            f"target stride {target_stride} smaller than row width {cols}")
+    for r in range(rows):
+        last = r == rows - 1
+        yield from rank.get_notify(
+            win, target_rank, target_offset + r * target_stride,
+            dst[r], tag=tag, notify=last)

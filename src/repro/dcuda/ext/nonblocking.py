@@ -1,0 +1,41 @@
+"""Nonblocking collectives (§V, "Collectives").
+
+``ibarrier`` starts a barrier that completes asynchronously in the
+background; participating ranks continue computing and later consume the
+completion *notification* — the paper's suggested design of collectives
+"that run asynchronously in the background and notify the participating
+ranks after completion".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ...runtime.commands import COLLECTIVE_WIN, NonblockingBarrierCommand
+from ...sim import Event
+from ..device_api import DCUDA_COMM_WORLD, DRank
+from ..notifications import DCUDA_ANY_SOURCE
+
+__all__ = ["ibarrier", "wait_collective"]
+
+
+def ibarrier(rank: DRank, comm: str = DCUDA_COMM_WORLD,
+             tag: int = 0) -> Generator[Event, Any, None]:
+    """Start a nonblocking barrier; returns after command submission.
+
+    Completion is signalled by a notification with the pseudo window id
+    ``COLLECTIVE_WIN`` and *tag*; consume it with :func:`wait_collective`
+    (or test for it like any other notification).
+    """
+    comm_name = rank._comm_name(comm)
+    yield from rank._assemble()
+    yield from rank.state.cmd_queue.enqueue(NonblockingBarrierCommand(
+        origin_rank=rank.world_rank, comm_name=comm_name, tag=tag))
+
+
+def wait_collective(rank: DRank, tag: int = 0,
+                    count: int = 1) -> Generator[Event, Any, None]:
+    """Block until *count* collective-completion notifications with *tag*
+    arrived (the completion side of :func:`ibarrier`)."""
+    yield from rank.matcher.wait(COLLECTIVE_WIN, DCUDA_ANY_SOURCE, tag,
+                                 count, detail=f"ibarrier:{tag}")

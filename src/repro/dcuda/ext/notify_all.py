@@ -1,0 +1,54 @@
+"""Shared-memory aware puts (§V, "Shared Memory").
+
+With hundreds of ranks per shared-memory domain, broadcasting data to every
+rank of a device wastes bandwidth: the data only needs to move **once**.
+``put_notify_all`` transfers once and then notifies *all* ranks associated
+with the target memory — the variant the paper proposes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence
+
+import numpy as np
+
+from ...sim import Event
+from ..device_api import DRank
+from ..errors import DCudaError
+from ..window import Window
+
+__all__ = ["put_notify_all"]
+
+
+def put_notify_all(rank: DRank, win: Window, target_ranks: Sequence[int],
+                   target_offset: int, src: np.ndarray,
+                   tag: int = 0) -> Generator[Event, Any, None]:
+    """Put *src* once and notify every rank in *target_ranks*.
+
+    All targets must live on the same device (they share the destination
+    memory); the data transfer happens exactly once — to the first target —
+    and the remaining targets receive pure notifications.
+    """
+    targets = list(target_ranks)
+    if not targets:
+        raise ValueError("put_notify_all needs at least one target")
+    nodes = {rank.runtime.node_of_rank(t) for t in targets}
+    if len(nodes) != 1:
+        raise DCudaError(
+            f"put_notify_all targets must share one device, got nodes "
+            f"{sorted(nodes)}")
+    if not rank._is_shared(targets[0]):
+        raise DCudaError(
+            "put_notify_all is a shared-memory optimization: the targets "
+            f"must be on the caller's device (rank {rank.world_rank} is on "
+            f"node {rank.node.index}, targets on node {nodes.pop()})")
+    # One data transfer, with the first target's notification.
+    yield from rank.put_notify(win, targets[0], target_offset, src, tag=tag)
+    # The data is already in the shared target memory: the remaining ranks
+    # get zero-copy notified puts (source view = destination view).
+    system = rank.runtime.system_of(targets[0])
+    dst_buf = system.window_buffer(win.global_id, targets[0])
+    dst_view = dst_buf[target_offset:target_offset + src.size]
+    for target in targets[1:]:
+        yield from rank.put_notify(win, target, target_offset, dst_view,
+                                   tag=tag)

@@ -1,0 +1,69 @@
+"""Kernel launching: the dCUDA program entry point.
+
+``launch`` packs the entire application in a single kernel invocation, as
+dCUDA programs do: it builds the runtime system, spawns one process per
+rank running the user kernel, and drives the simulation to completion.
+
+A *kernel* is a callable ``kernel(rank: DRank, **kernel_args)`` returning a
+generator.  Its return value is collected per rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..hw.cluster import Cluster
+from ..runtime.system import DCudaRuntime
+from ..sim import Tracer
+from .device_api import DRank
+
+__all__ = ["launch", "LaunchResult"]
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of a dCUDA kernel launch."""
+
+    #: Simulated wall-clock duration of the launch [s].
+    elapsed: float
+    #: Per-rank kernel return values, indexed by world rank.
+    results: List[Any]
+    #: The runtime system (for statistics inspection).
+    runtime: DCudaRuntime
+    #: Activity trace (enabled via ``MachineConfig.tracing``).
+    tracer: Tracer
+    #: ``rank.log`` records: (time, rank, message).
+    log_records: List[Tuple[float, int, str]] = field(default_factory=list)
+
+
+def launch(cluster: Cluster, kernel: Callable[..., Any],
+           ranks_per_device: int,
+           kernel_args: Optional[Dict[str, Any]] = None) -> LaunchResult:
+    """Run *kernel* on every rank of the cluster; returns timing + results.
+
+    The rank count per device is capped at the device's in-flight block
+    limit — dCUDA's over-subscription rule (§II-B).
+    """
+    runtime = DCudaRuntime(cluster, ranks_per_device)
+    runtime.start()
+    args = kernel_args or {}
+    t0 = cluster.env.now
+    procs = []
+    for world_rank in range(runtime.total_ranks):
+        drank = DRank(runtime, world_rank)
+        procs.append(cluster.env.process(kernel(drank, **args),
+                                         name=f"kernel:r{world_rank}"))
+    cluster.run()
+    for p in procs:
+        if not p.triggered:
+            raise RuntimeError(
+                f"deadlock: rank process {p.name} never completed")
+    problems = runtime.check_quiescent()
+    if problems:
+        raise RuntimeError("runtime not quiescent after launch: "
+                           + "; ".join(problems))
+    return LaunchResult(elapsed=cluster.env.now - t0,
+                        results=[p.value for p in procs],
+                        runtime=runtime, tracer=cluster.tracer,
+                        log_records=runtime.log_records)

@@ -1,0 +1,23 @@
+"""Hardware models: GPU, memory, PCIe, node, cluster, and configuration."""
+
+from .config import (
+    DeviceLibConfig,
+    FabricConfig,
+    GPUConfig,
+    HostConfig,
+    MachineConfig,
+    MPICUDAConfig,
+    PCIeConfig,
+    greina,
+)
+from .memory import DeviceMemory
+from .gpu import SM, Block, Device
+from .pcie import PCIeLink
+from .node import Node
+from .cluster import Cluster
+
+__all__ = [
+    "DeviceLibConfig", "FabricConfig", "GPUConfig", "HostConfig",
+    "MachineConfig", "MPICUDAConfig", "PCIeConfig", "greina",
+    "DeviceMemory", "SM", "Block", "Device", "PCIeLink", "Node", "Cluster",
+]

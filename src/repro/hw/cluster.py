@@ -1,0 +1,48 @@
+"""The simulated GPU cluster: nodes + interconnect + shared clock."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim import Environment, Tracer
+from ..net.fabric import Fabric
+from .config import MachineConfig, greina
+from .node import Node
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A cluster of identical single-GPU nodes.
+
+    Owns the simulation :class:`Environment`, the per-node hardware, the
+    interconnect :class:`Fabric`, and the activity :class:`Tracer`.  All
+    higher layers (MPI substrate, dCUDA runtime, applications) are built
+    against a ``Cluster`` instance.
+    """
+
+    def __init__(self, cfg: Optional[MachineConfig] = None,
+                 env: Optional[Environment] = None):
+        self.cfg = cfg or greina()
+        self.env = env or Environment()
+        self.tracer = Tracer(enabled=self.cfg.tracing)
+        self.nodes: List[Node] = [
+            Node(self.env, self.cfg, i, tracer=self.tracer)
+            for i in range(self.cfg.num_nodes)
+        ]
+        self.fabric = Fabric(self.env, self.cfg.fabric, self.cfg.num_nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.cfg.num_nodes
+
+    def node(self, index: int) -> Node:
+        return self.nodes[index]
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation; returns the final simulated time."""
+        self.env.run(until=until)
+        return self.env.now
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<Cluster {self.num_nodes} nodes @ t={self.env.now:.6e}s>"

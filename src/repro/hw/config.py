@@ -1,0 +1,208 @@
+"""Machine configuration and cost-model calibration.
+
+All hardware parameters live here as frozen dataclasses so experiments can
+sweep them (the ablation benchmarks do).  The default values form the
+``greina()`` preset, calibrated against the numbers the paper reports for the
+Greina cluster at CSCS (§IV-A/B):
+
+* network: 4× EDR InfiniBand, 6 GB/s host-staged bandwidth, small-message
+  one-way latency ≈ 0.9 µs,
+* GPUDirect device-to-device RDMA bandwidth ≈ 2.06 GB/s (Kepler-era PCIe
+  reads from device memory are the bottleneck — this is why the paper's
+  OpenMPI host-stages messages above 30 kB "to achieve better bandwidth"),
+* Tesla K80 (one GK210 used): 13 SMs, up to 16 blocks in flight per SM
+  (208 blocks total with the paper's launch configuration), ~200 GB/s-class
+  device memory,
+* single-block copy bandwidth ≈ 4.46 GB/s ("a single block cannot saturate
+  the memory interface", Fig. 6),
+* notified-put end-to-end latency targets: 7.8 µs shared-memory ranks,
+  9.4 µs distributed-memory ranks (§IV-B).
+
+Times are seconds, sizes are bytes, compute is FLOPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "GPUConfig",
+    "PCIeConfig",
+    "FabricConfig",
+    "HostConfig",
+    "DeviceLibConfig",
+    "MPICUDAConfig",
+    "MachineConfig",
+    "greina",
+]
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Compute-device model parameters (one GK210 of a Tesla K80)."""
+
+    #: Number of streaming multiprocessors.
+    num_sms: int = 13
+    #: Maximum blocks in flight per SM.  The paper limits over-subscription
+    #: to what the device keeps in flight at once (208 blocks / 13 SMs = 16).
+    max_blocks_per_sm: int = 16
+    #: Aggregate double-precision throughput of the device [FLOP/s].
+    flops: float = 1.2e12
+    #: Aggregate device-memory bandwidth [B/s].
+    mem_bandwidth: float = 200e9
+    #: Device-memory access latency charged once per compute phase [s].
+    mem_latency: float = 0.8e-6
+    #: Memory streaming rate achievable by a single block [B/s].  A put's
+    #: copy moves 2x its payload (read + write), so this calibrates the
+    #: shared-memory put-bandwidth ceiling of Fig. 6 to ~4.46 GB/s.
+    block_mem_bandwidth: float = 8.92e9
+    #: Load/store issue throughput of one SM [B/s]: a memory-bound phase
+    #: occupies its SM's issue unit for ``bytes / sm_lsu_bandwidth``.  The
+    #: default (2x the per-SM share of device bandwidth) never throttles the
+    #: aggregate but staggers co-resident blocks -- the instruction-issue
+    #: interleaving that lets one block's wait hide under another's loads.
+    sm_lsu_bandwidth: float = 31.0e9
+    #: Kernel-launch latency for the fork-join (MPI-CUDA) model [s].
+    launch_latency: float = 8.0e-6
+
+    @property
+    def flops_per_sm(self) -> float:
+        return self.flops / self.num_sms
+
+    @property
+    def max_blocks(self) -> int:
+        """Device-wide resident-block limit (the dCUDA rank count cap)."""
+        return self.num_sms * self.max_blocks_per_sm
+
+
+@dataclass(frozen=True)
+class PCIeConfig:
+    """Host↔device link model.
+
+    Queue operations use *mapped memory* (gdrcopy): a single PCIe
+    transaction per enqueue, per the paper's queue design (§III-C).  Bulk
+    copies use the DMA engine, which has a large setup latency but streams
+    at link bandwidth.
+    """
+
+    #: Engine occupancy of one mapped-memory (posted) PCIe write [s] —
+    #: posted writes pipeline, so the issuer only pays this much and the
+    #: link sustains ~1/occupancy transactions per second.
+    mapped_post_occupancy: float = 0.1e-6
+    #: Additional delay until a posted write becomes visible in receiver
+    #: memory [s].
+    mapped_write_latency: float = 1.1e-6
+    #: Cost of one mapped-memory PCIe *read* transaction — a full round
+    #: trip, blocking (e.g. the sender reloading the queue tail pointer
+    #: for flow control) [s].
+    mapped_read: float = 1.1e-6
+    #: DMA engine setup latency [s].
+    dma_startup: float = 9.0e-6
+    #: Link streaming bandwidth [B/s] (PCIe 3.0 x16 effective).
+    bandwidth: float = 10.0e9
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Inter-node interconnect (4× EDR InfiniBand) model."""
+
+    #: One-way wire/switch latency for any message [s].
+    latency: float = 1.15e-6
+    #: Sender-side injection overhead per message [s] (LogGP *o*).
+    injection_overhead: float = 0.06e-6
+    #: Bandwidth for host-staged transfers [B/s].
+    bandwidth: float = 6.0e9
+    #: Bandwidth for direct device-to-device (GPUDirect RDMA) transfers
+    #: [B/s].  Deliberately much lower than `bandwidth` — Kepler-era PCIe
+    #: reads from device memory bottleneck GPUDirect, which is exactly why
+    #: OpenMPI host-stages large messages (paper §IV-C, stencil discussion).
+    d2d_bandwidth: float = 2.06e9
+    #: Message size above which the MPI library stages device buffers
+    #: through host memory (OpenMPI default, paper: 30 kB).
+    staging_threshold: int = 30 * 1024
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """Host-side runtime processing costs (single worker thread)."""
+
+    #: Worker-thread *occupancy* to process one device command [s].  The
+    #: worker loop is pipelined, so this bounds command throughput
+    #: (~1/command_cost per second) rather than adding full latency.
+    command_cost: float = 0.12e-6
+    #: Expected delay until the polling worker thread notices a new
+    #: command-queue entry [s] (pure latency, no occupancy).
+    poll_latency: float = 3.4e-6
+    #: Event-handler occupancy to dispatch one incoming meta message [s].
+    dispatch_cost: float = 0.12e-6
+    #: Block-manager occupancy to post/complete one MPI request [s].
+    request_cost: float = 0.18e-6
+    #: Host-side two-sided MPI per-message software overhead [s]
+    #: (matching, protocol) — used by the MPI substrate itself.
+    mpi_overhead: float = 0.7e-6
+
+
+@dataclass(frozen=True)
+class DeviceLibConfig:
+    """Device-side dCUDA library costs (§III-C)."""
+
+    #: Cost for a rank to assemble + enqueue a put/get command [s]
+    #: (meta-information tuple assembly, excluding the PCIe transaction).
+    command_assembly: float = 0.55e-6
+    #: Base cost of one notification-matching pass [s] — the eight-thread
+    #: coalesced read + shuffle reduction described in §III-C.  Charged on
+    #: the SM issue unit, which is why matching eats into compute overlap
+    #: (the paper's explanation for the imperfect overlap in Fig. 7).
+    match_base: float = 0.3e-6
+    #: Additional matching cost per queue entry scanned [s].
+    match_per_entry: float = 0.05e-6
+    #: Device-side polling granularity while waiting on notifications [s];
+    #: waits complete on the next poll boundary after arrival.
+    poll_interval: float = 0.3e-6
+    #: Entries per device↔host queue (command/ack/notification).
+    queue_size: int = 64
+    #: Entry payload size [B]; one queue entry = one PCIe vector write.
+    queue_entry_bytes: int = 16
+
+
+@dataclass(frozen=True)
+class MPICUDAConfig:
+    """Baseline programming-model parameters."""
+
+    #: Host-side cost to initiate a cudaMemcpy [s].
+    memcpy_call: float = 1.5e-6
+    #: Host-side synchronization cost per kernel launch (stream/device
+    #: synchronize at the fork-join boundary) [s].
+    sync_latency: float = 6.0e-6
+    #: Host-side per-iteration loop overhead [s].
+    loop_overhead: float = 1.0e-6
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A full cluster description: N identical nodes, one GPU each."""
+
+    num_nodes: int = 1
+    gpu: GPUConfig = field(default_factory=GPUConfig)
+    pcie: PCIeConfig = field(default_factory=PCIeConfig)
+    fabric: FabricConfig = field(default_factory=FabricConfig)
+    host: HostConfig = field(default_factory=HostConfig)
+    devicelib: DeviceLibConfig = field(default_factory=DeviceLibConfig)
+    mpicuda: MPICUDAConfig = field(default_factory=MPICUDAConfig)
+    #: Record per-block activity intervals (compute/comm/wait).
+    tracing: bool = False
+
+    def with_nodes(self, num_nodes: int) -> "MachineConfig":
+        """Copy of this config with a different node count."""
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        return replace(self, num_nodes=num_nodes)
+
+
+def greina(num_nodes: int = 1, **overrides) -> MachineConfig:
+    """The calibrated test-system preset (Greina @ CSCS, §IV-A).
+
+    Keyword overrides replace top-level :class:`MachineConfig` fields,
+    e.g. ``greina(8, tracing=True)``.
+    """
+    return replace(MachineConfig(num_nodes=num_nodes), **overrides)

@@ -1,0 +1,68 @@
+"""Device-memory model.
+
+Device memory is a max-min fair shared medium: all concurrent accesses share
+the aggregate bandwidth.  A single block additionally cannot exceed its
+per-block streaming rate (``GPUConfig.block_mem_bandwidth``) — this floor is
+what caps the shared-memory put bandwidth in Fig. 6, because a shared-memory
+``put`` is executed by one block's threads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..sim import AllOf, Environment, Event, FairShareLink
+from .config import GPUConfig
+
+__all__ = ["DeviceMemory"]
+
+
+class DeviceMemory:
+    """Aggregate device-memory bandwidth shared by all SMs."""
+
+    def __init__(self, env: Environment, cfg: GPUConfig,
+                 name: str = "devmem"):
+        self.env = env
+        self.cfg = cfg
+        self.name = name
+        self.link = FairShareLink(env, cfg.mem_bandwidth, name=name)
+
+    @property
+    def bytes_transferred(self) -> float:
+        return self.link.bytes_transferred
+
+    def access_event(self, nbytes: float, block_limited: bool = True,
+                     latency: bool = True) -> Event:
+        """Event that fires when *nbytes* of traffic completes.
+
+        The duration is the *maximum* of the fair-share completion time and
+        the per-block streaming floor, plus one access latency.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative access size {nbytes!r}")
+        parts = []
+        if nbytes > 0:
+            parts.append(self.link.transfer(nbytes))
+        floor = 0.0
+        if latency:
+            floor += self.cfg.mem_latency
+        if block_limited and nbytes > 0:
+            floor += nbytes / self.cfg.block_mem_bandwidth
+        if floor > 0:
+            parts.append(self.env.timeout(floor))
+        if not parts:
+            ev = self.env.event()
+            ev.succeed()
+            return ev
+        if len(parts) == 1:
+            return parts[0]
+        return AllOf(self.env, parts)
+
+    def access(self, nbytes: float, block_limited: bool = True,
+               latency: bool = True) -> Generator[Event, Any, None]:
+        """Blocking form of :meth:`access_event`."""
+        yield self.access_event(nbytes, block_limited, latency)
+
+    def copy(self, nbytes: float) -> Generator[Event, Any, None]:
+        """A device-side memory-to-memory copy: read + write traffic."""
+        yield self.access_event(2.0 * nbytes)

@@ -1,0 +1,43 @@
+"""A cluster node: host CPU + GPU + PCIe link."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..sim import Environment, Event, Resource, Tracer
+from .config import MachineConfig
+from .gpu import Device
+from .pcie import PCIeLink
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One Greina node: a Haswell host, one GPU, and the PCIe link.
+
+    The host *runtime worker* is a single FCFS resource — the paper's
+    runtime system "guarantees progress using a single worker thread"
+    (§III-A), so all block-manager and event-handler actions on a node
+    serialize on it.
+    """
+
+    def __init__(self, env: Environment, cfg: MachineConfig, index: int,
+                 tracer: Optional[Tracer] = None):
+        self.env = env
+        self.cfg = cfg
+        self.index = index
+        self.name = f"node{index}"
+        self.tracer = tracer or Tracer(enabled=False)
+        self.device = Device(env, cfg.gpu, name=f"{self.name}.gpu",
+                             tracer=self.tracer)
+        self.pcie = PCIeLink(env, cfg.pcie, name=f"{self.name}.pcie")
+        self.worker = Resource(env, capacity=1, name=f"{self.name}.worker")
+
+    def host_work(self, duration: float) -> Generator[Event, Any, None]:
+        """Charge *duration* of host runtime-worker time (FCFS)."""
+        if duration < 0:
+            raise ValueError(f"negative duration {duration!r}")
+        yield from self.worker.use(duration)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<Node {self.name}>"

@@ -1,0 +1,238 @@
+"""Collective operations over the two-sided substrate.
+
+Tree algorithms matching what a production MPI uses at small scale:
+
+* ``barrier``   — dissemination algorithm, ``ceil(log2 P)`` rounds,
+* ``bcast``     — binomial tree,
+* ``reduce``    — binomial gather-up tree (commutative ``op``),
+* ``allreduce`` — reduce to the group root + bcast,
+* ``allgather`` — ring, ``P - 1`` steps.
+
+All are generator functions: every participating rank's process must call
+the same collectives in the same order (the usual MPI contract).  *group*
+restricts participation to a subset of world ranks (default: all).
+
+The collective tag space starts at ``COLL_TAG_BASE``; application code must
+stay below it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Sequence
+
+from ..sim import Event
+from .comm import MPIWorld
+
+__all__ = ["barrier", "bcast", "reduce", "allreduce", "allgather",
+           "scatter", "gather", "sendrecv", "COLL_TAG_BASE"]
+
+COLL_TAG_BASE = 1 << 24
+_TOKEN_BYTES = 8.0
+
+
+def _group_of(world: MPIWorld,
+              group: Optional[Sequence[int]]) -> List[int]:
+    if group is None:
+        return list(range(world.size))
+    out = list(group)
+    if len(set(out)) != len(out):
+        raise ValueError(f"group has duplicate ranks: {out}")
+    for r in out:
+        world.check_rank(r)
+    return out
+
+
+def _index_in(group: List[int], rank: int) -> int:
+    try:
+        return group.index(rank)
+    except ValueError:
+        raise ValueError(f"rank {rank} is not in group {group}") from None
+
+
+def barrier(world: MPIWorld, rank: int,
+            group: Optional[Sequence[int]] = None
+            ) -> Generator[Event, Any, None]:
+    """Dissemination barrier."""
+    g = _group_of(world, group)
+    p = len(g)
+    idx = _index_in(g, rank)
+    if p == 1:
+        return
+    epoch = world.next_collective_epoch(rank)
+    base = COLL_TAG_BASE + (epoch % 4096) * 64
+    k = 0
+    dist = 1
+    while dist < p:
+        dst = g[(idx + dist) % p]
+        src = g[(idx - dist) % p]
+        world.isend(rank, dst, None, tag=base + k, nbytes=_TOKEN_BYTES)
+        yield from world.recv(rank, source=src, tag=base + k)
+        dist <<= 1
+        k += 1
+
+
+def bcast(world: MPIWorld, rank: int, value: Any, root: int = 0,
+          group: Optional[Sequence[int]] = None,
+          nbytes: Optional[float] = None,
+          device: bool = False) -> Generator[Event, Any, Any]:
+    """Binomial-tree broadcast; every rank returns the root's value."""
+    g = _group_of(world, group)
+    p = len(g)
+    idx = _index_in(g, rank)
+    root_idx = _index_in(g, root)
+    epoch = world.next_collective_epoch(rank)
+    tag = COLL_TAG_BASE + (epoch % 4096) * 64 + 32
+    if p == 1:
+        return value
+    vrank = (idx - root_idx) % p
+
+    # Receive from the parent (non-root ranks).
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            src = g[(vrank - mask + root_idx) % p]
+            env_msg = yield from world.recv(rank, source=src, tag=tag)
+            value = env_msg.payload
+            break
+        mask <<= 1
+
+    # Forward to children in decreasing-distance order.
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < p:
+            dst = g[(vrank + mask + root_idx) % p]
+            world.isend(rank, dst, value, tag=tag, nbytes=nbytes,
+                        device=device)
+        mask >>= 1
+    return value
+
+
+def reduce(world: MPIWorld, rank: int, value: Any,
+           op: Callable[[Any, Any], Any], root: int = 0,
+           group: Optional[Sequence[int]] = None,
+           nbytes: Optional[float] = None,
+           device: bool = False) -> Generator[Event, Any, Any]:
+    """Binomial-tree reduction with a commutative *op*.
+
+    Returns the reduced value at *root* and ``None`` elsewhere.
+    """
+    g = _group_of(world, group)
+    p = len(g)
+    idx = _index_in(g, rank)
+    root_idx = _index_in(g, root)
+    epoch = world.next_collective_epoch(rank)
+    tag = COLL_TAG_BASE + (epoch % 4096) * 64 + 40
+    if p == 1:
+        return value
+    vrank = (idx - root_idx) % p
+
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            dst = g[(vrank - mask + root_idx) % p]
+            yield from world.send(rank, dst, value, tag=tag, nbytes=nbytes,
+                                  device=device)
+            return None
+        if vrank + mask < p:
+            src = g[(vrank + mask + root_idx) % p]
+            env_msg = yield from world.recv(rank, source=src, tag=tag)
+            value = op(value, env_msg.payload)
+        mask <<= 1
+    return value
+
+
+def allreduce(world: MPIWorld, rank: int, value: Any,
+              op: Callable[[Any, Any], Any],
+              group: Optional[Sequence[int]] = None,
+              nbytes: Optional[float] = None,
+              device: bool = False) -> Generator[Event, Any, Any]:
+    """Reduce-to-root followed by broadcast; every rank gets the result."""
+    g = _group_of(world, group)
+    reduced = yield from reduce(world, rank, value, op, root=g[0],
+                                group=g, nbytes=nbytes, device=device)
+    result = yield from bcast(world, rank, reduced, root=g[0], group=g,
+                              nbytes=nbytes, device=device)
+    return result
+
+
+def scatter(world: MPIWorld, rank: int, values: Optional[Sequence[Any]],
+            root: int = 0, group: Optional[Sequence[int]] = None,
+            nbytes: Optional[float] = None
+            ) -> Generator[Event, Any, Any]:
+    """Root distributes ``values[i]`` to group member *i* (linear sends —
+    the usual implementation at small scale).  Non-roots pass ``None``."""
+    g = _group_of(world, group)
+    idx = _index_in(g, rank)
+    root_idx = _index_in(g, root)
+    epoch = world.next_collective_epoch(rank)
+    tag = COLL_TAG_BASE + (epoch % 4096) * 64 + 56
+    if rank == root:
+        if values is None or len(values) != len(g):
+            raise ValueError(
+                f"scatter root needs exactly {len(g)} values, got "
+                f"{None if values is None else len(values)}")
+        for i, r in enumerate(g):
+            if r != root:
+                world.isend(rank, r, values[i], tag=tag, nbytes=nbytes)
+        return values[root_idx]
+    env_msg = yield from world.recv(rank, source=root, tag=tag)
+    return env_msg.payload
+
+
+def gather(world: MPIWorld, rank: int, value: Any, root: int = 0,
+           group: Optional[Sequence[int]] = None,
+           nbytes: Optional[float] = None
+           ) -> Generator[Event, Any, Optional[List[Any]]]:
+    """Root collects one contribution per group member, in group order;
+    returns the list at *root* and ``None`` elsewhere."""
+    g = _group_of(world, group)
+    idx = _index_in(g, rank)
+    epoch = world.next_collective_epoch(rank)
+    tag = COLL_TAG_BASE + (epoch % 4096) * 64 + 57
+    if rank != root:
+        yield from world.send(rank, root, value, tag=tag, nbytes=nbytes)
+        return None
+    slots: List[Any] = [None] * len(g)
+    slots[idx] = value
+    for i, r in enumerate(g):
+        if r != root:
+            env_msg = yield from world.recv(rank, source=r, tag=tag)
+            slots[i] = env_msg.payload
+    return slots
+
+
+def sendrecv(world: MPIWorld, rank: int, dest: int, send_payload: Any,
+             source: int, sendtag: int = 0, recvtag: int = 0,
+             nbytes: Optional[float] = None,
+             device: bool = False) -> Generator[Event, Any, Any]:
+    """Combined send+receive (MPI_Sendrecv) — deadlock-free pairwise
+    exchange; returns the received envelope."""
+    world.isend(rank, dest, send_payload, tag=sendtag, nbytes=nbytes,
+                device=device)
+    env_msg = yield from world.recv(rank, source=source, tag=recvtag)
+    return env_msg
+
+
+def allgather(world: MPIWorld, rank: int, value: Any,
+              group: Optional[Sequence[int]] = None,
+              nbytes: Optional[float] = None
+              ) -> Generator[Event, Any, List[Any]]:
+    """Ring allgather; returns the list of contributions in group order."""
+    g = _group_of(world, group)
+    p = len(g)
+    idx = _index_in(g, rank)
+    epoch = world.next_collective_epoch(rank)
+    tag = COLL_TAG_BASE + (epoch % 4096) * 64 + 48
+    slots: List[Any] = [None] * p
+    slots[idx] = value
+    if p == 1:
+        return slots
+    right = g[(idx + 1) % p]
+    left = g[(idx - 1) % p]
+    send_slot = idx
+    for _ in range(p - 1):
+        world.isend(rank, right, slots[send_slot], tag=tag, nbytes=nbytes)
+        env_msg = yield from world.recv(rank, source=left, tag=tag)
+        send_slot = (send_slot - 1) % p
+        slots[send_slot] = env_msg.payload
+    return slots

@@ -1,0 +1,56 @@
+"""Message envelope and payload-size accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = ["Envelope", "payload_nbytes", "copy_payload"]
+
+
+def payload_nbytes(payload: Any, nbytes: Optional[float] = None) -> float:
+    """Wire size of *payload* in bytes.
+
+    numpy arrays report their buffer size; other objects require an
+    explicit *nbytes* (there is no pickle in the simulated world — control
+    messages pass a small fixed size instead).
+    """
+    if nbytes is not None:
+        if nbytes < 0:
+            raise ValueError(f"negative nbytes {nbytes!r}")
+        return float(nbytes)
+    if isinstance(payload, np.ndarray):
+        return float(payload.nbytes)
+    if payload is None:
+        return 0.0
+    raise TypeError(
+        f"cannot infer wire size of {type(payload).__name__}; pass nbytes=")
+
+
+def copy_payload(payload: Any) -> Any:
+    """Snapshot the payload at send time (MPI copy-out semantics)."""
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    return payload
+
+
+@dataclass
+class Envelope:
+    """One in-flight or buffered message."""
+
+    src: int
+    dst: int
+    tag: int
+    payload: Any
+    nbytes: float
+    #: Per-(src, dst) sequence number enforcing MPI non-overtaking order.
+    seq: int = 0
+    #: True when the payload lives in device memory (CUDA-aware path).
+    device: bool = False
+
+    def matches(self, source: int, tag: int, any_source: int,
+                any_tag: int) -> bool:
+        return ((source == any_source or source == self.src)
+                and (tag == any_tag or tag == self.tag))

@@ -1,0 +1,49 @@
+"""Nonblocking-operation handles (MPI_Request equivalents)."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Sequence
+
+from ..sim import AllOf, Environment, Event
+
+__all__ = ["Request", "wait_all_requests"]
+
+
+class Request:
+    """Handle for a nonblocking communication operation.
+
+    Wraps a completion :class:`Event`.  ``yield from req.wait()`` blocks the
+    calling process until completion and returns the operation's value (the
+    received message for receives, ``None`` for sends).
+    """
+
+    __slots__ = ("env", "_event", "kind")
+
+    def __init__(self, env: Environment, event: Event, kind: str = "op"):
+        self.env = env
+        self._event = event
+        self.kind = kind
+
+    @property
+    def event(self) -> Event:
+        return self._event
+
+    def test(self) -> bool:
+        """True once the operation completed (MPI_Test, no blocking)."""
+        return self._event.triggered
+
+    def wait(self) -> Generator[Event, Any, Any]:
+        """Block until completion; returns the operation value."""
+        value = yield self._event
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        state = "done" if self.test() else "pending"
+        return f"<Request {self.kind} {state}>"
+
+
+def wait_all_requests(env: Environment, requests: Sequence[Request]
+                      ) -> Generator[Event, Any, List[Any]]:
+    """MPI_Waitall: block until every request completes; returns values."""
+    values = yield AllOf(env, [r.event for r in requests])
+    return values

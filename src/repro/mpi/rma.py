@@ -1,0 +1,112 @@
+"""Host-side one-sided communication (MPI-3 RMA subset).
+
+The dCUDA device API follows the MPI RMA specification; this module provides
+the host-level equivalent so the substrate covers the full surface the paper
+references: window creation over per-rank buffers, ``put``/``get`` with a
+passive target, and ``flush`` for origin-side completion.
+
+A put transfers the data through the fabric and lands directly in the target
+rank's window buffer — no receiver involvement, which is the defining RMA
+property.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List
+
+import numpy as np
+
+from ..sim import AllOf, Event
+from .comm import MPIWorld
+from .request import Request
+
+__all__ = ["HostWindow"]
+
+
+class HostWindow:
+    """A one-sided access window over one numpy buffer per rank.
+
+    Construction is collective in spirit: the caller supplies all ranks'
+    buffers at once (the simulated world has a global view, so no exchange
+    is needed — the *timing* of window creation is charged by the layers
+    that use it).
+    """
+
+    def __init__(self, world: MPIWorld, buffers: Dict[int, np.ndarray],
+                 name: str = "win"):
+        for rank, buf in buffers.items():
+            world.check_rank(rank)
+            if buf.ndim != 1:
+                raise ValueError(
+                    f"window buffers must be 1-D, rank {rank} has "
+                    f"{buf.ndim}-D")
+        self.world = world
+        self.name = name
+        self._buffers = dict(buffers)
+        self._pending: Dict[int, List[Event]] = {}
+
+    def buffer(self, rank: int) -> np.ndarray:
+        return self._buffers[rank]
+
+    def _check_range(self, rank: int, offset: int, count: int) -> None:
+        if rank not in self._buffers:
+            raise KeyError(f"rank {rank} did not attach to window "
+                           f"{self.name!r}")
+        buf = self._buffers[rank]
+        if offset < 0 or count < 0 or offset + count > buf.size:
+            raise IndexError(
+                f"window access [{offset}:{offset + count}] out of bounds "
+                f"for rank {rank} buffer of {buf.size} elements")
+
+    # -- one-sided ops ------------------------------------------------------
+    def put(self, origin: int, target: int, data: np.ndarray,
+            target_offset: int, device: bool = False) -> Request:
+        """Write *data* into the target window; origin-nonblocking."""
+        data = np.asarray(data)
+        self._check_range(target, target_offset, data.size)
+        snapshot = data.copy()
+        done = self.world.env.event(name=f"rma-put:{self.name}")
+
+        def _proc():
+            arrival = self.world.cluster.fabric.transmit(
+                self.world.node_of(origin), self.world.node_of(target),
+                float(snapshot.nbytes),
+                mode="d2d" if device else "host")
+            yield arrival
+            buf = self._buffers[target]
+            buf[target_offset:target_offset + snapshot.size] = snapshot
+            done.succeed()
+
+        self.world.env.process(_proc(), name=f"rma-put:{origin}->{target}")
+        self._pending.setdefault(origin, []).append(done)
+        return Request(self.world.env, done, kind="rma-put")
+
+    def get(self, origin: int, target: int, count: int,
+            target_offset: int, device: bool = False) -> Request:
+        """Read from the target window; the request's value is the data."""
+        self._check_range(target, target_offset, count)
+        done = self.world.env.event(name=f"rma-get:{self.name}")
+
+        def _proc():
+            # Request travels to the target, data travels back.
+            there = self.world.cluster.fabric.transmit(
+                self.world.node_of(origin), self.world.node_of(target), 8.0)
+            yield there
+            buf = self._buffers[target]
+            snapshot = buf[target_offset:target_offset + count].copy()
+            back = self.world.cluster.fabric.transmit(
+                self.world.node_of(target), self.world.node_of(origin),
+                float(snapshot.nbytes),
+                mode="d2d" if device else "host")
+            yield back
+            done.succeed(snapshot)
+
+        self.world.env.process(_proc(), name=f"rma-get:{origin}<-{target}")
+        self._pending.setdefault(origin, []).append(done)
+        return Request(self.world.env, done, kind="rma-get")
+
+    def flush(self, origin: int) -> Generator[Event, Any, None]:
+        """Block until all of *origin*'s outstanding operations completed."""
+        pending = self._pending.pop(origin, [])
+        if pending:
+            yield AllOf(self.world.env, pending)

@@ -1,0 +1,5 @@
+"""MPI-CUDA baseline programming model (host main loop + fork-join kernels)."""
+
+from .runtime import MPICudaContext, MPICudaResult, run_mpicuda
+
+__all__ = ["MPICudaContext", "MPICudaResult", "run_mpicuda"]

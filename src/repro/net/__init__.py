@@ -1,0 +1,5 @@
+"""Inter-node interconnect models."""
+
+from .fabric import TRANSFER_MODES, Fabric
+
+__all__ = ["Fabric", "TRANSFER_MODES"]

@@ -1,0 +1,130 @@
+"""Inter-node interconnect model (4x EDR InfiniBand on Greina).
+
+A LogGP-flavoured cost model: each message pays a sender-side injection
+overhead *o*, occupies the sender's NIC for its serialization time
+``nbytes / bandwidth``, then arrives after the one-way latency *L*.
+Concurrent messages from the same node serialize at the NIC, which yields
+bandwidth sharing; messages from different nodes are independent (full
+bisection, as on a small fat-tree).
+
+Two bandwidth classes model the CUDA-aware transfer paths the paper
+discusses:
+
+* ``mode="host"`` — host-staged transfer at the full link bandwidth
+  (OpenMPI's choice above 30 kB "to achieve better bandwidth"),
+* ``mode="d2d"``  — direct GPUDirect device-to-device RDMA at the
+  (much lower) PCIe-read-limited bandwidth.
+
+Intra-node transmissions (src == dst) take a cheap loopback path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from ..sim import Environment, Event, Semaphore
+from ..hw.config import FabricConfig
+
+__all__ = ["Fabric", "TRANSFER_MODES"]
+
+TRANSFER_MODES = ("host", "d2d")
+
+_LOOPBACK_LATENCY = 0.3e-6
+_LOOPBACK_BANDWIDTH = 12.0e9
+
+
+class _Nic:
+    """Per-node injection port; serializes outgoing messages."""
+
+    def __init__(self, env: Environment, index: int):
+        self.lock = Semaphore(env, 1, name=f"nic{index}")
+        self.bytes_injected = 0.0
+        self.messages = 0
+
+
+class Fabric:
+    """The cluster interconnect."""
+
+    def __init__(self, env: Environment, cfg: FabricConfig, num_nodes: int):
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.env = env
+        self.cfg = cfg
+        self.num_nodes = num_nodes
+        self._nics: List[_Nic] = [_Nic(env, i) for i in range(num_nodes)]
+
+    # -- cost helpers ------------------------------------------------------
+    def bandwidth_for(self, mode: str) -> float:
+        if mode == "host":
+            return self.cfg.bandwidth
+        if mode == "d2d":
+            return self.cfg.d2d_bandwidth
+        raise ValueError(f"unknown transfer mode {mode!r}; "
+                         f"expected one of {TRANSFER_MODES}")
+
+    def serialization_time(self, nbytes: float, mode: str) -> float:
+        return nbytes / self.bandwidth_for(mode)
+
+    # -- transmission ------------------------------------------------------
+    def transmit(self, src: int, dst: int, nbytes: float,
+                 mode: str = "host", injected: Optional[Event] = None,
+                 extra_latency: float = 0.0) -> Event:
+        """Start a message; the returned event fires on arrival at *dst*.
+
+        *injected*, when given, is succeeded once the sender's buffer is
+        reusable (injection finished) — the local-completion point of a
+        nonblocking MPI send.  *extra_latency* is added to the arrival time
+        (e.g. the pipeline fill/drain of host-staged device transfers).
+        """
+        if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
+            raise ValueError(f"node out of range: src={src} dst={dst} "
+                             f"(cluster has {self.num_nodes})")
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes!r}")
+        if extra_latency < 0:
+            raise ValueError(f"negative extra latency {extra_latency!r}")
+        done = self.env.event(name=f"msg:{src}->{dst}")
+        if src == dst:
+            self.env.process(self._loopback(nbytes, done, injected),
+                             name=f"loopback:{src}")
+        else:
+            self.bandwidth_for(mode)  # validate early
+            self.env.process(
+                self._wire(src, nbytes, mode, done, injected, extra_latency),
+                name=f"wire:{src}->{dst}")
+        return done
+
+    def send(self, src: int, dst: int, nbytes: float,
+             mode: str = "host") -> Generator[Event, Any, None]:
+        """Blocking form of :meth:`transmit`."""
+        yield self.transmit(src, dst, nbytes, mode)
+
+    # -- internals ------------------------------------------------------------
+    def _loopback(self, nbytes: float, done: Event,
+                  injected: Optional[Event]):
+        yield self.env.timeout(_LOOPBACK_LATENCY
+                               + nbytes / _LOOPBACK_BANDWIDTH)
+        if injected is not None:
+            injected.succeed()
+        done.succeed()
+
+    def _wire(self, src: int, nbytes: float, mode: str, done: Event,
+              injected: Optional[Event], extra_latency: float):
+        nic = self._nics[src]
+        yield from nic.lock.acquire()
+        try:
+            yield self.env.timeout(self.cfg.injection_overhead
+                                   + self.serialization_time(nbytes, mode))
+        finally:
+            nic.lock.release()
+        nic.messages += 1
+        nic.bytes_injected += nbytes
+        if injected is not None:
+            injected.succeed()
+        yield self.env.timeout(self.cfg.latency + extra_latency)
+        done.succeed()
+
+    # -- statistics ------------------------------------------------------------
+    def nic_stats(self, node: int) -> dict:
+        nic = self._nics[node]
+        return {"messages": nic.messages, "bytes": nic.bytes_injected}

@@ -1,0 +1,28 @@
+"""dCUDA host-side runtime system (event handler, block managers, queues)."""
+
+from .queues import CircularQueue, QueueStats
+from .commands import (
+    Ack,
+    BarrierCommand,
+    FinishCommand,
+    GetCommand,
+    LogCommand,
+    NotifyCommand,
+    Notification,
+    PutCommand,
+    WinCreateCommand,
+    WinFreeCommand,
+)
+from .state import FlushTracker, RankState
+from .block_manager import BlockManager
+from .system import DCudaRuntime, RuntimeSystem, WindowId
+
+__all__ = [
+    "CircularQueue", "QueueStats",
+    "Ack", "BarrierCommand", "FinishCommand", "GetCommand", "LogCommand",
+    "NotifyCommand", "Notification", "PutCommand", "WinCreateCommand",
+    "WinFreeCommand",
+    "FlushTracker", "RankState",
+    "BlockManager",
+    "DCudaRuntime", "RuntimeSystem", "WindowId",
+]

@@ -1,0 +1,135 @@
+"""Device→host command and host→device response encodings.
+
+These are the entries travelling through the circular queues: commands on
+the command queue (device library → block manager), acknowledgements on the
+ack queue, and notifications on the notification queue (block manager →
+device library).  Real entries are fixed-size vector-write payloads; the
+dataclasses carry the same fields plus, for simulation convenience, direct
+references to the numpy views involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+import numpy as np
+
+__all__ = [
+    "WinCreateCommand", "WinFreeCommand", "PutCommand", "GetCommand",
+    "NotifyCommand", "BarrierCommand", "FinishCommand", "LogCommand",
+    "Ack", "Notification",
+]
+
+
+@dataclass
+class WinCreateCommand:
+    """Collective window creation: the rank registers a local memory range."""
+
+    origin_rank: int
+    local_win_id: int
+    comm_name: str
+    buffer: np.ndarray          # the rank's registered memory range
+    participants: Tuple[int, ...]
+
+
+@dataclass
+class WinFreeCommand:
+    origin_rank: int
+    global_win_id: int
+
+
+@dataclass
+class PutCommand:
+    """Notified put to a *distributed-memory* rank (Fig. 5 control flow).
+
+    ``src`` references origin device memory; the block manager reads it when
+    the MPI send is issued, exactly as the real block manager isends straight
+    out of device memory.
+    """
+
+    origin_rank: int
+    global_win_id: int
+    target_rank: int
+    target_offset: int
+    count: int
+    src: np.ndarray
+    tag: int
+    flush_id: int
+    notify: bool = True
+
+
+@dataclass
+class GetCommand:
+    """Notified get from a remote window into origin device memory."""
+
+    origin_rank: int
+    global_win_id: int
+    target_rank: int
+    target_offset: int
+    count: int
+    dst: np.ndarray
+    tag: int
+    flush_id: int
+    notify: bool = True
+
+
+@dataclass
+class NotifyCommand:
+    """Shared-memory RMA already performed on-device; deliver the target
+    notification (and the flush update) through the host."""
+
+    origin_rank: int
+    global_win_id: int
+    target_rank: int
+    tag: int
+    flush_id: int
+    notify: bool = True
+
+
+@dataclass
+class BarrierCommand:
+    origin_rank: int
+    comm_name: str
+
+
+#: Pseudo window id used by collective-completion notifications.
+COLLECTIVE_WIN = -2
+
+
+@dataclass
+class NonblockingBarrierCommand:
+    """§V extension: a barrier that completes in the background and posts a
+    notification (win id ``COLLECTIVE_WIN``) instead of an ack."""
+
+    origin_rank: int
+    comm_name: str
+    tag: int
+
+
+@dataclass
+class FinishCommand:
+    origin_rank: int
+
+
+@dataclass
+class LogCommand:
+    origin_rank: int
+    message: str
+
+
+@dataclass
+class Ack:
+    """Host→device acknowledgement for a completed command."""
+
+    kind: str                  # "win_create" | "win_free" | "barrier" | ...
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One notification-queue entry: (window, source rank, tag)."""
+
+    win_id: int
+    source: int
+    tag: int

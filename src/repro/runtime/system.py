@@ -1,0 +1,318 @@
+"""The dCUDA runtime system: per-node instances connected via MPI (§III-A).
+
+Each node runs one :class:`RuntimeSystem` — an event handler plus one block
+manager per local rank — and the :class:`DCudaRuntime` ties the per-node
+instances together (rank↔node mapping, transfer-id allocation, logging).
+
+Global synchronization (barrier, window creation, finish) uses a flat tree
+over the runtime instances: when all of a node's local participants arrived,
+the node reports to node 0; node 0 releases everyone once every node
+reported.  At the paper's scale (≤ 10 nodes) this matches the cost shape of
+the real implementation's MPI coordination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..hw.cluster import Cluster
+from ..mpi import MPIWorld
+from ..sim import Environment, Event, Signal
+from .block_manager import BlockManager
+from .commands import LogCommand, WinCreateCommand, WinFreeCommand
+from .meta import (
+    CTRL_BYTES,
+    CtrlArrive,
+    CtrlRelease,
+    GetMeta,
+    PutMeta,
+    RT_TAG_META,
+)
+from .state import RankState
+
+__all__ = ["DCudaRuntime", "RuntimeSystem", "WindowId"]
+
+WindowId = Tuple[str, int]
+
+
+@dataclass
+class _CollectiveState:
+    arrivals: int = 0
+    epoch: int = 0
+    signal: Signal = None  # type: ignore[assignment]
+
+
+class RuntimeSystem:
+    """One node's runtime instance: event handler + block managers."""
+
+    def __init__(self, runtime: "DCudaRuntime", node_index: int):
+        self.runtime = runtime
+        self.env: Environment = runtime.env
+        self.node = runtime.cluster.node(node_index)
+        self.cfg = runtime.cfg
+        rpd = runtime.ranks_per_device
+        blocks = self.node.device.allocate_blocks(rpd)
+        self.states: List[RankState] = []
+        self.block_managers: List[BlockManager] = []
+        for local in range(rpd):
+            world_rank = node_index * rpd + local
+            state = RankState(self.env, self.node, world_rank, local,
+                              blocks[local],
+                              queue_size=self.cfg.devicelib.queue_size)
+            self.states.append(state)
+            self.block_managers.append(BlockManager(self, state))
+        # Host-side window registry: global id -> {world rank: buffer}.
+        self.windows: Dict[WindowId, Dict[int, np.ndarray]] = {}
+        self._coll: Dict[Tuple[str, str], _CollectiveState] = {}
+        # Flat-tree synchronization state (coordinator side, node 0 only).
+        self._sync_counts: Dict[Any, int] = {}
+        self._sync_events: Dict[Any, Event] = {}
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError(f"runtime on node {self.node.index} already "
+                               "started")
+        self._started = True
+        for bm in self.block_managers:
+            self.env.process(bm.run(), name=f"bm:r{bm.state.world_rank}")
+            self.env.process(self._log_collector(bm.state),
+                             name=f"log:r{bm.state.world_rank}")
+        self.env.process(self._event_handler(),
+                         name=f"eh:n{self.node.index}")
+
+    # -- event handler ------------------------------------------------------
+    def _event_handler(self) -> Generator[Event, Any, None]:
+        """Pre-posted receives dispatching incoming runtime messages."""
+        world = self.runtime.world
+        while True:
+            msg = yield from world.recv(self.node.index, tag=RT_TAG_META)
+            yield from self.node.host_work(self.cfg.host.dispatch_cost)
+            payload = msg.payload
+            if isinstance(payload, PutMeta):
+                bm = self.runtime.bm_of(payload.target_rank)
+                self.env.process(bm.incoming_put(payload),
+                                 name=f"input:r{payload.target_rank}")
+            elif isinstance(payload, GetMeta):
+                bm = self.runtime.bm_of(payload.target_rank)
+                self.env.process(bm.incoming_get(payload),
+                                 name=f"inget:r{payload.target_rank}")
+            elif isinstance(payload, CtrlArrive):
+                self._note_arrival(payload.key)
+            elif isinstance(payload, CtrlRelease):
+                self._sync_events.pop(payload.key).succeed()
+            else:
+                raise TypeError(f"unexpected runtime message {payload!r}")
+
+    def _log_collector(self, state: RankState) -> Generator[Event, Any, None]:
+        while True:
+            cmd = yield from state.log_queue.dequeue()
+            assert isinstance(cmd, LogCommand)
+            self.runtime.log_records.append(
+                (self.env.now, cmd.origin_rank, cmd.message))
+
+    # -- flat-tree global synchronization ------------------------------------
+    def _note_arrival(self, key: Any) -> None:
+        """Coordinator (node 0): count node arrivals, release when full."""
+        assert self.node.index == 0
+        count = self._sync_counts.get(key, 0) + 1
+        if count < self.runtime.cluster.num_nodes:
+            self._sync_counts[key] = count
+            return
+        self._sync_counts.pop(key, None)
+        world = self.runtime.world
+        for node in range(1, self.runtime.cluster.num_nodes):
+            world.isend(0, node, CtrlRelease(key), tag=RT_TAG_META,
+                        nbytes=CTRL_BYTES)
+        self._sync_events.pop(key).succeed()
+
+    def _global_sync(self, key: Any) -> Generator[Event, Any, None]:
+        """Block until every node reached synchronization point *key*."""
+        if self.runtime.cluster.num_nodes == 1:
+            return
+        ev = self.env.event(name=f"sync:{key}")
+        self._sync_events[key] = ev
+        if self.node.index == 0:
+            self._note_arrival(key)
+        else:
+            self.runtime.world.isend(self.node.index, 0,
+                                     CtrlArrive(key, self.node.index),
+                                     tag=RT_TAG_META, nbytes=CTRL_BYTES)
+        yield ev
+
+    # -- node-local collective gating ------------------------------------------
+    def _participants(self, comm_name: str) -> int:
+        """Local participants of a communicator (world or this device)."""
+        if comm_name == "world" or comm_name == f"device{self.node.index}":
+            return self.runtime.ranks_per_device
+        raise ValueError(f"unknown communicator {comm_name!r} on node "
+                         f"{self.node.index}")
+
+    def collective_arrive(self, family: str,
+                          comm_name: str) -> Generator[Event, Any, int]:
+        """One rank's arrival at a collective; returns the epoch index.
+
+        The last local arrival performs the cross-node synchronization (for
+        world-spanning communicators) and then releases the other local
+        participants.
+        """
+        participants = self._participants(comm_name)
+        st = self._coll.setdefault(
+            (family, comm_name),
+            _CollectiveState(signal=Signal(self.env,
+                                           name=f"{family}:{comm_name}")))
+        my_epoch = st.epoch
+        st.arrivals += 1
+        if st.arrivals == participants:
+            st.arrivals = 0
+            st.epoch += 1
+            if comm_name == "world":
+                yield from self._global_sync((family, comm_name, my_epoch))
+            st.signal.fire()
+        else:
+            yield st.signal.wait()
+        return my_epoch
+
+    # -- window registry ---------------------------------------------------------
+    def register_window(self, cmd: WinCreateCommand
+                        ) -> Generator[Event, Any, WindowId]:
+        """Collective window creation; returns the globally valid id.
+
+        Global ids are ``(comm name, per-communicator creation index)`` —
+        consistent across nodes because window creation is collective and
+        therefore globally ordered per communicator.
+        """
+        st = self._coll.setdefault(
+            ("win", cmd.comm_name),
+            _CollectiveState(signal=Signal(self.env,
+                                           name=f"win:{cmd.comm_name}")))
+        gid: WindowId = (cmd.comm_name, st.epoch)
+        self.windows.setdefault(gid, {})[cmd.origin_rank] = cmd.buffer
+        state = self.runtime.state_of(cmd.origin_rank)
+        state.win_reverse[gid] = cmd.local_win_id
+        participants = self._participants(cmd.comm_name)
+        st.arrivals += 1
+        if st.arrivals == participants:
+            st.arrivals = 0
+            st.epoch += 1
+            if cmd.comm_name == "world":
+                yield from self._global_sync(("win", cmd.comm_name, gid[1]))
+            st.signal.fire()
+        else:
+            yield st.signal.wait()
+        return gid
+
+    def unregister_window(self, cmd: WinFreeCommand
+                          ) -> Generator[Event, Any, None]:
+        """Collective window free."""
+        yield from self.collective_arrive("winfree", cmd.global_win_id[0])
+        self.windows.pop(cmd.global_win_id, None)
+
+    def window_buffer(self, gid: WindowId, world_rank: int) -> np.ndarray:
+        try:
+            return self.windows[gid][world_rank]
+        except KeyError:
+            raise KeyError(
+                f"window {gid} has no registration for rank {world_rank} on "
+                f"node {self.node.index}") from None
+
+
+class DCudaRuntime:
+    """All runtime-system instances of the cluster, plus shared services."""
+
+    def __init__(self, cluster: Cluster, ranks_per_device: int,
+                 world: Optional[MPIWorld] = None):
+        if ranks_per_device < 1:
+            raise ValueError(
+                f"ranks_per_device must be >= 1, got {ranks_per_device}")
+        max_blocks = cluster.cfg.gpu.max_blocks
+        if ranks_per_device > max_blocks:
+            raise ValueError(
+                f"ranks_per_device={ranks_per_device} exceeds the device "
+                f"in-flight limit of {max_blocks}")
+        self.cluster = cluster
+        self.env = cluster.env
+        self.cfg = cluster.cfg
+        self.world = world or MPIWorld(cluster)
+        self.ranks_per_device = ranks_per_device
+        self.total_ranks = ranks_per_device * cluster.num_nodes
+        self.log_records: List[Tuple[float, int, str]] = []
+        self._xfer_counter = 0
+        self.systems = [RuntimeSystem(self, i)
+                        for i in range(cluster.num_nodes)]
+
+    # -- topology ------------------------------------------------------------
+    def check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.total_ranks:
+            raise ValueError(f"rank {rank} out of range "
+                             f"(total {self.total_ranks})")
+
+    def node_of_rank(self, rank: int) -> int:
+        self.check_rank(rank)
+        return rank // self.ranks_per_device
+
+    def system_of(self, rank: int) -> RuntimeSystem:
+        return self.systems[self.node_of_rank(rank)]
+
+    def state_of(self, rank: int) -> RankState:
+        return self.system_of(rank).states[rank % self.ranks_per_device]
+
+    def bm_of(self, rank: int) -> BlockManager:
+        return self.system_of(rank).block_managers[
+            rank % self.ranks_per_device]
+
+    def next_xfer_id(self) -> int:
+        self._xfer_counter += 1
+        return self._xfer_counter
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        """Launch event handlers and block managers on every node."""
+        for system in self.systems:
+            system.start()
+
+    # -- invariants ------------------------------------------------------------
+    def check_quiescent(self) -> List[str]:
+        """Protocol invariants that must hold once all ranks finished.
+
+        Returns a list of violations (empty = clean): every rank finished,
+        all queues drained, every issued RMA operation completed (flush
+        counter caught up), no window registrations leaked, and no pending
+        cross-node synchronizations.  ``launch`` calls this after every
+        run, so protocol bugs fail loudly instead of silently dropping
+        work.
+        """
+        problems: List[str] = []
+        for system in self.systems:
+            for state in system.states:
+                r = state.world_rank
+                if not state.finished:
+                    problems.append(f"rank {r} never finished")
+                # Notification queues may legitimately hold entries a
+                # program chose not to consume; command/ack/log leftovers
+                # are always protocol bugs.
+                for name, queue in (("cmd", state.cmd_queue),
+                                    ("ack", state.ack_queue),
+                                    ("log", state.log_queue)):
+                    if queue.occupancy:
+                        problems.append(
+                            f"rank {r} {name} queue holds "
+                            f"{queue.occupancy} undelivered entries")
+                issued = state.next_flush_id - 1
+                if state.flush_tracker.counter != issued:
+                    problems.append(
+                        f"rank {r} completed {state.flush_tracker.counter} "
+                        f"of {issued} RMA operations")
+            if system._sync_counts:
+                problems.append(
+                    f"node {system.node.index} has pending global syncs: "
+                    f"{list(system._sync_counts)}")
+            if system._sync_events:
+                problems.append(
+                    f"node {system.node.index} has unreleased sync events: "
+                    f"{list(system._sync_events)}")
+        return problems

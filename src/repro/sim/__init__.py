@@ -1,0 +1,28 @@
+"""Deterministic discrete-event simulation kernel.
+
+Public surface:
+
+* :class:`Environment`, :class:`Event`, :class:`Process`, :class:`Interrupt`
+* primitives: :class:`Signal`, :class:`Gate`, :class:`Semaphore`,
+  :class:`AllOf`, :class:`AnyOf`
+* :class:`Store` / :class:`Channel` message buffers
+* :class:`FairShareLink` / :class:`SerialLink` transfer models
+* :class:`Resource` FCFS resource with utilization accounting
+* :class:`Tracer` interval tracing
+"""
+
+from .core import Environment, Event, Interrupt, Process, SimulationError
+from .primitives import AllOf, AnyOf, Gate, Semaphore, Signal, wait_all
+from .channel import Channel, Store
+from .link import FairShareLink, SerialLink
+from .resources import Resource
+from .trace import Interval, Tracer, merge_intervals, overlap_time, total_time
+
+__all__ = [
+    "Environment", "Event", "Interrupt", "Process", "SimulationError",
+    "AllOf", "AnyOf", "Gate", "Semaphore", "Signal", "wait_all",
+    "Channel", "Store",
+    "FairShareLink", "SerialLink",
+    "Resource",
+    "Interval", "Tracer", "merge_intervals", "overlap_time", "total_time",
+]

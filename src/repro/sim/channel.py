@@ -1,0 +1,175 @@
+"""Message stores and channels.
+
+:class:`Store` is the FIFO producer/consumer buffer that simulated hardware
+queues and MPI matching are built on.  It supports optional capacity bounds
+(puts block when full) and filtered gets (a consumer can wait for the first
+item matching a predicate — used by MPI tag matching and by the dCUDA
+notification queue).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from .core import Environment, Event
+
+__all__ = ["Store", "Channel"]
+
+
+class Store:
+    """FIFO store with optional capacity and filtered consumption.
+
+    *Puts* deliver in FIFO order; *gets* match the oldest item satisfying
+    their filter.  Waiting getters are served in arrival order whenever new
+    items arrive.
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None,
+                 name: str = "store"):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.env = env
+        self.name = name
+        self.capacity = capacity
+        self._items: List[Any] = []
+        self._getters: List[Tuple[Event, Optional[Callable[[Any], bool]]]] = []
+        self._putters: List[Tuple[Event, Any]] = []
+
+    # -- introspection ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of buffered items (read-only view for tests/traces)."""
+        return tuple(self._items)
+
+    # -- producing -----------------------------------------------------------
+    def put(self, item: Any) -> Event:
+        """Insert *item*; the returned event fires once the item is stored."""
+        ev = self.env.event(name=f"put:{self.name}")
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self._putters.append((ev, item))
+        else:
+            self._items.append(item)
+            ev.succeed()
+            self._dispatch()
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the store is full."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            return False
+        self._items.append(item)
+        self._dispatch()
+        return True
+
+    # -- consuming -----------------------------------------------------------
+    def get(self, filt: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Remove and return the oldest item matching *filt* (or any item)."""
+        ev = self.env.event(name=f"get:{self.name}")
+        self._getters.append((ev, filt))
+        self._dispatch()
+        return ev
+
+    def try_get(self, filt: Optional[Callable[[Any], bool]] = None) -> Any:
+        """Non-blocking get; returns ``None`` when nothing matches.
+
+        Only valid when no getters are queued ahead (otherwise it would
+        reorder consumers); in that case it raises ``RuntimeError``.
+        """
+        if self._getters:
+            raise RuntimeError(f"try_get on {self.name!r} with queued getters")
+        for idx, item in enumerate(self._items):
+            if filt is None or filt(item):
+                del self._items[idx]
+                self._admit_putters()
+                return item
+        return None
+
+    def peek(self, filt: Optional[Callable[[Any], bool]] = None) -> Any:
+        """Return (without removing) the oldest matching item, or ``None``."""
+        for item in self._items:
+            if filt is None or filt(item):
+                return item
+        return None
+
+    # -- internals ------------------------------------------------------------
+    def _prune_abandoned(self) -> None:
+        """Drop waiters whose process was interrupted away (see
+        :attr:`repro.sim.core.Event.abandoned`); handing them items would
+        silently lose data."""
+        self._getters = [(ev, f) for ev, f in self._getters
+                         if not ev.abandoned]
+        self._putters = [(ev, item) for ev, item in self._putters
+                         if not ev.abandoned]
+
+    def _dispatch(self) -> None:
+        # Serve waiting getters in order; each takes the oldest matching item.
+        self._prune_abandoned()
+        made_progress = True
+        while made_progress:
+            made_progress = False
+            for g_idx, (ev, filt) in enumerate(self._getters):
+                for i_idx, item in enumerate(self._items):
+                    if filt is None or filt(item):
+                        del self._getters[g_idx]
+                        del self._items[i_idx]
+                        ev.succeed(item)
+                        made_progress = True
+                        break
+                if made_progress:
+                    break
+        self._admit_putters()
+
+    def _admit_putters(self) -> None:
+        while self._putters and (self.capacity is None
+                                 or len(self._items) < self.capacity):
+            ev, item = self._putters.pop(0)
+            if ev.abandoned:
+                continue
+            self._items.append(item)
+            ev.succeed()
+            # New item may satisfy a waiting getter.
+            self._dispatch_one()
+
+    def _dispatch_one(self) -> None:
+        self._prune_abandoned()
+        for g_idx, (ev, filt) in enumerate(self._getters):
+            for i_idx, item in enumerate(self._items):
+                if filt is None or filt(item):
+                    del self._getters[g_idx]
+                    del self._items[i_idx]
+                    ev.succeed(item)
+                    return
+
+
+class Channel:
+    """Unidirectional rendezvous-free message channel (thin Store wrapper).
+
+    Adds a convenience generator API: ``yield from chan.send(msg)`` and
+    ``msg = yield from chan.recv()``.
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None,
+                 name: str = "channel"):
+        self._store = Store(env, capacity, name)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def send(self, msg: Any) -> Generator[Event, Any, None]:
+        yield self._store.put(msg)
+
+    def recv(self,
+             filt: Optional[Callable[[Any], bool]] = None
+             ) -> Generator[Event, Any, Any]:
+        msg = yield self._store.get(filt)
+        return msg
+
+    def put_event(self, msg: Any) -> Event:
+        return self._store.put(msg)
+
+    def get_event(self,
+                  filt: Optional[Callable[[Any], bool]] = None) -> Event:
+        return self._store.get(filt)

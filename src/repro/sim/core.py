@@ -1,0 +1,350 @@
+"""Discrete-event simulation kernel.
+
+This module implements the minimal deterministic event loop that the whole
+GPU-cluster model runs on.  The design follows the classic process-based DES
+style (as popularized by SimPy) but is hand-rolled so that the scheduler is
+fully deterministic and has no external dependencies:
+
+* :class:`Environment` owns simulated time and a priority queue of pending
+  events keyed by ``(time, priority, sequence)`` — the sequence number breaks
+  ties so that two runs of the same program produce identical schedules.
+* :class:`Event` is a one-shot occurrence that processes can wait on.
+* :class:`Process` wraps a Python generator.  The generator *yields* events;
+  whenever a yielded event fires, the process is resumed with the event's
+  value (or the event's exception is thrown into the generator).  A process
+  is itself an event that succeeds with the generator's return value, so
+  processes can be joined (``yield child``) and composed (``yield from``).
+
+Only the simulation kernel lives here; synchronization primitives built on
+top of it (timeouts, signals, resources, stores, bandwidth links) live in the
+sibling modules of :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "PENDING",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. double-trigger)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class _Pending:
+    """Sentinel for the value of an event that has not been triggered."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<PENDING>"
+
+
+PENDING = _Pending()
+
+
+class Event:
+    """A one-shot occurrence that processes may wait on.
+
+    An event goes through at most one transition: *pending* →
+    *triggered* (either succeeded with a value or failed with an
+    exception).  Once triggered it is scheduled on the environment's queue
+    and its callbacks run at the current simulation time.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_exception", "_scheduled",
+                 "name", "abandoned")
+
+    def __init__(self, env: "Environment", name: str = ""):
+        self.env = env
+        #: Callables invoked with this event when it fires.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._exception: Optional[BaseException] = None
+        self._scheduled = False
+        self.name = name
+        #: Set when the process waiting on this event was interrupted away
+        #: from it; queue-like primitives drop abandoned waiters instead of
+        #: handing them items/tokens nobody will receive.
+        self.abandoned = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been succeeded or failed."""
+        return self._value is not PENDING or self._exception is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event failed or is pending."""
+        if self._exception is not None:
+            raise self._exception
+        if self._value is PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    # -- transitions --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event with *value* and schedule its callbacks."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Processes waiting on the event get the exception thrown into their
+        generator.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exception = exception
+        self._value = None
+        self.env._schedule(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register *callback*; runs immediately if already processed."""
+        if self.callbacks is None:
+            # Already processed: run at once (still inside the event loop).
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The generator yields :class:`Event` instances.  The process is itself an
+    event which succeeds with the generator's return value, enabling joins::
+
+        result = yield env.process(worker(env))
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, env: "Environment",
+                 generator: Generator[Event, Any, Any], name: str = ""):
+        super().__init__(env, name or getattr(generator, "__name__", "proc"))
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off the process as soon as the loop runs.
+        start = Event(env, name=f"start:{self.name}")
+        start.add_callback(self._resume)
+        start.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting detaches it from the awaited event first.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished {self!r}")
+        interrupter = Event(self.env, name=f"interrupt:{self.name}")
+        interrupter.add_callback(self._on_interrupt_event)
+        interrupter.fail(Interrupt(cause))
+
+    # -- internals ----------------------------------------------------------
+    def _on_interrupt_event(self, event: Event) -> None:
+        if self.triggered:
+            return  # finished in the meantime; drop the interrupt
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            if not target.triggered:
+                target.abandoned = True
+        self._waiting_on = None
+        self._step(event)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self._step(event)
+
+    def _step(self, event: Event) -> None:
+        env = self.env
+        env._active_process = self
+        try:
+            if event._exception is not None:
+                target = self._generator.throw(event._exception)
+            else:
+                target = self._generator.send(
+                    None if event._value is PENDING else event._value)
+        except StopIteration as stop:
+            env._active_process = None
+            self._value = stop.value
+            env._schedule(self)
+            return
+        except BaseException as exc:
+            env._active_process = None
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self._exception = exc
+            self._value = None
+            env._schedule(self)
+            return
+        env._active_process = None
+        if not isinstance(target, Event):
+            self._generator.throw(TypeError(
+                f"process {self.name!r} yielded non-event {target!r}"))
+        if target.env is not env:
+            self._generator.throw(SimulationError(
+                "yielded event belongs to a different environment"))
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Environment:
+    """The simulation environment: clock plus event queue.
+
+    Events are executed in order of ``(time, priority, sequence)``.  Lower
+    priority values run first at equal times; the default priority is 1 and
+    "urgent" kernel-internal events use 0.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Any] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock ----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # -- event creation ---------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
+        """An event that succeeds ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        ev = Event(self, name or "timeout")
+        ev._value = value
+        self._schedule(ev, delay=delay)
+        return ev
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: str = "") -> Process:
+        """Spawn *generator* as a new process."""
+        return Process(self, generator, name)
+
+    def run_all(self, generators: Iterable[Generator[Event, Any, Any]]) -> list:
+        """Spawn all *generators*, run to completion, return their results."""
+        procs = [self.process(g) for g in generators]
+        self.run()
+        return [p.value for p in procs]
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0,
+                  priority: int = 1) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} is already scheduled")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue,
+                       (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now - 1e-18:  # pragma: no cover - defensive
+            raise SimulationError("time ran backwards")
+        self._now = max(self._now, when)
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time reaches *until*.
+
+        Unhandled process failures propagate out of :meth:`run` the moment
+        the failed process event is processed with no observer attached.
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until!r} lies in the past")
+        while self._queue:
+            if until is not None and self.peek() > until:
+                self._now = until
+                return
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+            self._now = max(self._now, when)
+            callbacks = event.callbacks
+            event.callbacks = None
+            assert callbacks is not None
+            for callback in callbacks:
+                callback(event)
+            if (event._exception is not None and not callbacks
+                    and isinstance(event, Process)):
+                raise event._exception
+        if until is not None:
+            self._now = until

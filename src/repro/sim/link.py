@@ -1,0 +1,176 @@
+"""Bandwidth-shared and serial transfer links.
+
+Two transfer models are used throughout the hardware layer:
+
+* :class:`FairShareLink` — a max-min fair shared medium: all active flows
+  progress simultaneously, each receiving ``bandwidth / n_active``.  Models
+  device-memory bandwidth shared by all SMs, or a NIC shared by concurrent
+  messages.  This is the processor-sharing fluid model: completion times are
+  recomputed whenever the set of active flows changes.
+* :class:`SerialLink` — an exclusive FCFS link with per-use fixed latency and
+  per-byte cost.  Models PCI-Express transactions and DMA-engine copies where
+  transfers serialize.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from .core import Environment, Event
+from .primitives import Semaphore
+
+__all__ = ["FairShareLink", "SerialLink"]
+
+_EPS_BYTES = 1e-6  # flows with fewer remaining bytes are considered done
+
+
+class _Flow:
+    __slots__ = ("remaining", "event", "weight")
+
+    def __init__(self, nbytes: float, event: Event, weight: float):
+        self.remaining = float(nbytes)
+        self.event = event
+        self.weight = weight
+
+
+class FairShareLink:
+    """Max-min fair shared bandwidth medium (fluid model).
+
+    ``transfer(nbytes)`` returns an event that fires when the flow completes.
+    All active flows share :attr:`bandwidth` proportionally to their weights
+    (equal weights ⇒ equal shares).  Total throughput never exceeds the link
+    bandwidth, so n concurrent memory-bound kernels each take n× longer —
+    which is exactly the contention behaviour the GPU memory model needs.
+    """
+
+    def __init__(self, env: Environment, bandwidth: float,
+                 name: str = "link"):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self.env = env
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        self._flows: List[_Flow] = []
+        self._last_update = env.now
+        self._wake_generation = 0
+        #: Total bytes ever completed (for utilization accounting).
+        self.bytes_transferred = 0.0
+
+    # -- public API ------------------------------------------------------
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def transfer(self, nbytes: float, weight: float = 1.0) -> Event:
+        """Start a flow of *nbytes*; the event fires at completion."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes!r}")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight!r}")
+        ev = self.env.event(name=f"xfer:{self.name}")
+        if nbytes <= _EPS_BYTES:
+            ev.succeed()
+            return ev
+        self._advance()
+        self._flows.append(_Flow(nbytes, ev, weight))
+        self.bytes_transferred += nbytes
+        self._reschedule()
+        return ev
+
+    def stream(self, nbytes: float,
+               weight: float = 1.0) -> Generator[Event, Any, None]:
+        """``yield from link.stream(n)`` — blocking transfer helper."""
+        yield self.transfer(nbytes, weight)
+
+    def time_to_transfer(self, nbytes: float) -> float:
+        """Uncontended transfer time (convenience for cost estimates)."""
+        return nbytes / self.bandwidth
+
+    # -- fluid-model internals ------------------------------------------
+    def _total_weight(self) -> float:
+        return sum(f.weight for f in self._flows)
+
+    def _advance(self) -> None:
+        """Apply progress accrued since the last state change."""
+        now = self.env.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed <= 0 or not self._flows:
+            return
+        total_w = self._total_weight()
+        rate_per_weight = self.bandwidth / total_w
+        done: List[_Flow] = []
+        for flow in self._flows:
+            flow.remaining -= elapsed * rate_per_weight * flow.weight
+            if flow.remaining <= _EPS_BYTES:
+                done.append(flow)
+        for flow in done:
+            self._flows.remove(flow)
+            flow.event.succeed()
+
+    def _reschedule(self) -> None:
+        """Schedule a wakeup at the earliest flow-completion time."""
+        self._wake_generation += 1
+        if not self._flows:
+            return
+        gen = self._wake_generation
+        total_w = self._total_weight()
+        rate_per_weight = self.bandwidth / total_w
+        next_done = min(f.remaining / (rate_per_weight * f.weight)
+                        for f in self._flows)
+        wake = self.env.timeout(next_done, name=f"wake:{self.name}")
+        wake.add_callback(lambda _ev: self._on_wake(gen))
+
+    def _on_wake(self, generation: int) -> None:
+        if generation != self._wake_generation:
+            return  # superseded by a newer state change
+        self._advance()
+        self._reschedule()
+
+
+class SerialLink:
+    """Exclusive FCFS link: each use costs ``latency + nbytes / bandwidth``.
+
+    Uses are serialized — a second transfer waits for the first.  An
+    infinite-bandwidth link (``bandwidth=None``) charges only the latency,
+    which models fixed-cost transactions (e.g. a single PCIe write).
+    """
+
+    def __init__(self, env: Environment, latency: float,
+                 bandwidth: Optional[float] = None, name: str = "serial"):
+        if latency < 0:
+            raise ValueError(f"negative latency {latency!r}")
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self.env = env
+        self.name = name
+        self.latency = float(latency)
+        self.bandwidth = bandwidth
+        self._lock = Semaphore(env, 1, name=f"lock:{name}")
+        #: Cumulative busy time (for utilization accounting).
+        self.busy_time = 0.0
+        self.transactions = 0
+
+    def occupancy(self, nbytes: float = 0.0) -> float:
+        """Time the link is held for a transfer of *nbytes*."""
+        cost = self.latency
+        if self.bandwidth is not None:
+            cost += nbytes / self.bandwidth
+        return cost
+
+    def transact(self, nbytes: float = 0.0) -> Generator[Event, Any, None]:
+        """``yield from link.transact(n)`` — acquire, hold for cost, release."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes!r}")
+        yield from self._lock.acquire()
+        try:
+            cost = self.occupancy(nbytes)
+            self.busy_time += cost
+            self.transactions += 1
+            yield self.env.timeout(cost)
+        finally:
+            self._lock.release()
+
+    @property
+    def queued(self) -> int:
+        return self._lock.queued

@@ -1,0 +1,209 @@
+"""Synchronization primitives built on the DES kernel.
+
+These are the building blocks the hardware and runtime models use:
+
+* :class:`Signal` — a reusable broadcast condition; waiters get fresh
+  one-shot events, ``fire`` wakes everyone currently waiting.
+* :class:`Gate` — a level-triggered condition (open/closed); waiting on an
+  open gate completes immediately.
+* :class:`Semaphore` — counting semaphore with FCFS wakeup order.
+* :class:`AllOf` / :class:`AnyOf` — event combinators.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Sequence
+
+from .core import Environment, Event
+
+__all__ = ["Signal", "Gate", "Semaphore", "AllOf", "AnyOf", "wait_all"]
+
+
+class Signal:
+    """A reusable broadcast condition.
+
+    Each call to :meth:`wait` returns a fresh one-shot event.  ``fire(value)``
+    succeeds every event handed out since the last fire.  There is no memory:
+    a waiter that arrives after a fire waits for the next one.
+    """
+
+    def __init__(self, env: Environment, name: str = "signal"):
+        self.env = env
+        self.name = name
+        self._waiters: List[Event] = []
+
+    def wait(self) -> Event:
+        """Return an event that fires at the next :meth:`fire`."""
+        ev = self.env.event(name=f"wait:{self.name}")
+        self._waiters.append(ev)
+        return ev
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all current waiters; returns how many were woken."""
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed(value)
+        return len(waiters)
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+
+class Gate:
+    """A level-triggered condition.
+
+    While *open*, :meth:`wait` completes immediately; while *closed*, waiters
+    block until :meth:`open` is called.  Used e.g. for "queue has space"
+    conditions.
+    """
+
+    def __init__(self, env: Environment, is_open: bool = False,
+                 name: str = "gate"):
+        self.env = env
+        self.name = name
+        self._open = is_open
+        self._waiters: List[Event] = []
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def wait(self) -> Event:
+        ev = self.env.event(name=f"wait:{self.name}")
+        if self._open:
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def open(self) -> None:
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed()
+
+    def close(self) -> None:
+        self._open = False
+
+
+class Semaphore:
+    """Counting semaphore with FCFS handout order.
+
+    ``acquire`` is a generator intended for ``yield from``; ``release``
+    returns the token.  The semaphore tracks the number of waiters so models
+    can inspect contention.
+    """
+
+    def __init__(self, env: Environment, capacity: int, name: str = "sem"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.name = name
+        self.capacity = capacity
+        self._available = capacity
+        self._queue: List[Event] = []
+
+    @property
+    def available(self) -> int:
+        return self._available
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def request(self) -> Event:
+        """Return an event that fires once a token is held."""
+        ev = self.env.event(name=f"req:{self.name}")
+        if self._available > 0 and not self._queue:
+            self._available -= 1
+            ev.succeed()
+        else:
+            self._queue.append(ev)
+        return ev
+
+    def acquire(self) -> Generator[Event, Any, None]:
+        """``yield from sem.acquire()`` blocks until a token is held."""
+        yield self.request()
+
+    def release(self) -> None:
+        # Skip waiters whose process was interrupted away from the request
+        # — granting them a token would leak it forever.
+        while self._queue and self._queue[0].abandoned:
+            self._queue.pop(0)
+        if self._queue:
+            self._queue.pop(0).succeed()
+        else:
+            if self._available >= self.capacity:
+                raise RuntimeError(f"semaphore {self.name!r} over-released")
+            self._available += 1
+
+
+class AllOf(Event):
+    """Fires once every constituent event has fired.
+
+    Value is the list of constituent values in input order.  If any
+    constituent fails, this condition fails with the first failure.
+    """
+
+    __slots__ = ("_events", "_pending_count", "_results")
+
+    def __init__(self, env: Environment, events: Sequence[Event]):
+        super().__init__(env, name="all_of")
+        self._events = list(events)
+        self._results: Dict[int, Any] = {}
+        self._pending_count = len(self._events)
+        if self._pending_count == 0:
+            self.succeed([])
+            return
+        for idx, ev in enumerate(self._events):
+            ev.add_callback(self._make_cb(idx))
+
+    def _make_cb(self, idx: int):
+        def _cb(ev: Event) -> None:
+            if self.triggered:
+                return
+            if ev.exception is not None:
+                self.fail(ev.exception)
+                return
+            self._results[idx] = ev._value
+            self._pending_count -= 1
+            if self._pending_count == 0:
+                self.succeed([self._results[i]
+                              for i in range(len(self._events))])
+        return _cb
+
+
+class AnyOf(Event):
+    """Fires as soon as any constituent event fires.
+
+    Value is ``(index, value)`` of the first event to fire.  A constituent
+    failure fails the condition (if it is the first to trigger).
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, env: Environment, events: Sequence[Event]):
+        super().__init__(env, name="any_of")
+        self._events = list(events)
+        if not self._events:
+            raise ValueError("AnyOf of zero events would never fire")
+        for idx, ev in enumerate(self._events):
+            ev.add_callback(self._make_cb(idx))
+
+    def _make_cb(self, idx: int):
+        def _cb(ev: Event) -> None:
+            if self.triggered:
+                return
+            if ev.exception is not None:
+                self.fail(ev.exception)
+            else:
+                self.succeed((idx, ev._value))
+        return _cb
+
+
+def wait_all(env: Environment,
+             events: Sequence[Event]) -> Generator[Event, Any, list]:
+    """``yield from wait_all(env, events)`` — join helper returning values."""
+    results = yield AllOf(env, events)
+    return results

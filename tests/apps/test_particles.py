@@ -1,0 +1,131 @@
+"""Correctness tests for the particle-simulation mini-application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.particles import (
+    CellArrays,
+    ParticleWorkload,
+    pack_rows,
+    reference,
+    run_dcuda_particles,
+    run_mpicuda_particles,
+    seed_particles,
+    unpack_rows,
+)
+from repro.hw import Cluster, greina
+
+
+def small_wl(**kw):
+    defaults = dict(cells_per_node=8, particles_per_node=64, steps=3)
+    defaults.update(kw)
+    return ParticleWorkload(**defaults)
+
+
+# ------------------------------------------------------------ unit pieces ----
+def test_cell_arrays_insert_extract():
+    arr = CellArrays(4, capacity=8)
+    arr.insert(1, {"pid": np.array([3.0, 1.0]), "x": np.array([0.1, 0.2]),
+                   "y": np.array([0.3, 0.4]), "vx": np.zeros(2),
+                   "vy": np.zeros(2)})
+    assert arr.count(1) == 2
+    taken = arr.extract(1, np.array([True, False]))
+    assert taken["pid"].tolist() == [3.0]
+    assert arr.count(1) == 1
+    assert arr.fields["pid"][1, 0] == 1.0
+
+
+def test_cell_arrays_overflow():
+    arr = CellArrays(3, capacity=2)
+    rows = {"pid": np.arange(3, dtype=float), "x": np.zeros(3),
+            "y": np.zeros(3), "vx": np.zeros(3), "vy": np.zeros(3)}
+    with pytest.raises(OverflowError):
+        arr.insert(1, rows)
+
+
+def test_sort_cell_by_pid():
+    arr = CellArrays(3, capacity=4)
+    arr.insert(1, {"pid": np.array([5.0, 2.0, 9.0]),
+                   "x": np.array([1.0, 2.0, 3.0]), "y": np.zeros(3),
+                   "vx": np.zeros(3), "vy": np.zeros(3)})
+    arr.sort_cell(1)
+    assert arr.fields["pid"][1, :3].tolist() == [2.0, 5.0, 9.0]
+    assert arr.fields["x"][1, :3].tolist() == [2.0, 1.0, 3.0]
+
+
+def test_pack_unpack_roundtrip():
+    rows = {"pid": np.array([1.0, 2.0]), "x": np.array([0.5, 0.6]),
+            "y": np.array([0.7, 0.8]), "vx": np.array([-1.0, 1.0]),
+            "vy": np.array([0.0, 0.25])}
+    out = unpack_rows(pack_rows(rows))
+    for name in rows:
+        np.testing.assert_array_equal(out[name], rows[name])
+    assert unpack_rows(pack_rows(None)) is None
+
+
+def test_seed_is_deterministic_and_conserves_particles():
+    wl = small_wl()
+    a = seed_particles(wl, 2)
+    b = seed_particles(wl, 2)
+    assert a.counts.sum() == wl.particles_per_node * 2
+    np.testing.assert_array_equal(a.counts, b.counts)
+
+
+def test_reference_conserves_particles():
+    wl = small_wl()
+    state = reference(wl, 2)
+    assert state.shape[0] == wl.particles_per_node * 2
+    # ids remain a permutation of 0..N-1
+    np.testing.assert_array_equal(np.sort(state[:, 0]),
+                                  np.arange(state.shape[0], dtype=float))
+    # all particles stay inside the domain
+    assert (state[:, 1] >= 0).all() and (state[:, 1] < wl.width(2)).all()
+    assert (state[:, 2] >= 0).all() and (state[:, 2] < 1.0).all()
+
+
+# ----------------------------------------------------------- end-to-end ------
+@pytest.mark.parametrize("nodes,rpd", [(1, 1), (1, 2), (2, 1), (2, 2)])
+def test_dcuda_matches_reference(nodes, rpd):
+    wl = small_wl()
+    elapsed, state, _ = run_dcuda_particles(Cluster(greina(nodes)), wl, rpd)
+    np.testing.assert_allclose(state, reference(wl, nodes), rtol=1e-12,
+                               atol=1e-12)
+    assert elapsed > 0
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 3])
+def test_mpicuda_matches_reference(nodes):
+    wl = small_wl()
+    elapsed, state, stats = run_mpicuda_particles(Cluster(greina(nodes)),
+                                                  wl, nblocks=4)
+    np.testing.assert_allclose(state, reference(wl, nodes), rtol=1e-12,
+                               atol=1e-12)
+    if nodes > 1:
+        assert stats[0]["halo_time"] > 0
+
+
+def test_variants_agree():
+    wl = small_wl(steps=4)
+    _, a, _ = run_dcuda_particles(Cluster(greina(2)), wl, 2)
+    _, b, _ = run_mpicuda_particles(Cluster(greina(2)), wl, nblocks=4)
+    np.testing.assert_allclose(a, b, rtol=1e-12, atol=1e-12)
+
+
+def test_particles_actually_migrate():
+    """The workload must exercise steps 3-5 (movers), otherwise the test
+    suite would pass with broken migration code."""
+    wl = small_wl(steps=6)
+    init = seed_particles(wl, 2)
+    final = reference(wl, 2)
+    width = wl.width(2)
+    init_cells = {}
+    total = wl.cells_per_node * 2
+    for c in range(1, total + 1):
+        n = init.count(c)
+        for pid in init.fields["pid"][c, :n]:
+            init_cells[pid] = c - 1
+    final_cells = np.minimum((final[:, 1] / wl.cutoff).astype(int),
+                             total - 1)
+    moved = sum(1 for pid, cell in zip(final[:, 0], final_cells)
+                if init_cells[pid] != cell)
+    assert moved > 0

@@ -1,0 +1,70 @@
+"""Tests for the clustered particle distribution (load imbalance)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.particles import (
+    ParticleWorkload,
+    reference,
+    run_dcuda_particles,
+    seed_particles,
+)
+from repro.hw import Cluster, greina
+
+
+def test_clustered_distribution_is_imbalanced():
+    uniform = ParticleWorkload(cells_per_node=16, particles_per_node=320,
+                               steps=1, distribution="uniform")
+    clustered = ParticleWorkload(cells_per_node=16, particles_per_node=320,
+                                 steps=1, distribution="clustered")
+    u = seed_particles(uniform, 2)
+    c = seed_particles(clustered, 2)
+    assert u.counts.sum() == c.counts.sum()
+
+    def imbalance(arr):
+        counts = arr.counts[1:-1]
+        return counts.max() / max(counts.mean(), 1e-9)
+
+    assert imbalance(c) > 1.8 * imbalance(u)
+
+
+def test_clustered_needs_capacity_headroom():
+    """The four-fold over-allocation absorbs moderate clustering (the
+    paper's design point)."""
+    wl = ParticleWorkload(cells_per_node=16, particles_per_node=160,
+                          steps=2, distribution="clustered")
+    state = reference(wl, 2)  # must not overflow
+    assert state.shape[0] == 320
+
+
+def test_clustered_dcuda_matches_reference():
+    wl = ParticleWorkload(cells_per_node=8, particles_per_node=64,
+                          steps=3, distribution="clustered")
+    _, state, _ = run_dcuda_particles(Cluster(greina(2)), wl, 2)
+    np.testing.assert_allclose(state, reference(wl, 2), rtol=1e-12,
+                               atol=1e-12)
+
+
+def test_unknown_distribution_rejected():
+    wl = ParticleWorkload(distribution="fractal")
+    with pytest.raises(ValueError, match="unknown distribution"):
+        seed_particles(wl, 1)
+
+
+def test_clustered_increases_per_rank_compute_spread():
+    """Per-rank interaction counts (the cost driver) spread much wider
+    under clustering — the mechanism behind the paper's non-flat Fig. 9."""
+    from repro.apps.particles import interactions_count, CellArrays
+
+    def spread(distribution):
+        wl = ParticleWorkload(cells_per_node=16, particles_per_node=480,
+                              steps=1, distribution=distribution)
+        arr = seed_particles(wl, 2)
+        per_rank = []
+        for r in range(8):  # 8 ranks x 4 cells
+            lo = 1 + r * 4
+            per_rank.append(interactions_count(arr, lo, lo + 4))
+        per_rank = np.array(per_rank)
+        return per_rank.max() / max(per_rank.mean(), 1e-9)
+
+    assert spread("clustered") > 1.5 * spread("uniform")

@@ -1,0 +1,82 @@
+"""Correctness tests for the SpMV mini-application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.spmv import (
+    SpmvWorkload,
+    make_block,
+    make_x,
+    reference,
+    run_dcuda_spmv,
+    run_mpicuda_spmv,
+)
+from repro.apps.decomp import square_grid
+from repro.hw import Cluster, greina
+
+
+def small_wl(**kw):
+    defaults = dict(n_per_device=24, density=0.1, iters=2)
+    defaults.update(kw)
+    return SpmvWorkload(**defaults)
+
+
+def test_square_grid():
+    assert square_grid(1) == (1, 1)
+    assert square_grid(4) == (2, 2)
+    assert square_grid(9) == (3, 3)
+    with pytest.raises(ValueError):
+        square_grid(2)
+
+
+def test_blocks_are_deterministic():
+    wl = small_wl()
+    a = make_block(wl, 1, 1)
+    b = make_block(wl, 1, 1)
+    assert (a != b).nnz == 0
+    c = make_block(wl, 0, 1)
+    assert a.shape == c.shape and (a != c).nnz > 0
+
+
+def test_reference_matches_dense():
+    wl = small_wl()
+    pr, pc = 2, 2
+    dense = np.zeros((wl.n_per_device * pr, wl.n_per_device * pc))
+    for r in range(pr):
+        for c in range(pc):
+            dense[r * wl.n_per_device:(r + 1) * wl.n_per_device,
+                  c * wl.n_per_device:(c + 1) * wl.n_per_device] = \
+                make_block(wl, r, c).toarray()
+    np.testing.assert_allclose(reference(wl, 4), dense @ make_x(wl, pc),
+                               rtol=1e-12)
+
+
+@pytest.mark.parametrize("nodes,rpd", [(1, 1), (1, 3), (4, 1), (4, 2),
+                                       (9, 1)])
+def test_dcuda_matches_reference(nodes, rpd):
+    wl = small_wl()
+    elapsed, y, _ = run_dcuda_spmv(Cluster(greina(nodes)), wl, rpd)
+    np.testing.assert_allclose(y, reference(wl, nodes), rtol=1e-12)
+    assert elapsed > 0
+
+
+@pytest.mark.parametrize("nodes", [1, 4, 9])
+def test_mpicuda_matches_reference(nodes):
+    wl = small_wl()
+    elapsed, y, stats = run_mpicuda_spmv(Cluster(greina(nodes)), wl,
+                                         nblocks=4)
+    np.testing.assert_allclose(y, reference(wl, nodes), rtol=1e-12)
+    assert all(s["comm_time"] >= 0 for s in stats.values())
+
+
+def test_variants_agree():
+    wl = small_wl()
+    _, a, _ = run_dcuda_spmv(Cluster(greina(4)), wl, 2)
+    _, b, _ = run_mpicuda_spmv(Cluster(greina(4)), wl, nblocks=4)
+    np.testing.assert_allclose(a, b, rtol=1e-12)
+
+
+def test_non_square_node_count_rejected():
+    wl = small_wl()
+    with pytest.raises(ValueError):
+        run_dcuda_spmv(Cluster(greina(2)), wl, 1)

@@ -1,0 +1,72 @@
+"""Correctness tests for the 2-D stencil mini-application (Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil2d import (
+    Stencil2DWorkload,
+    apply_stencil,
+    reference,
+    run_dcuda_stencil2d,
+    run_mpicuda_stencil2d,
+)
+from repro.hw import Cluster, greina
+
+
+def test_apply_stencil_interior_formula():
+    src = np.zeros((4, 5))
+    src[1:3, 1:4] = [[1, 2, 3], [4, 5, 6]]
+    dst = np.zeros_like(src)
+    apply_stencil(src, dst, slice(1, 3))
+    # dst[1,2] = -4*2 + 3 + 1 + 5 + 0 = 1
+    assert dst[1, 2] == pytest.approx(1.0)
+    # i boundary columns copied through
+    assert dst[1, 0] == src[1, 0]
+
+
+def test_reference_is_deterministic():
+    wl = Stencil2DWorkload(ni=8, nj_per_device=6, steps=3)
+    a = reference(wl, 2)
+    b = reference(wl, 2)
+    np.testing.assert_array_equal(a, b)
+
+
+@pytest.mark.parametrize("nodes,rpd", [(1, 1), (1, 2), (1, 4),
+                                       (2, 1), (2, 3), (3, 2)])
+def test_dcuda_matches_reference(nodes, rpd):
+    wl = Stencil2DWorkload(ni=16, nj_per_device=8, steps=4)
+    cluster = Cluster(greina(nodes))
+    elapsed, result, _ = run_dcuda_stencil2d(cluster, wl, rpd)
+    np.testing.assert_allclose(result, reference(wl, nodes), rtol=1e-12)
+    assert elapsed > 0
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 4])
+def test_mpicuda_matches_reference(nodes):
+    wl = Stencil2DWorkload(ni=16, nj_per_device=8, steps=4)
+    cluster = Cluster(greina(nodes))
+    elapsed, result, stats = run_mpicuda_stencil2d(cluster, wl, nblocks=8)
+    np.testing.assert_allclose(result, reference(wl, nodes), rtol=1e-12)
+    if nodes > 1:
+        assert all(s["halo_time"] > 0 for s in stats.values())
+    assert elapsed > 0
+
+
+def test_variants_agree_with_each_other():
+    wl = Stencil2DWorkload(ni=12, nj_per_device=6, steps=5)
+    _, a, _ = run_dcuda_stencil2d(Cluster(greina(2)), wl, 2)
+    _, b, _ = run_mpicuda_stencil2d(Cluster(greina(2)), wl, nblocks=4)
+    np.testing.assert_allclose(a, b, rtol=1e-12)
+
+
+def test_single_device_dcuda_uses_no_network():
+    wl = Stencil2DWorkload(ni=8, nj_per_device=8, steps=2)
+    cluster = Cluster(greina(1))
+    run_dcuda_stencil2d(cluster, wl, 4)
+    assert cluster.fabric.nic_stats(0)["messages"] == 0
+
+
+def test_workload_validation():
+    wl = Stencil2DWorkload(ni=8, nj_per_device=2, steps=1)
+    with pytest.raises(ValueError):
+        run_dcuda_stencil2d(Cluster(greina(1)), wl, ranks_per_device=4)

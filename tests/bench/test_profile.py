@@ -1,0 +1,82 @@
+"""Tests for the launch profiler and the Chrome-trace export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.profile import LaunchProfile, NodeProfile
+from repro.dcuda import launch
+from repro.hw import Cluster, greina
+
+
+def run_small(nodes=2, tracing=True):
+    cluster = Cluster(greina(nodes, tracing=tracing))
+    buffers = {r: np.zeros(64) for r in range(nodes * 2)}
+
+    def kernel(rank):
+        r = rank.world_rank
+        win = yield from rank.win_create(buffers[r])
+        yield from rank.barrier()
+        peer = (r + 1) % rank.comm_size()
+        yield from rank.compute(flops=1e5, mem_bytes=1e4, detail="work")
+        yield from rank.put_notify(win, peer, 0, buffers[r][:16], tag=1)
+        yield from rank.wait_notifications(win, tag=1, count=1)
+        yield from rank.finish()
+
+    return launch(cluster, kernel, ranks_per_device=2), cluster
+
+
+def test_profile_counters_populated():
+    result, cluster = run_small()
+    prof = LaunchProfile.from_result(result)
+    assert len(prof.nodes) == 2
+    for n in prof.nodes:
+        assert isinstance(n, NodeProfile)
+        assert n.pcie_mapped_writes > 0          # commands + notifications
+        assert 0.0 <= n.mem_utilization <= 1.0
+        assert 0.0 <= n.worker_utilization <= 1.0
+    # Cross-node puts produced NIC traffic on both nodes (ring).
+    assert prof.total("nic_messages") > 0
+    assert prof.total("nic_bytes") > 0
+
+
+def test_profile_activity_breakdown():
+    result, _ = run_small(tracing=True)
+    prof = LaunchProfile.from_result(result)
+    assert prof.activity.get("compute", 0) > 0
+    assert prof.activity.get("wait", 0) > 0
+    shares = [prof.activity_share(k) for k in prof.activity]
+    assert sum(shares) == pytest.approx(1.0)
+
+
+def test_profile_without_tracing_has_empty_activity():
+    result, _ = run_small(tracing=False)
+    prof = LaunchProfile.from_result(result)
+    assert prof.activity == {}
+    assert prof.activity_share("compute") == 0.0
+
+
+def test_profile_render_contains_all_nodes():
+    result, _ = run_small()
+    text = LaunchProfile.from_result(result).render()
+    assert "launch profile" in text
+    assert "simulated time" in text
+    assert "block activity" in text
+
+
+def test_chrome_trace_export_is_valid_json():
+    result, cluster = run_small()
+    events = cluster.tracer.to_chrome_trace()
+    assert events
+    blob = json.dumps({"traceEvents": events})
+    parsed = json.loads(blob)
+    ev = parsed["traceEvents"][0]
+    assert ev["ph"] == "X"
+    assert set(ev) >= {"name", "cat", "ts", "dur", "pid", "tid"}
+    # Timestamps are microseconds and non-negative.
+    assert all(e["ts"] >= 0 and e["dur"] >= 0
+               for e in parsed["traceEvents"])
+    # Every actor got a stable tid.
+    tids = {e["args"]["actor"]: e["tid"] for e in parsed["traceEvents"]}
+    assert len(set(tids.values())) == len(tids)

@@ -1,0 +1,157 @@
+"""Tests for the device-side collective building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.dcuda import launch
+from repro.dcuda.collectives import (
+    hierarchical_broadcast,
+    tree_broadcast,
+    tree_levels,
+    tree_reduce,
+)
+from repro.hw import Cluster, greina
+
+
+def test_tree_levels():
+    assert tree_levels(1) == 0
+    assert tree_levels(2) == 1
+    assert tree_levels(3) == 2
+    assert tree_levels(8) == 3
+    assert tree_levels(9) == 4
+
+
+@pytest.mark.parametrize("nodes,rpd,root", [(1, 4, 0), (2, 2, 0),
+                                            (2, 3, 4), (3, 2, 5)])
+def test_tree_broadcast_delivers_everywhere(nodes, rpd, root):
+    size = nodes * rpd
+    payload = np.arange(6, dtype=np.float64) * 2.0
+    buffers = {r: np.zeros(6) for r in range(size)}
+    if root < size:
+        buffers[root][:] = payload
+
+    def kernel(rank):
+        r = rank.world_rank
+        win = yield from rank.win_create(buffers[r])
+        yield from rank.barrier()
+        yield from tree_broadcast(rank, win, list(range(size)),
+                                  buffers[r], root=root, tag=3)
+        yield from rank.finish()
+
+    launch(Cluster(greina(nodes)), kernel, ranks_per_device=rpd)
+    for r in range(size):
+        np.testing.assert_array_equal(buffers[r], payload)
+
+
+@pytest.mark.parametrize("nodes,rpd,root", [(1, 4, 0), (2, 2, 1),
+                                            (2, 4, 0), (3, 3, 4)])
+def test_tree_reduce_sums(nodes, rpd, root):
+    size = nodes * rpd
+    n = 4
+    levels = max(tree_levels(size), 1)
+    scratches = {r: np.zeros(levels * n) for r in range(size)}
+    results = {}
+
+    def kernel(rank):
+        r = rank.world_rank
+        scr = yield from rank.win_create(scratches[r])
+        yield from rank.barrier()
+        out = yield from tree_reduce(rank, scr, list(range(size)),
+                                     np.full(n, float(r + 1)), root=root)
+        results[r] = out
+        yield from rank.finish()
+
+    launch(Cluster(greina(nodes)), kernel, ranks_per_device=rpd)
+    expected = np.full(n, sum(range(1, size + 1)), dtype=float)
+    np.testing.assert_array_equal(results[root], expected)
+    for r in range(size):
+        if r != root:
+            assert results[r] is None
+
+
+def test_tree_reduce_scratch_too_small():
+    scratches = {r: np.zeros(1) for r in range(4)}
+
+    def kernel(rank):
+        scr = yield from rank.win_create(scratches[rank.world_rank])
+        yield from rank.barrier()
+        yield from tree_reduce(rank, scr, list(range(4)),
+                               np.zeros(4))
+        yield from rank.finish()
+
+    from repro.dcuda import DCudaError
+    with pytest.raises(DCudaError, match="scratch"):
+        launch(Cluster(greina(1)), kernel, ranks_per_device=4)
+
+
+def test_reduce_then_broadcast_is_allreduce():
+    size = 6
+    n = 3
+    levels = max(tree_levels(size), 1)
+    buffers = {r: np.zeros(n) for r in range(size)}
+    scratches = {r: np.zeros(levels * n) for r in range(size)}
+    results = {}
+
+    def kernel(rank):
+        r = rank.world_rank
+        win = yield from rank.win_create(buffers[r])
+        scr = yield from rank.win_create(scratches[r])
+        yield from rank.barrier()
+        out = yield from tree_reduce(rank, scr, list(range(size)),
+                                     np.full(n, float(r)), root=0)
+        if r == 0:
+            buffers[0][:] = out
+        yield from tree_broadcast(rank, win, list(range(size)),
+                                  buffers[r], root=0, tag=9)
+        results[r] = buffers[r].copy()
+        yield from rank.finish()
+
+    launch(Cluster(greina(2)), kernel, ranks_per_device=3)
+    expected = np.full(n, float(sum(range(size))))
+    for r in range(size):
+        np.testing.assert_array_equal(results[r], expected)
+
+
+@pytest.mark.parametrize("nodes,rpd", [(1, 4), (2, 4), (3, 2)])
+def test_hierarchical_broadcast(nodes, rpd):
+    size = nodes * rpd
+    payload = np.array([1.5, -2.5, 4.0])
+    # One shared buffer per device: the windows of same-device ranks
+    # overlap, which is what stage 2 (transfer once + notify all) needs.
+    device_bufs = {node: np.zeros(3) for node in range(nodes)}
+    device_bufs[0][:] = payload
+    seen = {}
+
+    def kernel(rank):
+        r = rank.world_rank
+        buf = device_bufs[rank.node.index]
+        win = yield from rank.win_create(buf)
+        yield from rank.barrier()
+        yield from hierarchical_broadcast(rank, win, buf, root=0, tag=5)
+        seen[r] = buf.copy()
+        yield from rank.finish()
+
+    res = launch(Cluster(greina(nodes)), kernel, ranks_per_device=rpd)
+    for r in range(size):
+        np.testing.assert_array_equal(seen[r], payload)
+    # The payload crossed the network at most once per non-root device
+    # (plus control traffic) - count payload-bearing data messages.
+    if nodes > 1:
+        payload_msgs = sum(
+            1 for _ in range(1))  # structural check below instead
+        # Each leader received exactly one copy: check via traffic volume.
+        total_bytes = sum(res.runtime.cluster.fabric.nic_stats(n)["bytes"]
+                          for n in range(nodes))
+        # Payload bytes at most (nodes-1) * payload + metas/ctrl overhead.
+        assert total_bytes < (nodes - 1) * payload.nbytes + 5000
+
+
+def test_group_membership_validated():
+    def kernel(rank):
+        win = yield from rank.win_create(np.zeros(2))
+        yield from tree_broadcast(rank, win, [99], np.zeros(2))
+        yield from rank.finish()
+
+    from repro.dcuda import DCudaError
+    with pytest.raises(DCudaError, match="not in collective group"):
+        launch(Cluster(greina(1)), kernel, ranks_per_device=1)

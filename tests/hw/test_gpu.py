@@ -1,0 +1,247 @@
+"""Unit tests for the GPU device model — including latency hiding itself."""
+
+import pytest
+
+from repro.hw import Cluster, Device, GPUConfig, greina
+from repro.sim import Environment, Tracer
+
+
+def make_device(**kw):
+    env = Environment()
+    cfg = GPUConfig(**kw)
+    tracer = Tracer()
+    return env, Device(env, cfg, tracer=tracer), tracer
+
+
+# ------------------------------------------------------------ allocation ----
+def test_blocks_round_robin_over_sms():
+    env, dev, _ = make_device(num_sms=4, max_blocks_per_sm=2)
+    blocks = dev.allocate_blocks(8)
+    per_sm = [len(sm.resident) for sm in dev.sms]
+    assert per_sm == [2, 2, 2, 2]
+    assert [b.index for b in blocks] == list(range(8))
+
+
+def test_block_limit_enforced():
+    env, dev, _ = make_device(num_sms=2, max_blocks_per_sm=2)
+    dev.allocate_blocks(4)
+    with pytest.raises(ValueError, match="in-flight limit"):
+        dev.allocate_blocks(1)
+
+
+def test_free_blocks_resets():
+    env, dev, _ = make_device(num_sms=2, max_blocks_per_sm=2)
+    dev.allocate_blocks(4)
+    dev.free_blocks()
+    assert dev.blocks == []
+    dev.allocate_blocks(4)  # fits again
+
+
+def test_allocate_zero_rejected():
+    env, dev, _ = make_device()
+    with pytest.raises(ValueError):
+        dev.allocate_blocks(0)
+
+
+def test_default_greina_block_capacity_is_208():
+    cfg = GPUConfig()
+    assert cfg.max_blocks == 208  # 13 SMs x 16 blocks, the paper's launch
+
+
+# ---------------------------------------------------------------- compute ----
+def test_compute_alu_time():
+    env, dev, _ = make_device(num_sms=1, flops=100.0)
+    (b,) = dev.allocate_blocks(1)
+
+    def proc(env):
+        yield from dev.compute(b, flops=50.0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == pytest.approx(0.5)  # 50 FLOP / 100 FLOP/s-per-SM
+
+
+def test_compute_phases_serialize_on_same_sm():
+    env, dev, _ = make_device(num_sms=1, max_blocks_per_sm=2, flops=100.0)
+    b0, b1 = dev.allocate_blocks(2)
+    done = []
+
+    def proc(env, b):
+        yield from dev.compute(b, flops=100.0)
+        done.append(env.now)
+
+    env.process(proc(env, b0))
+    env.process(proc(env, b1))
+    env.run()
+    assert sorted(done) == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_compute_on_different_sms_is_parallel():
+    env, dev, _ = make_device(num_sms=2, flops=200.0)
+    b0, b1 = dev.allocate_blocks(2)
+    done = []
+
+    def proc(env, b):
+        yield from dev.compute(b, flops=100.0)
+        done.append(env.now)
+
+    env.process(proc(env, b0))
+    env.process(proc(env, b1))
+    env.run()
+    assert done == [pytest.approx(1.0), pytest.approx(1.0)]
+
+
+def test_memory_bound_compute_releases_issue_unit():
+    """A memory-bound phase must not hold the issue unit while streaming.
+
+    With two resident blocks, block 0 runs a long memory-bound phase and
+    block 1 a short ALU-only phase; block 1 must finish long before block 0.
+    """
+    env, dev, _ = make_device(num_sms=1, max_blocks_per_sm=2, flops=1e9,
+                              mem_bandwidth=100.0, block_mem_bandwidth=100.0,
+                              mem_latency=0.0)
+    b0, b1 = dev.allocate_blocks(2)
+    done = {}
+
+    def memory_hog(env):
+        yield from dev.compute(b0, flops=1.0, mem_bytes=1000.0)
+        done["hog"] = env.now
+
+    def quick(env):
+        yield from dev.compute(b1, flops=1.0)
+        done["quick"] = env.now
+
+    env.process(memory_hog(env))
+    env.process(quick(env))
+    env.run()
+    assert done["hog"] == pytest.approx(10.0, rel=1e-3)
+    assert done["quick"] < 0.1  # not serialized behind the memory stream
+
+
+def test_aggregate_memory_bandwidth_shared():
+    env, dev, _ = make_device(num_sms=4, flops=1e15, mem_bandwidth=100.0,
+                              block_mem_bandwidth=100.0, mem_latency=0.0)
+    blocks = dev.allocate_blocks(4)
+    done = []
+
+    def proc(env, b):
+        yield from dev.compute(b, mem_bytes=250.0)
+        done.append(env.now)
+
+    for b in blocks:
+        env.process(proc(env, b))
+    env.run()
+    # 1000 bytes total through 100 B/s: all finish at t=10.
+    assert max(done) == pytest.approx(10.0, rel=1e-3)
+
+
+def test_single_block_memory_floor():
+    env, dev, _ = make_device(num_sms=1, flops=1e15, mem_bandwidth=1000.0,
+                              block_mem_bandwidth=10.0, mem_latency=0.0)
+    (b,) = dev.allocate_blocks(1)
+
+    def proc(env):
+        yield from dev.compute(b, mem_bytes=100.0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    # device link would take 0.1 s but the per-block floor is 10 s
+    assert p.value == pytest.approx(10.0, rel=1e-3)
+
+
+def test_compute_validation():
+    env, dev, _ = make_device()
+    (b,) = dev.allocate_blocks(1)
+
+    def bad(env):
+        yield from dev.compute(b, flops=-1.0)
+
+    env.process(bad(env))
+    with pytest.raises(ValueError):
+        env.run()
+
+
+# -------------------------------------------------------------------- copy ----
+def test_copy_charges_read_plus_write():
+    env, dev, _ = make_device(num_sms=1, mem_bandwidth=1e12,
+                              block_mem_bandwidth=100.0, mem_latency=0.0)
+    (b,) = dev.allocate_blocks(1)
+
+    def proc(env):
+        yield from dev.copy(b, nbytes=500.0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == pytest.approx(10.0, rel=1e-3)  # 2*500 B at 100 B/s
+
+
+# -------------------------------------------------------------------- trace ----
+def test_trace_records_compute_and_wait():
+    env, dev, tracer = make_device(num_sms=1, flops=100.0)
+    (b,) = dev.allocate_blocks(1)
+
+    def proc(env):
+        yield from dev.compute(b, flops=100.0, detail="phase1")
+        ev = env.timeout(2.0)
+        yield from dev.wait(b, ev, detail="halo")
+
+    env.process(proc(env))
+    env.run()
+    kinds = [(iv.kind, iv.detail) for iv in tracer.by_actor(b.name)]
+    assert kinds == [("compute", "phase1"), ("wait", "halo")]
+
+
+def test_issue_use_occupies_sm():
+    env, dev, tracer = make_device(num_sms=1, max_blocks_per_sm=2,
+                                   flops=100.0)
+    b0, b1 = dev.allocate_blocks(2)
+    done = {}
+
+    def matcher(env):
+        yield from dev.issue_use(b0, 5.0, kind="match")
+        done["match"] = env.now
+
+    def computer(env):
+        yield env.timeout(0.1)  # let the matcher grab the issue unit
+        yield from dev.compute(b1, flops=100.0)
+        done["compute"] = env.now
+
+    env.process(matcher(env))
+    env.process(computer(env))
+    env.run()
+    assert done["match"] == pytest.approx(5.0)
+    assert done["compute"] == pytest.approx(6.0)  # serialized behind match
+    assert tracer.by_kind("match")
+
+
+# ------------------------------------------------------------------ cluster ----
+def test_cluster_builds_nodes_and_fabric():
+    cluster = Cluster(greina(4))
+    assert cluster.num_nodes == 4
+    assert len(cluster.nodes) == 4
+    assert cluster.fabric.num_nodes == 4
+    assert cluster.node(2).name == "node2"
+
+
+def test_cluster_tracing_flag():
+    assert not Cluster(greina(1)).tracer.enabled
+    assert Cluster(greina(1, tracing=True)).tracer.enabled
+
+
+def test_host_work_serializes_on_worker():
+    cluster = Cluster(greina(1))
+    node = cluster.node(0)
+    env = cluster.env
+    done = []
+
+    def proc(env):
+        yield from node.host_work(1.0)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.process(proc(env))
+    env.run()
+    assert done == [pytest.approx(1.0), pytest.approx(2.0)]

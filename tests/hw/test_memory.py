@@ -1,0 +1,109 @@
+"""Unit tests for the device-memory model."""
+
+import pytest
+
+from repro.hw.config import GPUConfig
+from repro.hw.memory import DeviceMemory
+from repro.sim import Environment
+
+
+def make_memory(**kw):
+    env = Environment()
+    cfg = GPUConfig(**kw)
+    return env, DeviceMemory(env, cfg)
+
+
+def test_access_latency_only():
+    env, mem = make_memory(mem_latency=2.0)
+
+    def proc(env):
+        yield from mem.access(0.0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == pytest.approx(2.0)
+
+
+def test_access_zero_without_latency_is_instant():
+    env, mem = make_memory()
+
+    def proc(env):
+        yield from mem.access(0.0, latency=False)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 0.0
+
+
+def test_block_limited_floor_dominates():
+    env, mem = make_memory(mem_bandwidth=1e12, block_mem_bandwidth=10.0,
+                           mem_latency=0.0)
+
+    def proc(env):
+        yield from mem.access(100.0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == pytest.approx(10.0, rel=1e-3)
+
+
+def test_unlimited_access_uses_link_bandwidth():
+    env, mem = make_memory(mem_bandwidth=100.0, block_mem_bandwidth=1.0,
+                           mem_latency=0.0)
+
+    def proc(env):
+        yield from mem.access(200.0, block_limited=False)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == pytest.approx(2.0, rel=1e-3)
+
+
+def test_copy_moves_double_traffic():
+    env, mem = make_memory(mem_bandwidth=1e12, block_mem_bandwidth=100.0,
+                           mem_latency=0.0)
+
+    def proc(env):
+        yield from mem.copy(500.0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == pytest.approx(10.0, rel=1e-3)
+
+
+def test_negative_access_rejected():
+    env, mem = make_memory()
+    with pytest.raises(ValueError):
+        mem.access_event(-1.0)
+
+
+def test_bytes_transferred_accounting():
+    env, mem = make_memory(mem_latency=0.0)
+
+    def proc(env):
+        yield from mem.access(300.0)
+
+    env.process(proc(env))
+    env.run()
+    assert mem.bytes_transferred == pytest.approx(300.0)
+
+
+def test_concurrent_accesses_share_link():
+    env, mem = make_memory(mem_bandwidth=100.0, block_mem_bandwidth=1e12,
+                           mem_latency=0.0)
+    done = []
+
+    def proc(env):
+        yield from mem.access(500.0)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.process(proc(env))
+    env.run()
+    # 1000 bytes through 100 B/s: both finish at 10 s.
+    assert done == [pytest.approx(10.0, rel=1e-3)] * 2

@@ -1,0 +1,199 @@
+"""Unit tests for the PCIe link and the interconnect fabric."""
+
+import pytest
+
+from repro.hw import PCIeConfig, PCIeLink, FabricConfig
+from repro.net import Fabric
+from repro.sim import Environment
+
+
+def make_pcie(**kw):
+    env = Environment()
+    return env, PCIeLink(env, PCIeConfig(**kw))
+
+
+def make_fabric(num_nodes=2, **kw):
+    env = Environment()
+    return env, Fabric(env, FabricConfig(**kw), num_nodes)
+
+
+# -------------------------------------------------------------------- PCIe ----
+def test_mapped_post_costs_occupancy_only():
+    env, pcie = make_pcie(mapped_post_occupancy=2.0, mapped_write_latency=5.0)
+
+    def proc(env):
+        yield from pcie.mapped_post()
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == pytest.approx(2.0)  # posted: issuer pays occupancy
+    assert pcie.write_visibility_delay == 5.0
+    assert pcie.mapped_writes == 1
+
+
+def test_mapped_read_cost():
+    env, pcie = make_pcie(mapped_read=3.0)
+
+    def proc(env):
+        yield from pcie.mapped_read()
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == pytest.approx(3.0)
+    assert pcie.mapped_reads == 1
+
+
+def test_mapped_transactions_serialize():
+    env, pcie = make_pcie(mapped_post_occupancy=1.0)
+    done = []
+
+    def proc(env):
+        yield from pcie.mapped_post()
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.process(proc(env))
+    env.run()
+    assert done == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_dma_startup_plus_streaming():
+    env, pcie = make_pcie(dma_startup=5.0, bandwidth=10.0)
+
+    def proc(env):
+        yield from pcie.dma_copy(100.0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == pytest.approx(15.0)
+    assert pcie.dma_bytes == 100.0
+
+
+def test_dma_independent_of_mapped():
+    """DMA and mapped transactions use separate engines."""
+    env, pcie = make_pcie(mapped_post_occupancy=1.0, dma_startup=10.0,
+                          bandwidth=1e9)
+    done = {}
+
+    def dma(env):
+        yield from pcie.dma_copy(0.0)
+        done["dma"] = env.now
+
+    def mapped(env):
+        yield from pcie.mapped_post()
+        done["mapped"] = env.now
+
+    env.process(dma(env))
+    env.process(mapped(env))
+    env.run()
+    assert done["mapped"] == pytest.approx(1.0)  # not stuck behind DMA
+    assert done["dma"] == pytest.approx(10.0)
+
+
+def test_dma_negative_size_rejected():
+    env, pcie = make_pcie()
+
+    def bad(env):
+        yield from pcie.dma_copy(-1.0)
+
+    env.process(bad(env))
+    with pytest.raises(ValueError):
+        env.run()
+
+
+# ------------------------------------------------------------------ fabric ----
+def test_transmit_latency_plus_serialization():
+    env, fab = make_fabric(latency=5.0, injection_overhead=1.0,
+                           bandwidth=10.0)
+
+    def proc(env):
+        yield fab.transmit(0, 1, 100.0, mode="host")
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    # 1.0 injection + 10.0 serialization + 5.0 latency
+    assert p.value == pytest.approx(16.0)
+
+
+def test_d2d_mode_uses_lower_bandwidth():
+    env, fab = make_fabric(latency=0.0, injection_overhead=0.0,
+                           bandwidth=10.0, d2d_bandwidth=2.0)
+
+    def proc(env):
+        yield fab.transmit(0, 1, 100.0, mode="d2d")
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == pytest.approx(50.0)
+
+
+def test_sender_nic_serializes_messages():
+    env, fab = make_fabric(latency=0.0, injection_overhead=1.0,
+                           bandwidth=1e12)
+    done = []
+
+    def proc(env):
+        yield fab.transmit(0, 1, 0.0)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.process(proc(env))
+    env.run()
+    assert done == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_different_senders_are_independent():
+    env, fab = make_fabric(num_nodes=3, latency=0.0, injection_overhead=1.0,
+                           bandwidth=1e12)
+    done = []
+
+    def proc(env, src):
+        yield fab.transmit(src, 2, 0.0)
+        done.append(env.now)
+
+    env.process(proc(env, 0))
+    env.process(proc(env, 1))
+    env.run()
+    assert done == [pytest.approx(1.0), pytest.approx(1.0)]
+
+
+def test_loopback_is_cheap():
+    env, fab = make_fabric(latency=100.0, injection_overhead=100.0)
+
+    def proc(env):
+        yield fab.transmit(1, 1, 1024.0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value < 1e-5  # far below the wire latency
+
+
+def test_transmit_validation():
+    env, fab = make_fabric()
+    with pytest.raises(ValueError):
+        fab.transmit(0, 5, 10.0)
+    with pytest.raises(ValueError):
+        fab.transmit(0, 1, -1.0)
+    with pytest.raises(ValueError):
+        fab.transmit(0, 1, 1.0, mode="warp")
+    with pytest.raises(ValueError):
+        Fabric(env, FabricConfig(), 0)
+
+
+def test_nic_stats():
+    env, fab = make_fabric(latency=0.0, injection_overhead=0.0,
+                           bandwidth=10.0)
+
+    def proc(env):
+        yield fab.transmit(0, 1, 40.0)
+
+    env.process(proc(env))
+    env.run()
+    stats = fab.nic_stats(0)
+    assert stats == {"messages": 1, "bytes": 40.0}

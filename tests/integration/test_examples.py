@@ -1,0 +1,24 @@
+"""Smoke tests: every example script must run to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parents[2] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    proc = subprocess.run([sys.executable, str(script)],
+                          capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "stencil_halo_exchange", "particle_cloud",
+            "spmv_power_method", "schedule_trace",
+            "fig2_listing"} <= names

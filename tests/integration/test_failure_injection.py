@@ -1,0 +1,158 @@
+"""Integration: failure injection — misuse must fail loudly, not corrupt.
+
+The launcher propagates any rank's exception out of ``launch`` and detects
+deadlocks (rank processes that never complete once the event queue
+drains)."""
+
+import numpy as np
+import pytest
+
+from repro.dcuda import DCudaError, launch
+from repro.hw import Cluster, greina
+
+
+def test_deadlock_detected_missing_notification():
+    """A rank waiting for a notification nobody sends deadlocks; launch
+    reports it instead of returning silently."""
+
+    def kernel(rank):
+        win = yield from rank.win_create(np.zeros(4))
+        if rank.world_rank == 0:
+            yield from rank.wait_notifications(win, count=1)  # never comes
+        yield from rank.finish()
+
+    with pytest.raises(RuntimeError, match="deadlock"):
+        launch(Cluster(greina(1)), kernel, ranks_per_device=2)
+
+
+def test_deadlock_detected_partial_collective():
+    """A collective that only a subset of ranks enters never completes."""
+
+    def kernel(rank):
+        if rank.world_rank == 0:
+            yield from rank.barrier()  # others skip it
+        yield from rank.finish()
+
+    with pytest.raises(RuntimeError, match="deadlock"):
+        launch(Cluster(greina(2)), kernel, ranks_per_device=1)
+
+
+def test_remote_put_out_of_bounds_raises():
+    buffers = {0: np.zeros(16), 1: np.zeros(4)}  # target smaller!
+
+    def kernel(rank):
+        r = rank.world_rank
+        win = yield from rank.win_create(buffers[r])
+        if r == 0:
+            yield from rank.put_notify(win, 1, 2, np.ones(8), tag=1)
+            yield from rank.flush(win)
+        yield from rank.barrier()
+        yield from rank.finish()
+
+    with pytest.raises(IndexError, match="out of bounds"):
+        launch(Cluster(greina(2)), kernel, ranks_per_device=1)
+
+
+def test_shared_put_out_of_bounds_raises():
+    buffers = {0: np.zeros(16), 1: np.zeros(4)}
+
+    def kernel(rank):
+        r = rank.world_rank
+        win = yield from rank.win_create(buffers[r])
+        if r == 0:
+            yield from rank.put_notify(win, 1, 2, np.ones(8), tag=1)
+        yield from rank.finish()
+
+    with pytest.raises(IndexError, match="out of bounds"):
+        launch(Cluster(greina(1)), kernel, ranks_per_device=2)
+
+
+def test_dtype_mismatch_raises_distributed():
+    buffers = {0: np.zeros(8), 1: np.zeros(8, dtype=np.float32)}
+
+    def kernel(rank):
+        r = rank.world_rank
+        win = yield from rank.win_create(buffers[r])
+        if r == 0:
+            yield from rank.put_notify(win, 1, 0, np.ones(2), tag=1)
+            yield from rank.flush(win)
+        yield from rank.barrier()
+        yield from rank.finish()
+
+    with pytest.raises(TypeError, match="dtype"):
+        launch(Cluster(greina(2)), kernel, ranks_per_device=1)
+
+
+def test_dtype_mismatch_raises_shared():
+    buffers = {0: np.zeros(8), 1: np.zeros(8, dtype=np.float32)}
+
+    def kernel(rank):
+        r = rank.world_rank
+        win = yield from rank.win_create(buffers[r])
+        if r == 0:
+            yield from rank.put_notify(win, 1, 0, np.ones(2), tag=1)
+        yield from rank.finish()
+
+    with pytest.raises(TypeError, match="dtype"):
+        launch(Cluster(greina(1)), kernel, ranks_per_device=2)
+
+
+def test_get_into_readonly_destination_rejected():
+    def kernel(rank):
+        win = yield from rank.win_create(np.zeros(8))
+        dst = np.zeros(2)
+        dst.flags.writeable = False
+        yield from rank.get_notify(win, rank.world_rank, 0, dst)
+        yield from rank.finish()
+
+    with pytest.raises(ValueError, match="writeable"):
+        launch(Cluster(greina(1)), kernel, ranks_per_device=1)
+
+
+def test_use_after_finish_rejected():
+    def kernel(rank):
+        yield from rank.finish()
+        yield from rank.win_create(np.zeros(4))
+
+    with pytest.raises(DCudaError, match="finished"):
+        launch(Cluster(greina(1)), kernel, ranks_per_device=1)
+
+
+def test_double_finish_rejected():
+    def kernel(rank):
+        yield from rank.finish()
+        yield from rank.finish()
+
+    with pytest.raises((DCudaError, RuntimeError)):
+        launch(Cluster(greina(1)), kernel, ranks_per_device=1)
+
+
+def test_kernel_exception_propagates_with_original_type():
+    class AppError(Exception):
+        pass
+
+    def kernel(rank):
+        yield rank.env.timeout(1e-6)
+        raise AppError("application bug")
+
+    with pytest.raises(AppError, match="application bug"):
+        launch(Cluster(greina(1)), kernel, ranks_per_device=1)
+
+
+def test_negative_offset_rejected():
+    def kernel(rank):
+        win = yield from rank.win_create(np.zeros(4))
+        yield from rank.put_notify(win, rank.world_rank, -1, np.ones(1))
+        yield from rank.finish()
+
+    with pytest.raises(ValueError, match="negative"):
+        launch(Cluster(greina(1)), kernel, ranks_per_device=1)
+
+
+def test_non_1d_window_buffer_rejected():
+    def kernel(rank):
+        yield from rank.win_create(np.zeros((2, 2)))
+        yield from rank.finish()
+
+    with pytest.raises(ValueError, match="1-D"):
+        launch(Cluster(greina(1)), kernel, ranks_per_device=1)

@@ -1,0 +1,77 @@
+"""Integration: mixed and repeated workloads on shared infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro.apps.diffusion import (
+    DiffusionWorkload,
+    reference as diffusion_ref,
+    run_dcuda_diffusion,
+)
+from repro.apps.spmv import SpmvWorkload, reference as spmv_ref, run_dcuda_spmv
+from repro.apps.stencil2d import (
+    Stencil2DWorkload,
+    reference as stencil_ref,
+    run_dcuda_stencil2d,
+)
+from repro.dcuda import launch
+from repro.hw import Cluster, greina
+
+
+def test_repeated_launches_on_fresh_clusters_are_identical():
+    """Determinism across runs: the same program on a fresh cluster takes
+    exactly the same simulated time and produces identical data."""
+    wl = Stencil2DWorkload(ni=16, nj_per_device=8, steps=3)
+    t1, out1, _ = run_dcuda_stencil2d(Cluster(greina(2)), wl, 2)
+    t2, out2, _ = run_dcuda_stencil2d(Cluster(greina(2)), wl, 2)
+    assert t1 == t2
+    np.testing.assert_array_equal(out1, out2)
+
+
+def test_sequential_apps_share_nothing():
+    """Running three different apps back to back must not leak state."""
+    swl = Stencil2DWorkload(ni=12, nj_per_device=6, steps=2)
+    dwl = DiffusionWorkload(ni=8, nj_per_device=6, nk=2, steps=2)
+    mwl = SpmvWorkload(n_per_device=16, density=0.2, iters=1)
+
+    _, a, _ = run_dcuda_stencil2d(Cluster(greina(2)), swl, 2)
+    _, b, _ = run_dcuda_diffusion(Cluster(greina(2)), dwl, 2)
+    _, c, _ = run_dcuda_spmv(Cluster(greina(4)), mwl, 2)
+
+    np.testing.assert_allclose(a, stencil_ref(swl, 2), rtol=1e-12)
+    np.testing.assert_allclose(b, diffusion_ref(dwl, 2), rtol=1e-12)
+    np.testing.assert_allclose(c, spmv_ref(mwl, 4), rtol=1e-9)
+
+
+def test_two_kernels_same_cluster_sequentially():
+    """A second dCUDA launch on the SAME cluster must fail loudly (blocks
+    already resident) rather than corrupt the first runtime's state."""
+    cluster = Cluster(greina(1))
+
+    def kernel(rank):
+        yield from rank.finish()
+
+    launch(cluster, kernel, ranks_per_device=104)
+    with pytest.raises(ValueError, match="in-flight limit"):
+        launch(cluster, kernel, ranks_per_device=208)
+
+
+def test_config_overrides_flow_through():
+    """Config overrides visibly change behaviour end to end."""
+    import dataclasses
+
+    wl = Stencil2DWorkload(ni=16, nj_per_device=8, steps=3)
+    fast = greina(2)
+    slow = dataclasses.replace(
+        fast, fabric=dataclasses.replace(fast.fabric, latency=50e-6))
+    t_fast, _, _ = run_dcuda_stencil2d(Cluster(fast), wl, 2)
+    t_slow, _, _ = run_dcuda_stencil2d(Cluster(slow), wl, 2)
+    assert t_slow > t_fast
+
+
+def test_tracing_does_not_change_timing():
+    wl = Stencil2DWorkload(ni=16, nj_per_device=8, steps=3)
+    t_off, _, _ = run_dcuda_stencil2d(Cluster(greina(2)), wl, 2)
+    t_on, _, _ = run_dcuda_stencil2d(Cluster(greina(2, tracing=True)),
+                                     wl, 2)
+    assert t_on == t_off

@@ -1,0 +1,155 @@
+"""Unit tests for MPI collectives (barrier, bcast, reduce, allreduce,
+allgather) at several group sizes, including non-power-of-two."""
+
+import numpy as np
+import pytest
+
+from repro.hw import Cluster, greina
+from repro.mpi import MPIWorld, allgather, allreduce, barrier, bcast, reduce
+
+
+def run_collective(num_nodes, body, group=None):
+    """Spawn one process per participating rank running *body(world, rank)*;
+    returns {rank: result}."""
+    cluster = Cluster(greina(num_nodes))
+    world = MPIWorld(cluster)
+    results = {}
+    ranks = group if group is not None else range(num_nodes)
+
+    def proc(rank):
+        res = yield from body(world, rank)
+        results[rank] = res
+
+    for r in ranks:
+        cluster.env.process(proc(r))
+    cluster.run()
+    return results, cluster
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 8])
+def test_barrier_synchronizes(p):
+    """No rank may leave the barrier before the last rank has entered."""
+    enter = {}
+    leave = {}
+
+    def body(world, rank):
+        yield world.env.timeout(float(rank))  # staggered arrival
+        enter[rank] = world.env.now
+        yield from barrier(world, rank)
+        leave[rank] = world.env.now
+        return None
+
+    run_collective(p, body)
+    last_enter = max(enter.values())
+    assert all(t >= last_enter for t in leave.values())
+
+
+@pytest.mark.parametrize("p,root", [(2, 0), (4, 0), (5, 2), (8, 7), (3, 1)])
+def test_bcast_delivers_root_value(p, root):
+    payload = np.arange(8, dtype=np.float64) * 3.0
+
+    def body(world, rank):
+        value = payload if rank == root else None
+        got = yield from bcast(world, rank, value, root=root)
+        return got
+
+    results, _ = run_collective(p, body)
+    for rank in range(p):
+        np.testing.assert_array_equal(results[rank], payload)
+
+
+@pytest.mark.parametrize("p,root", [(2, 0), (4, 3), (5, 0), (7, 2)])
+def test_reduce_sums_contributions(p, root):
+    def body(world, rank):
+        value = np.full(4, float(rank + 1))
+        got = yield from reduce(world, rank, value, op=np.add, root=root)
+        return got
+
+    results, _ = run_collective(p, body)
+    expected = np.full(4, sum(range(1, p + 1)))
+    np.testing.assert_array_equal(results[root], expected)
+    for rank in range(p):
+        if rank != root:
+            assert results[rank] is None
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 6, 8])
+def test_allreduce_everyone_gets_sum(p):
+    def body(world, rank):
+        got = yield from allreduce(world, rank, np.array([float(rank)]),
+                                   op=np.add)
+        return got
+
+    results, _ = run_collective(p, body)
+    expected = np.array([sum(range(p))], dtype=float)
+    for rank in range(p):
+        np.testing.assert_array_equal(results[rank], expected)
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+def test_allgather_orders_by_group_index(p):
+    def body(world, rank):
+        got = yield from allgather(world, rank, rank * 10, nbytes=8)
+        return got
+
+    results, _ = run_collective(p, body)
+    for rank in range(p):
+        assert results[rank] == [r * 10 for r in range(p)]
+
+
+def test_collectives_on_subgroup():
+    group = [0, 2, 3]
+
+    def body(world, rank):
+        got = yield from allreduce(world, rank, float(rank), op=lambda a,
+                                   b: a + b, group=group, nbytes=8)
+        return got
+
+    results, _ = run_collective(4, body, group=group)
+    assert set(results) == set(group)
+    for rank in group:
+        assert results[rank] == 5.0
+
+
+def test_group_validation():
+    cluster = Cluster(greina(2))
+    world = MPIWorld(cluster)
+
+    def bad_dup(world, rank):
+        yield from barrier(world, rank, group=[0, 0])
+
+    def bad_member(world, rank):
+        yield from barrier(world, rank, group=[1])
+
+    cluster.env.process(bad_dup(world, 0))
+    with pytest.raises(ValueError, match="duplicate"):
+        cluster.run()
+
+    cluster2 = Cluster(greina(2))
+    world2 = MPIWorld(cluster2)
+    cluster2.env.process(bad_member(world2, 0))
+    with pytest.raises(ValueError, match="not in group"):
+        cluster2.run()
+
+
+def test_back_to_back_collectives_do_not_crosstalk():
+    """Two consecutive bcasts with different roots must not mix payloads."""
+    def body(world, rank):
+        a = yield from bcast(world, rank, "A" if rank == 0 else None,
+                             root=0, nbytes=8)
+        b = yield from bcast(world, rank, "B" if rank == 1 else None,
+                             root=1, nbytes=8)
+        return (a, b)
+
+    results, _ = run_collective(4, body)
+    for rank in range(4):
+        assert results[rank] == ("A", "B")
+
+
+def test_barrier_costs_time_on_multiple_nodes():
+    def body(world, rank):
+        yield from barrier(world, rank)
+        return world.env.now
+
+    results, cluster = run_collective(4, body)
+    assert min(results.values()) > 0.0

@@ -1,0 +1,110 @@
+"""Unit tests for the host-side one-sided (RMA) window."""
+
+import numpy as np
+import pytest
+
+from repro.hw import Cluster, greina
+from repro.mpi import HostWindow, MPIWorld
+
+
+def make_window(num_nodes=2, size=16):
+    cluster = Cluster(greina(num_nodes))
+    world = MPIWorld(cluster)
+    buffers = {r: np.zeros(size) for r in range(num_nodes)}
+    win = HostWindow(world, buffers)
+    return cluster, world, win
+
+
+def test_put_lands_in_target_buffer():
+    cluster, world, win = make_window()
+
+    def origin(env):
+        req = win.put(0, 1, np.array([1.0, 2.0, 3.0]), target_offset=4)
+        yield from req.wait()
+
+    cluster.env.process(origin(cluster.env))
+    cluster.run()
+    np.testing.assert_array_equal(win.buffer(1)[4:7], [1.0, 2.0, 3.0])
+    assert win.buffer(1)[:4].sum() == 0.0
+
+
+def test_put_copies_source_at_call_time():
+    cluster, world, win = make_window()
+    src = np.array([5.0, 5.0])
+
+    def origin(env):
+        req = win.put(0, 1, src, target_offset=0)
+        src[:] = -1.0
+        yield from req.wait()
+
+    cluster.env.process(origin(cluster.env))
+    cluster.run()
+    np.testing.assert_array_equal(win.buffer(1)[:2], [5.0, 5.0])
+
+
+def test_get_returns_target_data():
+    cluster, world, win = make_window()
+    win.buffer(1)[8:12] = [9.0, 8.0, 7.0, 6.0]
+    out = {}
+
+    def origin(env):
+        req = win.get(0, 1, count=4, target_offset=8)
+        data = yield from req.wait()
+        out["data"] = data
+
+    cluster.env.process(origin(cluster.env))
+    cluster.run()
+    np.testing.assert_array_equal(out["data"], [9.0, 8.0, 7.0, 6.0])
+
+
+def test_flush_waits_for_all_origin_ops():
+    cluster, world, win = make_window()
+    out = {}
+
+    def origin(env):
+        win.put(0, 1, np.ones(4), target_offset=0)
+        win.put(0, 1, np.ones(4) * 2, target_offset=4)
+        yield from win.flush(0)
+        out["t"] = env.now
+        # After flush both puts must be visible.
+        np.testing.assert_array_equal(win.buffer(1)[:8],
+                                      [1, 1, 1, 1, 2, 2, 2, 2])
+
+    cluster.env.process(origin(cluster.env))
+    cluster.run()
+    assert out["t"] > 0.0
+
+
+def test_flush_with_no_pending_is_noop():
+    cluster, world, win = make_window()
+
+    def origin(env):
+        yield from win.flush(0)
+        return env.now
+
+    p = cluster.env.process(origin(cluster.env))
+    cluster.run()
+    assert p.value == 0.0
+
+
+def test_out_of_bounds_rejected():
+    cluster, world, win = make_window(size=8)
+    with pytest.raises(IndexError):
+        win.put(0, 1, np.ones(4), target_offset=6)
+    with pytest.raises(IndexError):
+        win.get(0, 1, count=9, target_offset=0)
+
+
+def test_unattached_rank_rejected():
+    cluster = Cluster(greina(3))
+    world = MPIWorld(cluster)
+    win = HostWindow(world, {0: np.zeros(4), 1: np.zeros(4)})
+    with pytest.raises(KeyError):
+        win.put(0, 2, np.ones(1), target_offset=0)
+
+
+def test_non_1d_buffer_rejected():
+    cluster = Cluster(greina(1))
+    world = MPIWorld(cluster)
+    with pytest.raises(ValueError):
+        HostWindow(world, {0: np.zeros((2, 2))})

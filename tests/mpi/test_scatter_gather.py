@@ -1,0 +1,123 @@
+"""Tests for scatter, gather, and sendrecv."""
+
+import numpy as np
+import pytest
+
+from repro.hw import Cluster, greina
+from repro.mpi import MPIWorld, gather, scatter, sendrecv
+
+
+def run_collective(num_nodes, body, group=None):
+    cluster = Cluster(greina(num_nodes))
+    world = MPIWorld(cluster)
+    results = {}
+    ranks = group if group is not None else range(num_nodes)
+
+    def proc(rank):
+        res = yield from body(world, rank)
+        results[rank] = res
+
+    for r in ranks:
+        cluster.env.process(proc(r))
+    cluster.run()
+    return results
+
+
+@pytest.mark.parametrize("p,root", [(1, 0), (2, 0), (4, 2), (5, 4)])
+def test_scatter_distributes_by_index(p, root):
+    values = [np.full(2, float(i)) for i in range(p)]
+
+    def body(world, rank):
+        got = yield from scatter(world, rank,
+                                 values if rank == root else None,
+                                 root=root)
+        return got
+
+    results = run_collective(p, body)
+    for r in range(p):
+        np.testing.assert_array_equal(results[r], values[r])
+
+
+def test_scatter_wrong_count_rejected():
+    def body(world, rank):
+        yield from scatter(world, rank, [1, 2, 3] if rank == 0 else None)
+
+    cluster = Cluster(greina(2))
+    world = MPIWorld(cluster)
+
+    def proc():
+        yield from scatter(world, 0, [1, 2, 3])
+
+    cluster.env.process(proc())
+    with pytest.raises(ValueError, match="exactly 2 values"):
+        cluster.run()
+
+
+@pytest.mark.parametrize("p,root", [(1, 0), (3, 0), (4, 3), (6, 2)])
+def test_gather_collects_in_group_order(p, root):
+    def body(world, rank):
+        got = yield from gather(world, rank, rank * 5, root=root, nbytes=8)
+        return got
+
+    results = run_collective(p, body)
+    assert results[root] == [r * 5 for r in range(p)]
+    for r in range(p):
+        if r != root:
+            assert results[r] is None
+
+
+def test_scatter_gather_roundtrip():
+    p = 4
+    original = [np.array([float(i), float(i) + 0.5]) for i in range(p)]
+
+    def body(world, rank):
+        mine = yield from scatter(world, rank,
+                                  original if rank == 0 else None)
+        mine = mine * 2.0
+        back = yield from gather(world, rank, mine, root=0)
+        return back
+
+    results = run_collective(p, body)
+    for i, arr in enumerate(results[0]):
+        np.testing.assert_array_equal(arr, original[i] * 2.0)
+
+
+def test_sendrecv_pairwise_exchange():
+    def body(world, rank):
+        peer = 1 - rank
+        msg = yield from sendrecv(world, rank, peer,
+                                  np.full(2, float(rank)), source=peer,
+                                  sendtag=1, recvtag=1)
+        return msg.payload
+
+    results = run_collective(2, body)
+    np.testing.assert_array_equal(results[0], [1.0, 1.0])
+    np.testing.assert_array_equal(results[1], [0.0, 0.0])
+
+
+def test_sendrecv_ring_shift():
+    p = 5
+
+    def body(world, rank):
+        right = (rank + 1) % p
+        left = (rank - 1) % p
+        msg = yield from sendrecv(world, rank, right, rank, source=left,
+                                  sendtag=2, recvtag=2, nbytes=8)
+        return msg.payload
+
+    results = run_collective(p, body)
+    for r in range(p):
+        assert results[r] == (r - 1) % p
+
+
+def test_gather_on_subgroup():
+    group = [1, 3]
+
+    def body(world, rank):
+        got = yield from gather(world, rank, rank, root=1, group=group,
+                                nbytes=8)
+        return got
+
+    results = run_collective(4, body, group=group)
+    assert results[1] == [1, 3]
+    assert results[3] is None

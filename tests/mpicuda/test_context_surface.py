@@ -1,0 +1,81 @@
+"""Remaining MPICudaContext surface: scatter-like wrappers, properties."""
+
+import numpy as np
+import pytest
+
+from repro.hw import Cluster, greina
+from repro.mpicuda import MPICudaContext, run_mpicuda
+
+
+def test_context_identity_properties():
+    cluster = Cluster(greina(3))
+    seen = {}
+
+    def program(ctx):
+        seen[ctx.rank] = (ctx.size, ctx.now)
+        yield ctx.env.timeout(0.0)
+
+    run_mpicuda(cluster, program)
+    assert set(seen) == {0, 1, 2}
+    assert all(size == 3 for size, _ in seen.values())
+
+
+def test_bcast_reduce_wrappers():
+    cluster = Cluster(greina(4))
+    out = {}
+
+    def program(ctx):
+        val = yield from ctx.bcast(np.full(2, 7.0) if ctx.rank == 0
+                                   else None, root=0)
+        total = yield from ctx.reduce(val + ctx.rank, op=np.add, root=0)
+        if ctx.rank == 0:
+            out["total"] = total
+
+    run_mpicuda(cluster, program)
+    # sum over ranks of (7 + rank) = 4*7 + 6 = 34 per element
+    np.testing.assert_array_equal(out["total"], [34.0, 34.0])
+
+
+def test_allgather_wrapper():
+    cluster = Cluster(greina(3))
+    out = {}
+
+    def program(ctx):
+        vals = yield from ctx.allgather(ctx.rank * 2, nbytes=8)
+        out[ctx.rank] = vals
+
+    run_mpicuda(cluster, program)
+    assert all(v == [0, 2, 4] for v in out.values())
+
+
+def test_program_exception_propagates():
+    cluster = Cluster(greina(1))
+
+    def program(ctx):
+        yield ctx.env.timeout(1e-6)
+        raise KeyError("app bug")
+
+    with pytest.raises(KeyError, match="app bug"):
+        run_mpicuda(cluster, program)
+
+
+def test_launch_with_zero_work_blocks_rejected():
+    cluster = Cluster(greina(1))
+
+    def program(ctx):
+        yield from ctx.launch(0)
+
+    with pytest.raises(ValueError, match="nblocks"):
+        run_mpicuda(cluster, program)
+
+
+def test_memcpy_returns_fn_result():
+    cluster = Cluster(greina(1))
+    out = {}
+
+    def program(ctx):
+        val = yield from ctx.memcpy(128.0, fn=lambda: "copied")
+        out["val"] = val
+
+    run_mpicuda(cluster, program)
+    assert out["val"] == "copied"

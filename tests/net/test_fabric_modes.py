@@ -1,0 +1,63 @@
+"""Additional fabric coverage: transfer-mode costs and concurrency."""
+
+import pytest
+
+from repro.hw import FabricConfig
+from repro.net import TRANSFER_MODES, Fabric
+from repro.sim import Environment
+
+
+def test_transfer_modes_constant():
+    assert set(TRANSFER_MODES) == {"host", "d2d"}
+
+
+def test_bandwidth_for_modes():
+    env = Environment()
+    cfg = FabricConfig(bandwidth=6e9, d2d_bandwidth=2e9)
+    fab = Fabric(env, cfg, 2)
+    assert fab.bandwidth_for("host") == 6e9
+    assert fab.bandwidth_for("d2d") == 2e9
+    with pytest.raises(ValueError, match="unknown transfer mode"):
+        fab.bandwidth_for("warp")
+
+
+def test_serialization_time():
+    env = Environment()
+    fab = Fabric(env, FabricConfig(bandwidth=100.0, d2d_bandwidth=10.0), 2)
+    assert fab.serialization_time(500.0, "host") == pytest.approx(5.0)
+    assert fab.serialization_time(500.0, "d2d") == pytest.approx(50.0)
+
+
+def test_messages_to_distinct_destinations_share_sender_nic():
+    """The sender NIC is the serialization point, regardless of where the
+    messages go."""
+    env = Environment()
+    fab = Fabric(env, FabricConfig(latency=0.0, injection_overhead=1.0,
+                                   bandwidth=1e12), 3)
+    done = []
+
+    def proc(env, dst):
+        yield fab.transmit(0, dst, 0.0)
+        done.append(env.now)
+
+    env.process(proc(env, 1))
+    env.process(proc(env, 2))
+    env.run()
+    assert sorted(done) == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_bidirectional_messages_do_not_serialize():
+    """Opposite directions use different NICs: full duplex."""
+    env = Environment()
+    fab = Fabric(env, FabricConfig(latency=0.0, injection_overhead=1.0,
+                                   bandwidth=1e12), 2)
+    done = []
+
+    def proc(env, src, dst):
+        yield fab.transmit(src, dst, 0.0)
+        done.append(env.now)
+
+    env.process(proc(env, 0, 1))
+    env.process(proc(env, 1, 0))
+    env.run()
+    assert done == [pytest.approx(1.0), pytest.approx(1.0)]

@@ -1,0 +1,88 @@
+"""Property-based tests on the mini-applications.
+
+The strongest invariant a distributed-memory program can have:
+**decomposition invariance** — the result must not depend on how many
+nodes or ranks the domain is split over.  These tests drive the actual
+dCUDA stack (windows, notified puts, matching) with randomized shapes and
+decompositions and require bit-compatible results.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.diffusion import (
+    DiffusionWorkload,
+    reference as diffusion_reference,
+    run_dcuda_diffusion,
+)
+from repro.apps.spmv import (
+    SpmvWorkload,
+    reference as spmv_reference,
+    run_dcuda_spmv,
+)
+from repro.apps.stencil2d import (
+    Stencil2DWorkload,
+    reference as stencil_reference,
+    run_dcuda_stencil2d,
+)
+from repro.hw import Cluster, greina
+
+
+@given(ni=st.integers(4, 24), nj=st.integers(4, 12),
+       steps=st.integers(1, 5), nodes=st.sampled_from([1, 2, 3]),
+       rpd=st.integers(1, 4))
+@settings(max_examples=15, deadline=None)
+def test_stencil_decomposition_invariance(ni, nj, steps, nodes, rpd):
+    wl = Stencil2DWorkload(ni=ni, nj_per_device=nj, steps=steps)
+    if nj < rpd:
+        return
+    _, result, _ = run_dcuda_stencil2d(Cluster(greina(nodes)), wl, rpd)
+    np.testing.assert_allclose(result, stencil_reference(wl, nodes),
+                               rtol=1e-12, atol=1e-14)
+
+
+@given(ni=st.integers(4, 16), nj=st.integers(4, 10), nk=st.integers(1, 4),
+       steps=st.integers(1, 3), nodes=st.sampled_from([1, 2]),
+       rpd=st.integers(1, 3))
+@settings(max_examples=10, deadline=None)
+def test_diffusion_decomposition_invariance(ni, nj, nk, steps, nodes, rpd):
+    wl = DiffusionWorkload(ni=ni, nj_per_device=nj, nk=nk, steps=steps)
+    if nj < rpd:
+        return
+    _, result, _ = run_dcuda_diffusion(Cluster(greina(nodes)), wl, rpd)
+    np.testing.assert_allclose(result, diffusion_reference(wl, nodes),
+                               rtol=1e-12, atol=1e-14)
+
+
+@given(n=st.integers(8, 40), density=st.floats(0.01, 0.3),
+       nodes=st.sampled_from([1, 4]), rpd=st.integers(1, 4),
+       seed=st.integers(0, 1000))
+@settings(max_examples=10, deadline=None)
+def test_spmv_decomposition_invariance(n, density, nodes, rpd, seed):
+    wl = SpmvWorkload(n_per_device=n, density=density, iters=1, seed=seed)
+    if n < rpd:
+        return
+    _, y, _ = run_dcuda_spmv(Cluster(greina(nodes)), wl, rpd)
+    np.testing.assert_allclose(y, spmv_reference(wl, nodes), rtol=1e-9,
+                               atol=1e-12)
+
+
+@given(steps=st.integers(1, 6), cells=st.integers(4, 10),
+       particles=st.integers(8, 60), nodes=st.sampled_from([1, 2]),
+       rpd=st.integers(1, 3))
+@settings(max_examples=8, deadline=None)
+def test_particles_decomposition_invariance(steps, cells, particles, nodes,
+                                            rpd):
+    from repro.apps.particles import (
+        ParticleWorkload,
+        reference,
+        run_dcuda_particles,
+    )
+    wl = ParticleWorkload(cells_per_node=cells,
+                          particles_per_node=particles, steps=steps)
+    if cells < rpd:
+        return
+    _, state, _ = run_dcuda_particles(Cluster(greina(nodes)), wl, rpd)
+    np.testing.assert_allclose(state, reference(wl, nodes), rtol=1e-12,
+                               atol=1e-12)

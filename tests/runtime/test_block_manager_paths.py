@@ -1,0 +1,88 @@
+"""Direct coverage for block-manager code paths not hit elsewhere:
+remote get bounds, unknown commands, and the event handler's dispatch
+validation."""
+
+import numpy as np
+import pytest
+
+from repro.dcuda import launch
+from repro.hw import Cluster, greina
+from repro.mpi import MPIWorld
+from repro.runtime import DCudaRuntime
+from repro.runtime.meta import RT_TAG_META
+
+
+def test_remote_get_out_of_bounds_raises():
+    buffers = {0: np.zeros(16), 1: np.zeros(4)}
+
+    def kernel(rank):
+        r = rank.world_rank
+        win = yield from rank.win_create(buffers[r])
+        if r == 0:
+            dst = np.zeros(8)
+            yield from rank.get_notify(win, 1, 0, dst, tag=1)
+            yield from rank.wait_notifications(win, tag=1, count=1)
+        yield from rank.barrier()
+        yield from rank.finish()
+
+    with pytest.raises(IndexError, match="out of bounds"):
+        launch(Cluster(greina(2)), kernel, ranks_per_device=1)
+
+
+def test_unknown_command_rejected_by_block_manager():
+    cluster = Cluster(greina(1))
+    runtime = DCudaRuntime(cluster, ranks_per_device=1)
+    runtime.start()
+
+    def inject(env):
+        yield from runtime.state_of(0).cmd_queue.enqueue("garbage")
+
+    cluster.env.process(inject(cluster.env))
+    with pytest.raises(TypeError, match="unknown command"):
+        cluster.run()
+
+
+def test_unknown_runtime_message_rejected_by_event_handler():
+    cluster = Cluster(greina(2))
+    runtime = DCudaRuntime(cluster, ranks_per_device=1)
+    runtime.start()
+
+    def inject(env):
+        runtime.world.isend(0, 1, {"evil": True}, tag=RT_TAG_META,
+                            nbytes=32.0)
+        yield env.timeout(0.0)
+
+    cluster.env.process(inject(cluster.env))
+    with pytest.raises(TypeError, match="unexpected runtime message"):
+        cluster.run()
+
+
+def test_get_zero_elements_is_legal():
+    buffers = {r: np.arange(4.0) for r in range(2)}
+
+    def kernel(rank):
+        r = rank.world_rank
+        win = yield from rank.win_create(buffers[r])
+        if r == 0:
+            dst = np.zeros(0)
+            yield from rank.get(win, 1, 0, dst)
+            yield from rank.flush(win)
+        yield from rank.barrier()
+        yield from rank.finish()
+
+    launch(Cluster(greina(2)), kernel, ranks_per_device=1)
+
+
+def test_empty_put_still_notifies():
+    buffers = {r: np.zeros(4) for r in range(2)}
+
+    def kernel(rank):
+        r = rank.world_rank
+        win = yield from rank.win_create(buffers[r])
+        if r == 0:
+            yield from rank.put_notify(win, 1, 0, np.zeros(0), tag=9)
+        else:
+            yield from rank.wait_notifications(win, tag=9, count=1)
+        yield from rank.finish()
+
+    launch(Cluster(greina(2)), kernel, ranks_per_device=1)

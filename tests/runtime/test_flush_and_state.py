@@ -1,0 +1,63 @@
+"""Unit tests for flush tracking and per-rank state."""
+
+import pytest
+
+from repro.hw import Cluster, greina
+from repro.runtime import FlushTracker
+from repro.runtime.state import RankState
+
+
+def test_flush_tracker_in_order():
+    t = FlushTracker()
+    assert t.counter == 0
+    assert t.complete(1) is True
+    assert t.counter == 1
+    assert t.complete(2) is True
+    assert t.counter == 2
+
+
+def test_flush_tracker_out_of_order_holds_counter():
+    t = FlushTracker()
+    assert t.complete(3) is False
+    assert t.counter == 0
+    assert t.complete(2) is False
+    assert t.counter == 0
+    # Completing the gap releases everything contiguous.
+    assert t.complete(1) is True
+    assert t.counter == 3
+
+
+def test_flush_tracker_interleaved():
+    t = FlushTracker()
+    t.complete(2)
+    t.complete(1)
+    assert t.counter == 2
+    t.complete(5)
+    t.complete(3)
+    assert t.counter == 3
+    t.complete(4)
+    assert t.counter == 5
+
+
+def test_flush_tracker_rejects_duplicates():
+    t = FlushTracker()
+    t.complete(1)
+    with pytest.raises(ValueError):
+        t.complete(1)
+    t.complete(3)
+    with pytest.raises(ValueError):
+        t.complete(3)
+
+
+def test_rank_state_id_allocation():
+    cluster = Cluster(greina(1))
+    node = cluster.node(0)
+    block = node.device.allocate_blocks(1)[0]
+    state = RankState(cluster.env, node, world_rank=0, device_rank=0,
+                      block=block, queue_size=8)
+    assert state.allocate_flush_id() == 1
+    assert state.allocate_flush_id() == 2
+    assert state.allocate_local_win() == 0
+    assert state.allocate_local_win() == 1
+    assert state.cmd_queue.size == 8
+    assert not state.finished

@@ -1,0 +1,77 @@
+"""Tests for the post-launch quiescence invariant checker."""
+
+import numpy as np
+import pytest
+
+from repro.dcuda import launch
+from repro.hw import Cluster, greina
+from repro.runtime import DCudaRuntime
+from repro.dcuda.device_api import DRank
+
+
+def test_clean_run_is_quiescent():
+    def kernel(rank):
+        win = yield from rank.win_create(np.zeros(4))
+        peer = 1 - rank.world_rank
+        yield from rank.put_notify(win, peer, 0, np.ones(2), tag=1)
+        yield from rank.wait_notifications(win, tag=1, count=1)
+        yield from rank.finish()
+
+    res = launch(Cluster(greina(2)), kernel, ranks_per_device=1)
+    assert res.runtime.check_quiescent() == []
+
+
+def test_unconsumed_notifications_are_tolerated():
+    """A program that never waits for a notification is legal."""
+    def kernel(rank):
+        win = yield from rank.win_create(np.zeros(4))
+        if rank.world_rank == 0:
+            yield from rank.put_notify(win, 1, 0, np.ones(1), tag=1)
+            yield from rank.flush(win)
+        yield from rank.barrier()
+        yield from rank.finish()
+
+    res = launch(Cluster(greina(2)), kernel, ranks_per_device=1)
+    assert res.runtime.check_quiescent() == []
+
+
+def test_unfinished_rank_detected():
+    cluster = Cluster(greina(1))
+    runtime = DCudaRuntime(cluster, ranks_per_device=2)
+    runtime.start()
+
+    def kernel(rank, do_finish):
+        yield rank.env.timeout(1e-6)
+        if do_finish:
+            # Would deadlock on the finish collective alone; just return.
+            return
+
+    for r in range(2):
+        cluster.env.process(kernel(DRank(runtime, r), r == 0))
+    cluster.run()
+    problems = runtime.check_quiescent()
+    assert any("never finished" in p for p in problems)
+
+
+def test_incomplete_flush_detected():
+    """A flush id issued without a completing operation shows up."""
+    cluster = Cluster(greina(1))
+    runtime = DCudaRuntime(cluster, ranks_per_device=1)
+    runtime.start()
+    state = runtime.state_of(0)
+    state.allocate_flush_id()  # issued, never completed
+    state.finished = True
+    cluster.run()
+    problems = runtime.check_quiescent()
+    assert any("completed 0 of 1" in p for p in problems)
+
+
+def test_launch_raises_on_non_quiescent(monkeypatch):
+    """The launcher surfaces violations instead of returning silently."""
+    def kernel(rank):
+        # Sabotage: issue a flush id with no operation behind it.
+        rank.state.allocate_flush_id()
+        yield from rank.finish()
+
+    with pytest.raises(RuntimeError, match="not quiescent"):
+        launch(Cluster(greina(1)), kernel, ranks_per_device=1)

@@ -1,0 +1,199 @@
+"""Unit tests for Store and Channel."""
+
+import pytest
+
+from repro.sim import Channel, Environment, Store
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env):
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1.0)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            got.append((env.now, item))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert [i for _, i in got] == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+
+    def consumer(env):
+        item = yield store.get()
+        return (env.now, item)
+
+    def producer(env):
+        yield env.timeout(7.0)
+        yield store.put("late")
+
+    p = env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert p.value == (7.0, "late")
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer(env):
+        yield store.put("a")
+        times.append(("a", env.now))
+        yield store.put("b")  # blocks until "a" consumed
+        times.append(("b", env.now))
+
+    def consumer(env):
+        yield env.timeout(5.0)
+        yield store.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert times == [("a", 0.0), ("b", 5.0)]
+
+
+def test_store_filtered_get():
+    env = Environment()
+    store = Store(env)
+
+    def producer(env):
+        yield store.put({"tag": 1, "v": "one"})
+        yield store.put({"tag": 2, "v": "two"})
+
+    def consumer(env):
+        item = yield store.get(lambda m: m["tag"] == 2)
+        return item["v"]
+
+    env.process(producer(env))
+    p = env.process(consumer(env))
+    env.run()
+    assert p.value == "two"
+    assert len(store) == 1  # tag 1 still buffered
+
+
+def test_store_filtered_get_waits_for_match():
+    env = Environment()
+    store = Store(env)
+
+    def producer(env):
+        yield store.put(1)
+        yield env.timeout(3.0)
+        yield store.put(2)
+
+    def consumer(env):
+        item = yield store.get(lambda x: x == 2)
+        return (env.now, item)
+
+    env.process(producer(env))
+    p = env.process(consumer(env))
+    env.run()
+    assert p.value == (3.0, 2)
+
+
+def test_store_multiple_getters_fcfs():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env, tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    def producer(env):
+        yield env.timeout(1.0)
+        yield store.put("x")
+        yield store.put("y")
+
+    env.process(consumer(env, "first"))
+    env.process(consumer(env, "second"))
+    env.process(producer(env))
+    env.run()
+    assert got == [("first", "x"), ("second", "y")]
+
+
+def test_try_put_respects_capacity():
+    env = Environment()
+    store = Store(env, capacity=1)
+    assert store.try_put("a") is True
+    assert store.try_put("b") is False
+    assert store.items == ("a",)
+
+
+def test_try_get_and_peek():
+    env = Environment()
+    store = Store(env)
+    store.try_put(1)
+    store.try_put(2)
+    assert store.peek(lambda x: x > 1) == 2
+    assert store.try_get(lambda x: x > 1) == 2
+    assert store.try_get(lambda x: x > 1) is None
+    assert store.try_get() == 1
+
+
+def test_try_get_with_queued_getters_is_error():
+    env = Environment()
+    store = Store(env)
+
+    def consumer(env):
+        yield store.get()
+
+    env.process(consumer(env))
+    env.run()
+    with pytest.raises(RuntimeError):
+        store.try_get()
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_channel_send_recv():
+    env = Environment()
+    chan = Channel(env)
+
+    def sender(env):
+        yield env.timeout(1.0)
+        yield from chan.send("ping")
+
+    def receiver(env):
+        msg = yield from chan.recv()
+        return (env.now, msg)
+
+    env.process(sender(env))
+    p = env.process(receiver(env))
+    env.run()
+    assert p.value == (1.0, "ping")
+
+
+def test_channel_filtered_recv():
+    env = Environment()
+    chan = Channel(env)
+
+    def sender(env):
+        yield from chan.send(("a", 1))
+        yield from chan.send(("b", 2))
+
+    def receiver(env):
+        msg = yield from chan.recv(lambda m: m[0] == "b")
+        return msg
+
+    env.process(sender(env))
+    p = env.process(receiver(env))
+    env.run()
+    assert p.value == ("b", 2)
+    assert len(chan) == 1

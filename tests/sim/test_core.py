@@ -1,0 +1,313 @@
+"""Unit tests for the DES kernel (repro.sim.core)."""
+
+import pytest
+
+from repro.sim import Environment, Event, Interrupt, Process, SimulationError
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        assert env.now == 0.0
+        yield env.timeout(1.5)
+        assert env.now == 1.5
+        yield env.timeout(0.5)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 2.0
+    assert env.now == 2.0
+
+
+def test_timeout_carries_value():
+    env = Environment()
+
+    def proc(env):
+        got = yield env.timeout(1.0, value="payload")
+        return got
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == "payload"
+
+
+def test_zero_delay_timeout_runs_same_time():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(0.0)
+        order.append(tag)
+
+    env.process(proc(env, "a"))
+    env.process(proc(env, "b"))
+    env.run()
+    assert order == ["a", "b"]
+    assert env.now == 0.0
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    ev = env.event()
+    results = []
+
+    def waiter(env):
+        val = yield ev
+        results.append((env.now, val))
+
+    def firer(env):
+        yield env.timeout(3.0)
+        ev.succeed(42)
+
+    env.process(waiter(env))
+    env.process(firer(env))
+    env.run()
+    assert results == [(3.0, 42)]
+
+
+def test_event_double_trigger_is_error():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("x"))
+
+
+def test_event_fail_throws_into_process():
+    env = Environment()
+    ev = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def firer(env):
+        yield env.timeout(1.0)
+        ev.fail(RuntimeError("boom"))
+
+    env.process(waiter(env))
+    env.process(firer(env))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_failure_propagates_from_run():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise ValueError("unhandled")
+
+    env.process(bad(env))
+    with pytest.raises(ValueError, match="unhandled"):
+        env.run()
+
+
+def test_observed_process_failure_does_not_escape_run():
+    env = Environment()
+    caught = []
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise ValueError("observed")
+
+    def parent(env):
+        child = env.process(bad(env))
+        try:
+            yield child
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(parent(env))
+    env.run()
+    assert caught == ["observed"]
+
+
+def test_process_join_returns_child_value():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(2.0)
+        return "done"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return (env.now, result)
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == (2.0, "done")
+
+
+def test_yield_from_composition():
+    env = Environment()
+
+    def sub(env, n):
+        total = 0.0
+        for _ in range(n):
+            yield env.timeout(1.0)
+            total += 1.0
+        return total
+
+    def main(env):
+        a = yield from sub(env, 3)
+        b = yield from sub(env, 2)
+        return a + b
+
+    p = env.process(main(env))
+    env.run()
+    assert p.value == 5.0
+    assert env.now == 5.0
+
+
+def test_join_already_finished_process():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1.0)
+        return 7
+
+    def parent(env):
+        c = env.process(child(env))
+        yield env.timeout(5.0)
+        val = yield c  # c finished long ago
+        return (env.now, val)
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == (5.0, 7)
+
+
+def test_interrupt_waiting_process():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as i:
+            log.append((env.now, i.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(2.0)
+        victim.interrupt("wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [(2.0, "wake up")]
+
+
+def test_interrupt_finished_process_is_error():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_run_until_stops_clock():
+    env = Environment()
+    log = []
+
+    def ticker(env):
+        while True:
+            yield env.timeout(1.0)
+            log.append(env.now)
+
+    env.process(ticker(env))
+    env.run(until=3.5)
+    assert log == [1.0, 2.0, 3.0]
+    assert env.now == 3.5
+
+
+def test_run_until_in_past_rejected():
+    env = Environment()
+    env.timeout(1.0)
+    env.run()
+    with pytest.raises(ValueError):
+        env.run(until=0.5)
+
+
+def test_deterministic_tie_break_is_spawn_order():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in ["x", "y", "z"]:
+        env.process(proc(env, tag))
+    env.run()
+    assert order == ["x", "y", "z"]
+
+
+def test_run_all_helper():
+    env = Environment()
+
+    def worker(env, n):
+        yield env.timeout(n)
+        return n * 10
+
+    results = env.run_all(worker(env, n) for n in (3, 1, 2))
+    assert results == [30, 10, 20]
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(TypeError):
+        env.run()
+
+
+def test_peek_and_step():
+    env = Environment()
+    env.timeout(2.0)
+    assert env.peek() == 2.0
+    env.step()
+    assert env.now == 2.0
+    assert env.peek() == float("inf")
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_active_process_visible_during_step():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        seen.append(env.active_process)
+        yield env.timeout(1.0)
+
+    p = env.process(proc(env))
+    env.run()
+    assert seen == [p]
+    assert env.active_process is None
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)  # type: ignore[arg-type]

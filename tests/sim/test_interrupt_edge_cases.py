@@ -1,0 +1,171 @@
+"""Additional DES kernel edge cases: interrupts, reuse, failure timing."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    Environment,
+    Interrupt,
+    Semaphore,
+    SimulationError,
+    Store,
+)
+
+
+def test_interrupt_cause_is_carried():
+    env = Environment()
+    seen = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as i:
+            seen.append(i.cause)
+
+    v = env.process(victim(env))
+
+    def interrupter(env):
+        yield env.timeout(1.0)
+        v.interrupt({"reason": "test"})
+
+    env.process(interrupter(env))
+    env.run()
+    assert seen == [{"reason": "test"}]
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            pass
+        yield env.timeout(2.0)  # resumes normal life
+        return env.now
+
+    v = env.process(victim(env))
+
+    def interrupter(env):
+        yield env.timeout(1.0)
+        v.interrupt()
+
+    env.process(interrupter(env))
+    env.run()
+    assert v.value == pytest.approx(3.0)
+
+
+def test_interrupt_does_not_fire_original_event_twice():
+    """The interrupted wait's original event still fires later without
+    resuming the process again."""
+    env = Environment()
+    log = []
+
+    def victim(env):
+        try:
+            yield env.timeout(5.0)
+            log.append("timeout")
+        except Interrupt:
+            log.append("interrupted")
+        yield env.timeout(10.0)
+        log.append("done")
+
+    v = env.process(victim(env))
+
+    def interrupter(env):
+        yield env.timeout(1.0)
+        v.interrupt()
+
+    env.process(interrupter(env))
+    env.run()
+    assert log == ["interrupted", "done"]
+    assert env.now == pytest.approx(11.0)
+
+
+def test_semaphore_holder_interrupted_releases_via_finally():
+    env = Environment()
+    sem = Semaphore(env, 1)
+    order = []
+
+    def holder(env):
+        yield from sem.acquire()
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            pass
+        finally:
+            sem.release()
+        order.append("holder-out")
+
+    def waiter(env):
+        yield from sem.acquire()
+        order.append(("waiter-in", env.now))
+        sem.release()
+
+    h = env.process(holder(env))
+    env.process(waiter(env))
+
+    def interrupter(env):
+        yield env.timeout(3.0)
+        h.interrupt()
+
+    env.process(interrupter(env))
+    env.run()
+    assert ("waiter-in", 3.0) in order
+
+
+def test_all_of_with_already_triggered_events():
+    env = Environment()
+    done = env.event()
+    done.succeed("early")
+
+    def proc(env):
+        vals = yield AllOf(env, [done, env.timeout(2.0, value="late")])
+        return vals
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == ["early", "late"]
+
+
+def test_store_get_then_interrupt_releases_slot():
+    """An interrupted getter must not consume the next item."""
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def waiter(env):
+        try:
+            yield store.get()
+        except Interrupt:
+            pass
+
+    def second(env):
+        item = yield store.get()
+        got.append(item)
+
+    w = env.process(waiter(env))
+    env.process(second(env))
+
+    def driver(env):
+        yield env.timeout(1.0)
+        w.interrupt()
+        yield env.timeout(1.0)
+        yield store.put("x")
+
+    env.process(driver(env))
+    env.run()
+    assert got == ["x"]
+
+
+def test_environment_initial_time():
+    env = Environment(initial_time=100.0)
+    assert env.now == 100.0
+
+    def proc(env):
+        yield env.timeout(5.0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 105.0

@@ -1,0 +1,90 @@
+"""Unit tests for the interval tracer and span algebra."""
+
+import pytest
+
+from repro.sim import Interval, Tracer, merge_intervals, overlap_time, total_time
+
+
+def test_merge_intervals_disjoint():
+    assert merge_intervals([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
+
+
+def test_merge_intervals_overlapping():
+    assert merge_intervals([(0, 2), (1, 3), (5, 6)]) == [(0, 3), (5, 6)]
+
+
+def test_merge_intervals_touching():
+    assert merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+
+def test_merge_intervals_drops_empty():
+    assert merge_intervals([(1, 1), (2, 1)]) == []
+
+
+def test_total_time_counts_overlap_once():
+    assert total_time([(0, 2), (1, 3)]) == pytest.approx(3.0)
+
+
+def test_overlap_time_basic():
+    a = [(0, 10)]
+    b = [(5, 15)]
+    assert overlap_time(a, b) == pytest.approx(5.0)
+
+
+def test_overlap_time_multiple_spans():
+    a = [(0, 2), (4, 6)]
+    b = [(1, 5)]
+    assert overlap_time(a, b) == pytest.approx(2.0)  # (1,2) + (4,5)
+
+
+def test_overlap_time_disjoint_is_zero():
+    assert overlap_time([(0, 1)], [(2, 3)]) == 0.0
+
+
+def test_tracer_records_and_queries():
+    tr = Tracer()
+    tr.record("block0", "compute", 0.0, 2.0)
+    tr.record("block0", "comm", 2.0, 3.0)
+    tr.record("block1", "compute", 1.0, 4.0)
+    assert len(tr.by_actor("block0")) == 2
+    assert len(tr.by_kind("compute")) == 2
+    assert tr.actors() == ["block0", "block1"]
+    assert tr.busy_time(kind="compute") == pytest.approx(4.0)  # union of (0,2),(1,4)
+    assert tr.busy_time(actor="block0") == pytest.approx(3.0)
+
+
+def test_tracer_disabled_is_noop():
+    tr = Tracer(enabled=False)
+    tr.record("a", "x", 0.0, 1.0)
+    assert tr.intervals == []
+
+
+def test_tracer_rejects_backwards_interval():
+    tr = Tracer()
+    with pytest.raises(ValueError):
+        tr.record("a", "x", 2.0, 1.0)
+
+
+def test_interval_duration():
+    iv = Interval("a", "compute", 1.0, 3.5)
+    assert iv.duration == pytest.approx(2.5)
+
+
+def test_render_ascii_contains_actors():
+    tr = Tracer()
+    tr.record("rank0", "compute", 0.0, 1.0)
+    tr.record("rank1", "comm", 1.0, 2.0)
+    art = tr.render_ascii(width=20)
+    assert "rank0" in art and "rank1" in art
+    assert "c" in art
+
+
+def test_render_ascii_empty():
+    assert Tracer().render_ascii() == "(empty trace)"
+
+
+def test_tracer_clear():
+    tr = Tracer()
+    tr.record("a", "x", 0.0, 1.0)
+    tr.clear()
+    assert tr.intervals == []
