@@ -56,39 +56,87 @@ class DiffusionWorkload:
 
 
 # ----------------------------------------------------------- numerics -------
+# The stages compute through preallocated contiguous scratch buffers (one
+# set per slice shape, reused across calls) instead of fresh temporaries.
+# Each element goes through the exact same sequence of IEEE-754 operations
+# as the naive expression form, so results are bit-identical; the scratch
+# reuse only avoids the per-call mmap/page-fault churn of multi-hundred-KB
+# temporaries, which dominates when the simulator replays these stages tens
+# of thousands of times.  (`f[mask] = 0.0` is the masked-fill equivalent of
+# ``np.where(mask, 0.0, f)``.)
+
+_scratch: Dict[tuple, np.ndarray] = {}
+_scratch_bool: Dict[tuple, np.ndarray] = {}
+
+
+def _tmp(shape: tuple, slot: int) -> np.ndarray:
+    buf = _scratch.get((shape, slot))
+    if buf is None:
+        buf = _scratch[(shape, slot)] = np.empty(shape)
+    return buf
+
+
+def _tmp_bool(shape: tuple) -> np.ndarray:
+    buf = _scratch_bool.get(shape)
+    if buf is None:
+        buf = _scratch_bool[shape] = np.empty(shape, dtype=bool)
+    return buf
+
+
 def _stage_lap(inp: np.ndarray, lap: np.ndarray, j0: int, j1: int) -> None:
     """lap = 4*in - sum of 4 neighbours, on rows [j0, j1), interior i."""
-    lap[:, j0:j1, 1:-1] = (4.0 * inp[:, j0:j1, 1:-1]
-                           - inp[:, j0:j1, 2:] - inp[:, j0:j1, :-2]
-                           - inp[:, j0 + 1:j1 + 1, 1:-1]
-                           - inp[:, j0 - 1:j1 - 1, 1:-1])
+    shape = inp.shape[0], j1 - j0, inp.shape[2] - 2
+    t = _tmp(shape, 0)
+    np.multiply(inp[:, j0:j1, 1:-1], 4.0, out=t)
+    np.subtract(t, inp[:, j0:j1, 2:], out=t)
+    np.subtract(t, inp[:, j0:j1, :-2], out=t)
+    np.subtract(t, inp[:, j0 + 1:j1 + 1, 1:-1], out=t)
+    np.subtract(t, inp[:, j0 - 1:j1 - 1, 1:-1], out=t)
+    lap[:, j0:j1, 1:-1] = t
 
 
 def _stage_flx(inp: np.ndarray, lap: np.ndarray, flx: np.ndarray,
                j0: int, j1: int) -> None:
     """x-flux with limiter on rows [j0, j1), i in [0, ni-1)."""
-    f = lap[:, j0:j1, 1:] - lap[:, j0:j1, :-1]
-    limit = f * (inp[:, j0:j1, 1:] - inp[:, j0:j1, :-1]) > 0.0
-    flx[:, j0:j1, :-1] = np.where(limit, 0.0, f)
+    shape = inp.shape[0], j1 - j0, inp.shape[2] - 1
+    f = _tmp(shape, 0)
+    d = _tmp(shape, 1)
+    m = _tmp_bool(shape)
+    np.subtract(lap[:, j0:j1, 1:], lap[:, j0:j1, :-1], out=f)
+    np.subtract(inp[:, j0:j1, 1:], inp[:, j0:j1, :-1], out=d)
+    np.multiply(f, d, out=d)
+    np.greater(d, 0.0, out=m)
+    f[m] = 0.0
+    flx[:, j0:j1, :-1] = f
 
 
 def _stage_fly(inp: np.ndarray, lap: np.ndarray, fly: np.ndarray,
                j0: int, j1: int) -> None:
     """y-flux with limiter on rows [j0, j1) (needs lap/in at j+1)."""
-    f = lap[:, j0 + 1:j1 + 1, :] - lap[:, j0:j1, :]
-    limit = f * (inp[:, j0 + 1:j1 + 1, :] - inp[:, j0:j1, :]) > 0.0
-    fly[:, j0:j1, :] = np.where(limit, 0.0, f)
+    shape = inp.shape[0], j1 - j0, inp.shape[2]
+    f = _tmp(shape, 0)
+    d = _tmp(shape, 1)
+    m = _tmp_bool(shape)
+    np.subtract(lap[:, j0 + 1:j1 + 1, :], lap[:, j0:j1, :], out=f)
+    np.subtract(inp[:, j0 + 1:j1 + 1, :], inp[:, j0:j1, :], out=d)
+    np.multiply(f, d, out=d)
+    np.greater(d, 0.0, out=m)
+    f[m] = 0.0
+    fly[:, j0:j1, :] = f
 
 
 def _stage_out(inp: np.ndarray, flx: np.ndarray, fly: np.ndarray,
                out: np.ndarray, coeff: float, j0: int, j1: int) -> None:
     """out = in - coeff * flux divergence, rows [j0, j1), interior i
     (needs fly at j-1)."""
-    out[:, j0:j1, 1:-1] = (inp[:, j0:j1, 1:-1]
-                           - coeff * (flx[:, j0:j1, 1:-1]
-                                      - flx[:, j0:j1, :-2]
-                                      + fly[:, j0:j1, 1:-1]
-                                      - fly[:, j0 - 1:j1 - 1, 1:-1]))
+    shape = inp.shape[0], j1 - j0, inp.shape[2] - 2
+    t = _tmp(shape, 2)
+    np.subtract(flx[:, j0:j1, 1:-1], flx[:, j0:j1, :-2], out=t)
+    np.add(t, fly[:, j0:j1, 1:-1], out=t)
+    np.subtract(t, fly[:, j0 - 1:j1 - 1, 1:-1], out=t)
+    np.multiply(t, coeff, out=t)
+    np.subtract(inp[:, j0:j1, 1:-1], t, out=t)
+    out[:, j0:j1, 1:-1] = t
 
 
 def _phase_costs(points: int) -> Dict[str, Tuple[float, float]]:
@@ -100,22 +148,35 @@ def _phase_costs(points: int) -> Dict[str, Tuple[float, float]]:
     }
 
 
+_field_cache: Dict[tuple, np.ndarray] = {}
+
+
 def initial_field(wl: DiffusionWorkload, num_nodes: int) -> np.ndarray:
+    # The field is a pure function of (workload, nodes); benchmark drivers
+    # request it several times per node count (dCUDA run, MPI-CUDA run,
+    # reference), so cache the pristine copy and hand out duplicates.
+    key = (wl, num_nodes)
+    cached = _field_cache.get(key)
+    if cached is not None:
+        return cached.copy()
     nj = wl.nj_per_device * num_nodes
     rng = np.random.default_rng(7)
     field = np.zeros((wl.nk, nj + 2, wl.ni))
     field[:, 1:-1, :] = rng.standard_normal((wl.nk, nj, wl.ni))
-    return field
+    _field_cache[key] = field
+    return field.copy()
 
 
 def reference(wl: DiffusionWorkload, num_nodes: int) -> np.ndarray:
     """Serial reference; returns the interior of the final field."""
     nj = wl.nj_per_device * num_nodes
     inp = initial_field(wl, num_nodes)
-    out = np.zeros_like(inp)
-    lap = np.zeros_like(inp)
-    flx = np.zeros_like(inp)
-    fly = np.zeros_like(inp)
+    # np.zeros (calloc-backed, lazily zeroed) over zeros_like (eager memset):
+    # the boundary rows these stages never write must read as 0.0 either way.
+    out = np.zeros(inp.shape)
+    lap = np.zeros(inp.shape)
+    flx = np.zeros(inp.shape)
+    fly = np.zeros(inp.shape)
     for _ in range(wl.steps):
         _stage_lap(inp, lap, 1, nj + 1)
         _stage_flx(inp, lap, flx, 1, nj + 1)
@@ -134,7 +195,7 @@ def make_device_fields(wl: DiffusionWorkload,
         lo = node * wl.nj_per_device
         arrays = {"inp": field[:, lo:lo + wl.nj_per_device + 2, :].copy()}
         for name in ("out", "lap", "flx", "fly"):
-            arrays[name] = np.zeros_like(arrays["inp"])
+            arrays[name] = np.zeros(arrays["inp"].shape)
         per_node[node] = arrays
     return per_node
 

@@ -22,6 +22,10 @@ from .weak_scaling import (
     spmv_weak_scaling,
     stencil_weak_scaling,
 )
+# NOTE: repro.bench.simperf is intentionally not imported here — it is a
+# ``python -m repro.bench.simperf`` entry point, and importing it from the
+# package __init__ would trigger the double-import RuntimeWarning under
+# runpy.  Import it as ``from repro.bench.simperf import ...``.
 
 __all__ = [
     "LaunchProfile", "NodeProfile",

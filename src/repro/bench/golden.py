@@ -1,0 +1,134 @@
+"""Golden simulated-timestamp capture (determinism guard rail).
+
+The simulator's contract is that performance work on the DES kernel (the
+virtual-time fair-share links, the pooled timeout path, the notification
+matching index) must never move a single *simulated* timestamp.  This
+module defines one miniature instance of every figure workload and digests
+each into a flat ``{label: simulated time}`` mapping.  The captured values
+are stored in ``tests/fixtures/golden_timestamps.json`` and the regression
+test ``tests/integration/test_golden_timestamps.py`` asserts that the
+current kernel reproduces them **exactly** — ``==`` on floats, not
+``pytest.approx``.
+
+Regenerate the fixture (only after an *intentional* model change) with::
+
+    PYTHONPATH=src python -m repro.bench.golden tests/fixtures/golden_timestamps.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Callable, Dict
+
+from ..apps.diffusion import DiffusionWorkload
+from ..apps.particles import ParticleWorkload
+from ..apps.spmv import SpmvWorkload
+from .overlap import run_overlap
+from .pingpong import run_pingpong
+from .weak_scaling import (
+    particles_weak_scaling,
+    spmv_weak_scaling,
+    stencil_weak_scaling,
+)
+
+__all__ = ["GOLDEN_WORKLOADS", "capture", "write_fixture"]
+
+
+def _rows(table, label: str) -> Dict[str, float]:
+    """Flatten a weak-scaling table into per-node-count timestamp entries."""
+    out: Dict[str, float] = {}
+    cols = list(table.columns)
+    nodes = table.column("nodes")
+    dcuda = table.column(cols[1])
+    mpicuda = table.column(cols[2])
+    comm = table.column(cols[3])
+    for n, d, m, c in zip(nodes, dcuda, mpicuda, comm):
+        out[f"{label}.n{n}.dcuda_ms"] = d
+        out[f"{label}.n{n}.mpicuda_ms"] = m
+        out[f"{label}.n{n}.comm_ms"] = c
+    return out
+
+
+def _fig6() -> Dict[str, float]:
+    shared = run_pingpong(shared=True, packet_bytes=256, iterations=4)
+    dist = run_pingpong(shared=False, packet_bytes=256, iterations=4)
+    return {"fig6.shared.latency": shared.latency,
+            "fig6.distributed.latency": dist.latency}
+
+
+def _fig7() -> Dict[str, float]:
+    pt = run_overlap("newton", compute_iters=4, steps=2, num_nodes=2,
+                     ranks_per_device=4)
+    return {"fig7.newton.elapsed": pt.elapsed}
+
+
+def _fig8() -> Dict[str, float]:
+    pt = run_overlap("copy", compute_iters=4, steps=2, num_nodes=2,
+                     ranks_per_device=4)
+    return {"fig8.copy.elapsed": pt.elapsed}
+
+
+def _fig9() -> Dict[str, float]:
+    wl = ParticleWorkload(cells_per_node=8, particles_per_node=48, steps=2)
+    table = particles_weak_scaling(node_counts=(1, 2), wl=wl,
+                                   ranks_per_device=2, nblocks=4)
+    return _rows(table, "fig9")
+
+
+def _fig10() -> Dict[str, float]:
+    wl = DiffusionWorkload(ni=8, nj_per_device=6, nk=2, steps=2)
+    table = stencil_weak_scaling(node_counts=(1, 2), wl=wl,
+                                 ranks_per_device=3, nblocks=4)
+    return _rows(table, "fig10")
+
+
+def _fig11() -> Dict[str, float]:
+    wl = SpmvWorkload(n_per_device=16, density=0.2, iters=1)
+    table = spmv_weak_scaling(node_counts=(1, 4), wl=wl,
+                              ranks_per_device=2, nblocks=4)
+    return _rows(table, "fig11")
+
+
+#: Label -> callable producing ``{timestamp label: simulated time}``.
+GOLDEN_WORKLOADS: Dict[str, Callable[[], Dict[str, float]]] = {
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+}
+
+
+def capture() -> Dict[str, float]:
+    """Run every miniature figure workload; returns all timestamps."""
+    out: Dict[str, float] = {}
+    for fn in GOLDEN_WORKLOADS.values():
+        out.update(fn())
+    return out
+
+
+def write_fixture(path: str) -> Dict[str, float]:
+    """Capture and persist the golden timestamps as JSON.
+
+    ``json`` serializes floats with ``repr``, which round-trips IEEE-754
+    doubles exactly — the fixture preserves every bit of each timestamp.
+    """
+    values = capture()
+    with open(path, "w") as fh:
+        json.dump(values, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return values
+
+
+if __name__ == "__main__":  # pragma: no cover - capture utility
+    target = sys.argv[1] if len(sys.argv) > 1 else "golden_timestamps.json"
+    if target.startswith("-"):
+        print("usage: python -m repro.bench.golden [output.json]\n"
+              "(captures the fixture; the exactness *check* is "
+              "tests/integration/test_golden_timestamps.py)",
+              file=sys.stderr)
+        sys.exit(2)
+    vals = write_fixture(target)
+    print(f"captured {len(vals)} golden timestamps -> {target}")

@@ -1,0 +1,161 @@
+"""Simulator-throughput benchmark: events/sec and wall-clock time.
+
+The paper's evaluation is expressed in *simulated* time; this module
+measures the *simulator* itself — how many scheduler events the DES kernel
+retires per second of host wall-clock time — so performance work on the
+kernel (virtual-time fair-share links, the bare-delay sleep lane, deferred
+calls, store fast paths) can be tracked quantitatively.
+
+Two complementary probes:
+
+* :func:`synthetic_throughput` — a pure kernel microbenchmark: a pool of
+  processes that sleep, contend on a semaphore, and exchange tokens
+  through a store.  It exercises every scheduling lane (bare-delay sleeps,
+  triggered events, deferred calls, FIFO dispatch) with no model code on
+  top, so it isolates raw scheduler throughput.
+* :func:`diffusion_throughput` — the full stack: one dCUDA
+  horizontal-diffusion run (the Fig. 10 workload) on a real cluster
+  model, reporting both wall-clock and events/sec end to end.
+
+The *events* count is the number of heap entries ever scheduled
+(``Environment._seq``), which is exact and deterministic: two runs of the
+same workload schedule the identical entry sequence, so events/sec
+differences are purely host-speed effects.
+
+Run from the command line::
+
+    PYTHONPATH=src python -m repro.bench.simperf            # quick probe
+    PYTHONPATH=src python -m repro.bench.simperf --full     # figure scale
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..apps.diffusion import DiffusionWorkload, run_dcuda_diffusion
+from ..hw import Cluster, greina
+from ..sim import Environment, Semaphore, Store
+from .table import Table
+
+__all__ = [
+    "SimPerfResult",
+    "synthetic_throughput",
+    "diffusion_throughput",
+    "run_simperf",
+]
+
+
+@dataclass(frozen=True)
+class SimPerfResult:
+    """One throughput measurement of the simulator."""
+
+    #: Probe name (``synthetic`` or ``diffusion``).
+    label: str
+    #: Scheduler events retired (heap entries ever scheduled).
+    events: int
+    #: Host wall-clock duration of the run [s].
+    wall_s: float
+    #: Final simulated time reached [s].
+    sim_time_s: float
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def _worker(env: Environment, sem: Semaphore, store: Store,
+            hops: int, period: float):
+    """One synthetic process: sleep, acquire, exchange, release."""
+    for i in range(hops):
+        yield period
+        yield from sem.acquire()
+        store.put(i)
+        token = yield store.get()
+        assert token is not None
+        sem.release()
+
+
+def synthetic_throughput(num_procs: int = 64,
+                         hops: int = 500) -> SimPerfResult:
+    """Raw scheduler throughput on a synthetic contention workload.
+
+    *num_procs* processes each perform *hops* rounds of sleep → semaphore
+    acquire → store put/get → release.  The semaphore has a quarter of the
+    process count in capacity, so both the uncontended fast path and the
+    FCFS waiter queue are exercised.
+    """
+    env = Environment()
+    sem = Semaphore(env, capacity=max(1, num_procs // 4), name="bench-sem")
+    store = Store(env, name="bench-store")
+    for p in range(num_procs):
+        # Distinct periods keep wakeups interleaved instead of batched.
+        env.process(_worker(env, sem, store, hops, 1e-6 * (1 + p % 7)),
+                    name=f"bench:{p}")
+    t0 = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - t0
+    return SimPerfResult(label="synthetic", events=env._seq, wall_s=wall,
+                         sim_time_s=env.now)
+
+
+def diffusion_throughput(wl: Optional[DiffusionWorkload] = None,
+                         num_nodes: int = 2,
+                         ranks_per_device: int = 16) -> SimPerfResult:
+    """End-to-end throughput of one dCUDA diffusion run (Fig. 10 stack)."""
+    wl = wl or DiffusionWorkload(ni=32, nj_per_device=32, nk=8, steps=4)
+    cluster = Cluster(greina(num_nodes))
+    t0 = time.perf_counter()
+    elapsed, _out, _profile = run_dcuda_diffusion(cluster, wl,
+                                                  ranks_per_device)
+    wall = time.perf_counter() - t0
+    return SimPerfResult(label="diffusion", events=cluster.env._seq,
+                         wall_s=wall, sim_time_s=elapsed)
+
+
+def run_simperf(quick: bool = True) -> Table:
+    """Run both probes; returns a rendered-ready results table.
+
+    *quick* keeps the runtime to a couple of seconds (the CI smoke
+    setting); the full setting uses the figure-scale diffusion workload.
+    """
+    if quick:
+        results = [
+            synthetic_throughput(num_procs=32, hops=200),
+            diffusion_throughput(),
+        ]
+    else:
+        results = [
+            synthetic_throughput(num_procs=128, hops=2000),
+            diffusion_throughput(
+                wl=DiffusionWorkload(ni=128, nj_per_device=416, nk=26,
+                                     steps=10),
+                num_nodes=2, ranks_per_device=208),
+        ]
+    table = Table("Simulator throughput",
+                  ["probe", "events", "wall [s]", "events/s",
+                   "simulated [ms]"])
+    for r in results:
+        table.add_row(r.label, r.events, r.wall_s, r.events_per_sec,
+                      r.sim_time_s * 1e3)
+    table.add_note("events = scheduler heap entries; identical across "
+                   "runs of the same workload")
+    return table
+
+
+def main(argv=None) -> int:  # pragma: no cover - thin CLI
+    args = sys.argv[1:] if argv is None else argv
+    unknown = [a for a in args if a != "--full"]
+    if unknown:
+        print(f"unknown argument(s): {' '.join(unknown)}\n"
+              "usage: python -m repro.bench.simperf [--full]",
+              file=sys.stderr)
+        return 2
+    print(run_simperf(quick="--full" not in args).render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

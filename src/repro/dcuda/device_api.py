@@ -28,7 +28,7 @@ calls.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
 
 import numpy as np
 
@@ -77,6 +77,8 @@ class DRank:
         self.cfg = runtime.cfg
         self.matcher = NotificationMatcher(self.state, self.device,
                                            self.block, self.cfg.devicelib)
+        # Communicator membership is fixed for the life of the rank.
+        self._participants_cache: Dict[str, Tuple[int, ...]] = {}
         self._finished = False
 
     # ------------------------------------------------------------- identity --
@@ -103,12 +105,18 @@ class DRank:
 
     def comm_participants(self, comm: str) -> Tuple[int, ...]:
         """World ranks belonging to *comm*."""
+        cached = self._participants_cache.get(comm)
+        if cached is not None:
+            return cached
         self._comm_name(comm)
         if comm == DCUDA_COMM_WORLD:
-            return tuple(range(self.runtime.total_ranks))
-        rpd = self.runtime.ranks_per_device
-        base = self.node.index * rpd
-        return tuple(range(base, base + rpd))
+            result = tuple(range(self.runtime.total_ranks))
+        else:
+            rpd = self.runtime.ranks_per_device
+            base = self.node.index * rpd
+            result = tuple(range(base, base + rpd))
+        self._participants_cache[comm] = result
+        return result
 
     @property
     def now(self) -> float:
@@ -293,7 +301,7 @@ class DRank:
     # ------------------------------------------------------------ internals --
     def _assemble(self) -> Generator[Event, Any, None]:
         """Charge the device-side command assembly on the issue unit."""
-        yield from self.device.issue_use(
+        return self.device.issue_use(
             self.block, self.cfg.devicelib.command_assembly, kind="comm",
             detail="assemble")
 

@@ -120,5 +120,5 @@ def notify_host(rank: DRank, host: HostRank,
                 tag: int = 0) -> Generator[Event, Any, None]:
     """Device-side: signal a host rank (one PCIe transaction)."""
     yield from rank.node.pcie.mapped_post()
-    yield rank.env.timeout(rank.node.pcie.write_visibility_delay)
+    yield rank.node.pcie.write_visibility_delay
     host.notify(rank.world_rank, tag)

@@ -11,9 +11,10 @@ generator.  Its return value is collected per rank.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..hw.cluster import Cluster
+from ..hw.config import MachineConfig
 from ..runtime.system import DCudaRuntime
 from ..sim import Tracer
 from .device_api import DRank
@@ -37,14 +38,20 @@ class LaunchResult:
     log_records: List[Tuple[float, int, str]] = field(default_factory=list)
 
 
-def launch(cluster: Cluster, kernel: Callable[..., Any],
+def launch(cluster: Union[Cluster, MachineConfig], kernel: Callable[..., Any],
            ranks_per_device: int,
            kernel_args: Optional[Dict[str, Any]] = None) -> LaunchResult:
     """Run *kernel* on every rank of the cluster; returns timing + results.
 
+    *cluster* may be a built :class:`Cluster` or a bare
+    :class:`MachineConfig`, which is wrapped in a fresh cluster (and hence
+    a fresh simulation clock) automatically.
+
     The rank count per device is capped at the device's in-flight block
     limit — dCUDA's over-subscription rule (§II-B).
     """
+    if isinstance(cluster, MachineConfig):
+        cluster = Cluster(cluster)
     runtime = DCudaRuntime(cluster, ranks_per_device)
     runtime.start()
     args = kernel_args or {}

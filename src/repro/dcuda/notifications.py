@@ -11,11 +11,22 @@ coalesced reads and shuffle reductions): every pass charges the block's SM
 issue unit is shared with application compute, heavy matching steals compute
 throughput — the paper's explanation for the slightly imperfect overlap of
 compute-bound workloads (Fig. 7).
+
+Wall-clock vs simulated cost: the *charged* cost of a pass is always
+``match_base + match_per_entry × |pending|`` — the simulated device scans
+its whole queue, exactly as before.  The host-side implementation, however,
+keeps the pending set indexed (a dict keyed by the full ``(win_id, source,
+tag)`` triple, one keyed by ``(win_id, tag)`` for the ubiquitous
+any-source waits, plus an insertion-ordered fallback map for other
+wildcard patterns), so finding the matches costs O(matches) wall-clock
+instead of rebuilding the whole list per pass.  Simulated timestamps are
+bit-identical either way; only the simulator got faster.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, List
+from collections import deque
+from typing import Any, Deque, Dict, Generator, Tuple
 
 from ..hw.config import DeviceLibConfig
 from ..hw.gpu import Block, Device
@@ -31,6 +42,20 @@ DCUDA_ANY_TAG = -1
 DCUDA_ANY_WINDOW = -1
 
 
+class _Entry:
+    """One pending notification plus its liveness flag.
+
+    Entries sit in several index buckets at once; consuming one via any
+    index flips ``alive`` and the other buckets skip it lazily.
+    """
+
+    __slots__ = ("notification", "alive")
+
+    def __init__(self, notification: Notification):
+        self.notification = notification
+        self.alive = True
+
+
 class NotificationMatcher:
     """Per-rank notification queue consumer."""
 
@@ -41,8 +66,15 @@ class NotificationMatcher:
         self.block = block
         self.cfg = cfg
         self.env = state.env
-        #: Arrived-but-unmatched notifications, in arrival order.
-        self._pending: List[Notification] = []
+        #: Arrival counter; keys the insertion-ordered fallback map.
+        self._arrival_seq = 0
+        #: Arrived-but-unmatched entries in arrival order (dicts preserve
+        #: insertion order; deletion keeps it) — the wildcard fallback.
+        self._ordered: Dict[int, _Entry] = {}
+        #: Exact-triple index: (win_id, source, tag) -> arrival-ordered run.
+        self._by_full: Dict[Tuple[int, int, int], Deque[_Entry]] = {}
+        #: Any-source index: (win_id, tag) -> arrival-ordered run.
+        self._by_win_tag: Dict[Tuple[int, int], Deque[_Entry]] = {}
         #: Total notifications ever matched (statistics).
         self.matched_total = 0
         #: Enqueue count at the last drain — detects arrivals that land
@@ -52,13 +84,25 @@ class NotificationMatcher:
 
     # -- internals ------------------------------------------------------
     def _drain(self) -> None:
-        """Move arrived queue entries into the local pending list."""
+        """Move arrived queue entries into the local pending indexes."""
+        queue = self.state.notif_queue
         while True:
-            entry = self.state.notif_queue.try_dequeue()
-            if entry is None:
-                self._drained_at = self.state.notif_queue.stats.enqueues
+            item = queue.try_dequeue()
+            if item is None:
+                self._drained_at = queue.stats.enqueues
                 return
-            self._pending.append(entry)
+            entry = _Entry(item)
+            self._arrival_seq += 1
+            self._ordered[self._arrival_seq] = entry
+            n = item
+            full = self._by_full.get((n.win_id, n.source, n.tag))
+            if full is None:
+                full = self._by_full[(n.win_id, n.source, n.tag)] = deque()
+            full.append(entry)
+            wt = self._by_win_tag.get((n.win_id, n.tag))
+            if wt is None:
+                wt = self._by_win_tag[(n.win_id, n.tag)] = deque()
+            wt.append(entry)
 
     @staticmethod
     def _matches(n: Notification, win_id: int, source: int, tag: int) -> bool:
@@ -66,29 +110,93 @@ class NotificationMatcher:
                 and (source == DCUDA_ANY_SOURCE or n.source == source)
                 and (tag == DCUDA_ANY_TAG or n.tag == tag))
 
+    def _consume_indexed(self, bucket: Deque[_Entry], needed: int) -> int:
+        """Consume up to *needed* live entries from an index bucket."""
+        consumed = 0
+        while bucket and consumed < needed:
+            entry = bucket[0]
+            if not entry.alive:
+                bucket.popleft()
+                continue
+            entry.alive = False
+            bucket.popleft()
+            consumed += 1
+        return consumed
+
+    def _consume_scan(self, win_id: int, source: int, tag: int,
+                      needed: int) -> int:
+        """Wildcard fallback: scan the insertion-ordered pending map."""
+        consumed = 0
+        matches = self._matches
+        for entry in self._ordered.values():
+            if consumed >= needed:
+                break
+            if entry.alive and matches(entry.notification,
+                                       win_id, source, tag):
+                entry.alive = False
+                consumed += 1
+        return consumed
+
+    def _compact(self) -> None:
+        """Drop consumed entries from the ordered map (keeps it a faithful
+        image of the simulated queue after the pass compacts it)."""
+        dead = [seq for seq, e in self._ordered.items() if not e.alive]
+        for seq in dead:
+            del self._ordered[seq]
+
     def _match_pass(self, win_id: int, source: int, tag: int,
                     needed: int) -> Generator[Event, Any, int]:
-        """One charged scan over the pending list; returns matches consumed."""
+        """One charged scan over the pending set; returns matches consumed.
+
+        The simulated device always scans every pending entry, so the
+        charged cost uses ``len(self._ordered)`` — the same scanned-entry
+        count the compacting-list implementation charged.
+        """
         self._drain()
-        scanned = len(self._pending)
-        kept: List[Notification] = []
-        consumed = 0
-        for n in self._pending:
-            if consumed < needed and self._matches(n, win_id, source, tag):
-                consumed += 1
+        scanned = len(self._ordered)
+        if win_id != DCUDA_ANY_WINDOW and tag != DCUDA_ANY_TAG:
+            if source != DCUDA_ANY_SOURCE:
+                bucket = self._by_full.get((win_id, source, tag))
             else:
-                kept.append(n)
-        self._pending = kept
+                bucket = self._by_win_tag.get((win_id, tag))
+            consumed = (self._consume_indexed(bucket, needed)
+                        if bucket is not None else 0)
+        else:
+            consumed = self._consume_scan(win_id, source, tag, needed)
+        if consumed:
+            self._compact()
         cost = self.cfg.match_base + self.cfg.match_per_entry * scanned
         yield from self.device.issue_use(self.block, cost, kind="match")
         self.matched_total += consumed
         return consumed
 
+    @property
+    def _pending(self) -> list:
+        """Live pending notifications in arrival order (the simulated
+        queue image; kept for tests that assert on matching order)."""
+        return [e.notification for e in self._ordered.values() if e.alive]
+
+    @_pending.setter
+    def _pending(self, notifications) -> None:
+        """Replace the pending set (test injection point); rebuilds the
+        indexes exactly as arrivals via :meth:`_drain` would."""
+        self._ordered.clear()
+        self._by_full.clear()
+        self._by_win_tag.clear()
+        for n in notifications:
+            entry = _Entry(n)
+            self._arrival_seq += 1
+            self._ordered[self._arrival_seq] = entry
+            self._by_full.setdefault((n.win_id, n.source, n.tag),
+                                     deque()).append(entry)
+            self._by_win_tag.setdefault((n.win_id, n.tag),
+                                        deque()).append(entry)
+
     # -- public API ------------------------------------------------------
     def pending_count(self) -> int:
         """Arrived-but-unmatched notifications (drains the queue first)."""
         self._drain()
-        return len(self._pending)
+        return len(self._ordered)
 
     def test(self, win_id: int = DCUDA_ANY_WINDOW,
              source: int = DCUDA_ANY_SOURCE, tag: int = DCUDA_ANY_TAG,
@@ -126,6 +234,6 @@ class NotificationMatcher:
             # unit is free during the sleep — this is where over-subscribed
             # blocks overlap their communication.
             yield self.state.notif_queue.arrived.wait()
-            yield self.env.timeout(self.cfg.poll_interval)
+            yield self.cfg.poll_interval
         self.device.tracer.record(self.block.name, "wait", t0, self.env.now,
                                   detail or "notifications")

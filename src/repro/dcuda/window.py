@@ -24,9 +24,9 @@ def same_memory(a: np.ndarray, b: np.ndarray) -> bool:
     """
     if a.size != b.size or a.itemsize != b.itemsize:
         return False
-    return (a.__array_interface__["data"][0]
-            == b.__array_interface__["data"][0]
-            and a.strides == b.strides)
+    # ctypes.data is the same base pointer __array_interface__["data"][0]
+    # exposes, without materialising the interface dict on every call.
+    return (a.ctypes.data == b.ctypes.data and a.strides == b.strides)
 
 
 class Window:

@@ -146,7 +146,7 @@ class Device:
             issue_time = (self.alu_time(flops)
                           + mem_bytes / self.cfg.sm_lsu_bandwidth)
             if issue_time > 0:
-                yield self.env.timeout(issue_time)
+                yield issue_time
         finally:
             block.sm.issue.release()
         if mem_ev is not None:
@@ -170,6 +170,14 @@ class Device:
                   kind: str = "match",
                   detail: str = "") -> Generator[Event, Any, None]:
         """Occupy *block*'s SM issue unit for *duration* (e.g. matching)."""
+        if not self.tracer.enabled:
+            # Nothing to record: delegate the resource hold directly.
+            return block.sm.issue.use(duration)
+        return self._issue_use_traced(block, duration, kind, detail)
+
+    def _issue_use_traced(self, block: Block, duration: float,
+                          kind: str, detail: str
+                          ) -> Generator[Event, Any, None]:
         t0 = self.env.now
         yield from block.sm.issue.use(duration)
         self.tracer.record(block.name, kind, t0, self.env.now, detail)
@@ -229,7 +237,7 @@ class Device:
                                                       block_limited=False)
                 alu = self.alu_time(sum_flops)
                 if alu > 0:
-                    yield self.env.timeout(alu)
+                    yield alu
             finally:
                 sm.issue.release()
             if mem_ev is not None:

@@ -35,9 +35,7 @@ class Node:
 
     def host_work(self, duration: float) -> Generator[Event, Any, None]:
         """Charge *duration* of host runtime-worker time (FCFS)."""
-        if duration < 0:
-            raise ValueError(f"negative duration {duration!r}")
-        yield from self.worker.use(duration)
+        return self.worker.use(duration)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"<Node {self.name}>"

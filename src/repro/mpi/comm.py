@@ -135,7 +135,7 @@ class MPIWorld:
     def _send_proc(self, msg: Envelope, injected: Event,
                    mode_override: Optional[str] = None):
         # Sender-side software overhead (protocol, matching bookkeeping).
-        yield self.env.timeout(self.cluster.cfg.host.mpi_overhead)
+        yield self.cluster.cfg.host.mpi_overhead
         if mode_override is not None:
             mode, extra = mode_override, 0.0
         else:

@@ -67,12 +67,12 @@ class MPICudaContext:
         *per_block* ``(flops, mem_bytes)`` tuples for imbalanced kernels.
         """
         result = fn() if fn is not None else None
-        yield self.env.timeout(self.cfg.gpu.launch_latency)
+        yield self.cfg.gpu.launch_latency
         yield from self.device.bulk_compute(nblocks, flops_per_block,
                                             mem_bytes_per_block,
                                             per_block=per_block,
                                             detail=detail)
-        yield self.env.timeout(self.cfg.mpicuda.sync_latency)
+        yield self.cfg.mpicuda.sync_latency
         return result
 
     def memcpy(self, nbytes: float,
@@ -84,13 +84,13 @@ class MPICudaContext:
         counters) the device-side dCUDA variant reads directly.
         """
         result = fn() if fn is not None else None
-        yield self.env.timeout(self.cfg.mpicuda.memcpy_call)
+        yield self.cfg.mpicuda.memcpy_call
         yield from self.node.pcie.dma_copy(nbytes)
         return result
 
     def loop_overhead(self) -> Generator[Event, Any, None]:
         """Host main-loop per-iteration overhead."""
-        yield self.env.timeout(self.cfg.mpicuda.loop_overhead)
+        yield self.cfg.mpicuda.loop_overhead
 
     # -- two-sided MPI on device buffers --------------------------------------
     def isend(self, dst: int, payload: Any, tag: int = 0,

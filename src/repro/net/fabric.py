@@ -102,8 +102,7 @@ class Fabric:
     # -- internals ------------------------------------------------------------
     def _loopback(self, nbytes: float, done: Event,
                   injected: Optional[Event]):
-        yield self.env.timeout(_LOOPBACK_LATENCY
-                               + nbytes / _LOOPBACK_BANDWIDTH)
+        yield _LOOPBACK_LATENCY + nbytes / _LOOPBACK_BANDWIDTH
         if injected is not None:
             injected.succeed()
         done.succeed()
@@ -113,15 +112,15 @@ class Fabric:
         nic = self._nics[src]
         yield from nic.lock.acquire()
         try:
-            yield self.env.timeout(self.cfg.injection_overhead
-                                   + self.serialization_time(nbytes, mode))
+            yield (self.cfg.injection_overhead
+                   + self.serialization_time(nbytes, mode))
         finally:
             nic.lock.release()
         nic.messages += 1
         nic.bytes_injected += nbytes
         if injected is not None:
             injected.succeed()
-        yield self.env.timeout(self.cfg.latency + extra_latency)
+        yield self.cfg.latency + extra_latency
         done.succeed()
 
     # -- statistics ------------------------------------------------------------

@@ -70,7 +70,7 @@ class BlockManager:
                 # Expected delay until the polling worker thread notices
                 # the new entry; a busy manager drains its queue without
                 # re-polling, so batches only pay it once.
-                yield self.env.timeout(self.cfg.host.poll_latency)
+                yield self.cfg.host.poll_latency
             yield from self.node.host_work(self.cfg.host.command_cost)
             if isinstance(cmd, PutCommand):
                 self._start_put(cmd)
@@ -236,7 +236,7 @@ class BlockManager:
         if not advanced:
             return
         yield from self.node.pcie.mapped_post()
-        yield self.env.timeout(self.node.pcie.write_visibility_delay)
+        yield self.node.pcie.write_visibility_delay
         # The tracker only grows, so later writes never regress the value.
         self.state.flush_counter = max(self.state.flush_counter,
                                        self.state.flush_tracker.counter)

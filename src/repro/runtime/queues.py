@@ -107,8 +107,9 @@ class CircularQueue:
             delay = self.link.write_visibility_delay
         self._seq += 1
         if delay > 0:
-            self.env.timeout(delay).add_callback(
-                lambda _ev, s=self._seq, e=entry: self._commit(s, e))
+            # Fire-and-forget: the commit needs no waitable event, so use
+            # the kernel's lightweight deferred-call lane.
+            self.env.call_at(delay, self._commit, self._seq, entry)
         else:
             self._commit(self._seq, entry)
 

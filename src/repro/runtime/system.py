@@ -14,11 +14,12 @@ the real implementation's MPI coordination.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..hw.cluster import Cluster
+from ..hw.config import MachineConfig
 from ..mpi import MPIWorld
 from ..sim import Environment, Event, Signal
 from .block_manager import BlockManager
@@ -224,8 +225,14 @@ class RuntimeSystem:
 class DCudaRuntime:
     """All runtime-system instances of the cluster, plus shared services."""
 
-    def __init__(self, cluster: Cluster, ranks_per_device: int,
+    def __init__(self, cluster: Union[Cluster, MachineConfig],
+                 ranks_per_device: int,
                  world: Optional[MPIWorld] = None):
+        if isinstance(cluster, MachineConfig):
+            # Convenience: a bare machine description is wrapped in a fresh
+            # cluster (own environment/clock) so callers can go straight
+            # from config to runtime.
+            cluster = Cluster(cluster)
         if ranks_per_device < 1:
             raise ValueError(
                 f"ranks_per_device must be >= 1, got {ranks_per_device}")

@@ -30,6 +30,8 @@ class Store:
             raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
         self.env = env
         self.name = name
+        self._put_name = "put:" + name
+        self._get_name = "get:" + name
         self.capacity = capacity
         self._items: List[Any] = []
         self._getters: List[Tuple[Event, Optional[Callable[[Any], bool]]]] = []
@@ -47,13 +49,19 @@ class Store:
     # -- producing -----------------------------------------------------------
     def put(self, item: Any) -> Event:
         """Insert *item*; the returned event fires once the item is stored."""
-        ev = self.env.event(name=f"put:{self.name}")
+        ev = Event(self.env, self._put_name)
         if self.capacity is not None and len(self._items) >= self.capacity:
             self._putters.append((ev, item))
         else:
             self._items.append(item)
             ev.succeed()
-            self._dispatch()
+            # Inlined _dispatch fast path: with no waiting getter the
+            # dispatch scan reduces to admitting blocked putters (and with
+            # capacity headroom there are none).
+            if self._getters:
+                self._dispatch()
+            elif self._putters:
+                self._admit_putters()
         return ev
 
     def try_put(self, item: Any) -> bool:
@@ -61,13 +69,30 @@ class Store:
         if self.capacity is not None and len(self._items) >= self.capacity:
             return False
         self._items.append(item)
-        self._dispatch()
+        if self._getters:
+            self._dispatch()
+        elif self._putters:
+            self._admit_putters()
         return True
 
     # -- consuming -----------------------------------------------------------
     def get(self, filt: Optional[Callable[[Any], bool]] = None) -> Event:
         """Remove and return the oldest item matching *filt* (or any item)."""
-        ev = self.env.event(name=f"get:{self.name}")
+        ev = Event(self.env, self._get_name)
+        if not self._getters:
+            # Fast path: nobody queued ahead, so this getter takes the
+            # oldest matching item directly — the same item, succeeded at
+            # the same program point, as the general _dispatch scan.
+            items = self._items
+            for idx, item in enumerate(items):
+                if filt is None or filt(item):
+                    del items[idx]
+                    ev.succeed(item)
+                    if self._putters:
+                        self._admit_putters()
+                    return ev
+            self._getters.append((ev, filt))
+            return ev
         self._getters.append((ev, filt))
         self._dispatch()
         return ev
@@ -83,7 +108,8 @@ class Store:
         for idx, item in enumerate(self._items):
             if filt is None or filt(item):
                 del self._items[idx]
-                self._admit_putters()
+                if self._putters:
+                    self._admit_putters()
                 return item
         return None
 
@@ -99,13 +125,20 @@ class Store:
         """Drop waiters whose process was interrupted away (see
         :attr:`repro.sim.core.Event.abandoned`); handing them items would
         silently lose data."""
-        self._getters = [(ev, f) for ev, f in self._getters
-                         if not ev.abandoned]
-        self._putters = [(ev, item) for ev, item in self._putters
-                         if not ev.abandoned]
+        getters = self._getters
+        if getters and any(ev.abandoned for ev, _ in getters):
+            self._getters = [(ev, f) for ev, f in getters
+                             if not ev.abandoned]
+        putters = self._putters
+        if putters and any(ev.abandoned for ev, _ in putters):
+            self._putters = [(ev, item) for ev, item in putters
+                             if not ev.abandoned]
 
     def _dispatch(self) -> None:
         # Serve waiting getters in order; each takes the oldest matching item.
+        if not self._getters:
+            self._admit_putters()
+            return
         self._prune_abandoned()
         made_progress = True
         while made_progress:

@@ -15,6 +15,16 @@ fully deterministic and has no external dependencies:
   is itself an event that succeeds with the generator's return value, so
   processes can be joined (``yield child``) and composed (``yield from``).
 
+Hot-path notes: the event loop processes hundreds of thousands of entries
+per simulated run, so the kernel offers a second, lighter scheduling lane
+next to full events: :meth:`Environment.call_at` enqueues a bare
+``(callable, args)`` pair — no callback list, no value slot, no one-shot
+bookkeeping — which fire-and-forget machinery (bandwidth-link wakeups,
+posted-write commits, process starts) uses instead of sentinel events.
+Both lanes share the same ``(time, priority, sequence)`` heap, so a
+deferred call occupies exactly the queue position the equivalent sentinel
+event would have — the schedule is unchanged, only cheaper.
+
 Only the simulation kernel lives here; synchronization primitives built on
 top of it (timeouts, signals, resources, stores, bandwidth links) live in the
 sibling modules of :mod:`repro.sim`.
@@ -22,7 +32,7 @@ sibling modules of :mod:`repro.sim`.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -60,6 +70,21 @@ class _Pending:
 
 
 PENDING = _Pending()
+
+
+class _Deferred:
+    """A bare scheduled call — the lightweight event-queue lane.
+
+    Carries only the callable and its arguments; the event loop invokes it
+    directly instead of running an event's callback list.  Never exposed to
+    user code: processes cannot wait on it.
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Callable[..., None], args: tuple):
+        self.fn = fn
+        self.args = args
 
 
 class Event:
@@ -119,10 +144,15 @@ class Event:
     # -- transitions --------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event with *value* and schedule its callbacks."""
-        if self.triggered:
+        if self._value is not PENDING or self._exception is not None:
             raise SimulationError(f"{self!r} has already been triggered")
         self._value = value
-        self.env._schedule(self)
+        # Inlined Environment._schedule (hot path): a freshly triggered
+        # event can never already sit on the queue.
+        env = self.env
+        self._scheduled = True
+        env._seq += 1
+        heappush(env._queue, (env._now, 1, env._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -155,6 +185,33 @@ class Event:
         return f"<{type(self).__name__}{label} {state}>"
 
 
+class _StartValue:
+    """Duck-typed stand-in for the start sentinel event of a process.
+
+    Read-only: :meth:`Process._step` only looks at ``_exception`` and
+    ``_value``, so one shared instance starts every process.
+    """
+
+    __slots__ = ()
+    _exception = None
+    _value = None
+
+
+_START = _StartValue()
+
+
+class _Sleeping:
+    """Sentinel for ``Process._waiting_on`` while in a bare-delay sleep."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<SLEEPING>"
+
+
+_SLEEPING = _Sleeping()
+
+
 class Process(Event):
     """A running simulation process wrapping a generator.
 
@@ -164,7 +221,7 @@ class Process(Event):
         result = yield env.process(worker(env))
     """
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_waiting_on", "_sleep_id")
 
     def __init__(self, env: "Environment",
                  generator: Generator[Event, Any, Any], name: str = ""):
@@ -173,10 +230,13 @@ class Process(Event):
             raise TypeError(f"process requires a generator, got {generator!r}")
         self._generator = generator
         self._waiting_on: Optional[Event] = None
-        # Kick off the process as soon as the loop runs.
-        start = Event(env, name=f"start:{self.name}")
-        start.add_callback(self._resume)
-        start.succeed()
+        #: Wakeup-generation counter for bare-delay sleeps; a stale deferred
+        #: wakeup (the sleep was interrupted away) compares unequal and is
+        #: dropped.
+        self._sleep_id = 0
+        # Kick off the process as soon as the loop runs: a deferred call in
+        # place of the old sentinel start event (same queue slot, no Event).
+        env.call_at(0.0, self._step, _START)
 
     @property
     def is_alive(self) -> bool:
@@ -199,9 +259,12 @@ class Process(Event):
         if self.triggered:
             return  # finished in the meantime; drop the interrupt
         target = self._waiting_on
-        if target is not None and target.callbacks is not None:
+        if target is _SLEEPING:
+            # Invalidate the pending deferred wakeup for the sleep.
+            self._sleep_id += 1
+        elif target is not None and target.callbacks is not None:
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._step)
             except ValueError:
                 pass
             if not target.triggered:
@@ -209,19 +272,23 @@ class Process(Event):
         self._waiting_on = None
         self._step(event)
 
-    def _resume(self, event: Event) -> None:
-        self._waiting_on = None
-        self._step(event)
+    def _wake_sleep(self, sleep_id: int) -> None:
+        """Deferred wakeup for a bare-delay sleep (``yield <float>``)."""
+        if sleep_id == self._sleep_id and self._waiting_on is _SLEEPING:
+            self._step(_START)
 
     def _step(self, event: Event) -> None:
+        self._waiting_on = None
         env = self.env
+        gen = self._generator
         env._active_process = self
         try:
-            if event._exception is not None:
-                target = self._generator.throw(event._exception)
+            exception = event._exception
+            if exception is not None:
+                target = gen.throw(exception)
             else:
-                target = self._generator.send(
-                    None if event._value is PENDING else event._value)
+                value = event._value
+                target = gen.send(None if value is PENDING else value)
         except StopIteration as stop:
             env._active_process = None
             self._value = stop.value
@@ -236,14 +303,47 @@ class Process(Event):
             env._schedule(self)
             return
         env._active_process = None
-        if not isinstance(target, Event):
-            self._generator.throw(TypeError(
+        cls = target.__class__
+        if cls is float:
+            # Bare-delay sleep: occupies the exact queue slot the
+            # equivalent ``yield env.timeout(delay)`` would have taken
+            # (same time, priority, and sequence number) without building
+            # an Event.  Hot sim-internal delays use this lane.
+            if target < 0:
+                gen.throw(ValueError(f"negative delay {target!r}"))
+            self._waiting_on = _SLEEPING
+            self._sleep_id += 1
+            env._seq += 1
+            heappush(env._queue,
+                     (env._now + target, 1, env._seq,
+                      _Deferred(self._wake_sleep, (self._sleep_id,))))
+            return
+        if cls is not Event and not isinstance(target, Event):
+            if isinstance(target, float):
+                # Slow-path sleep for float subclasses (numpy scalars).
+                delay = float(target)
+                if delay < 0:
+                    gen.throw(ValueError(f"negative delay {target!r}"))
+                self._waiting_on = _SLEEPING
+                self._sleep_id += 1
+                env._seq += 1
+                heappush(env._queue,
+                         (env._now + delay, 1, env._seq,
+                          _Deferred(self._wake_sleep, (self._sleep_id,))))
+                return
+            gen.throw(TypeError(
                 f"process {self.name!r} yielded non-event {target!r}"))
         if target.env is not env:
-            self._generator.throw(SimulationError(
+            gen.throw(SimulationError(
                 "yielded event belongs to a different environment"))
         self._waiting_on = target
-        target.add_callback(self._resume)
+        callbacks = target.callbacks
+        if callbacks is not None:
+            callbacks.append(self._step)
+        else:
+            # Target already processed — resume immediately (inlined
+            # Event.add_callback fallback).
+            self._step(target)
 
 
 class Environment:
@@ -280,10 +380,35 @@ class Environment:
         """An event that succeeds ``delay`` time units from now."""
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        ev = Event(self, name or "timeout")
+        # Inlined Event construction + scheduling: timeouts are the single
+        # most allocated event kind (~half the queue on big runs).
+        ev = Event.__new__(Event)
+        ev.env = self
+        ev.callbacks = []
         ev._value = value
-        self._schedule(ev, delay=delay)
+        ev._exception = None
+        ev._scheduled = True
+        ev.name = name or "timeout"
+        ev.abandoned = False
+        self._seq += 1
+        heappush(self._queue, (self._now + delay, 1, self._seq, ev))
         return ev
+
+    def call_at(self, delay: float, fn: Callable[..., None],
+                *args: Any) -> None:
+        """Schedule a bare ``fn(*args)`` call ``delay`` time units from now.
+
+        The lightweight fire-and-forget lane: nothing waits on it, nothing
+        observes it — it simply runs at its queue position.  Used for link
+        wakeups, posted-write commits, and process starts; prefer it over a
+        sentinel ``timeout().add_callback`` pair whenever no process will
+        ever yield on the occurrence.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        self._seq += 1
+        heappush(self._queue,
+                 (self._now + delay, 1, self._seq, _Deferred(fn, args)))
 
     def process(self, generator: Generator[Event, Any, Any],
                 name: str = "") -> Process:
@@ -303,24 +428,25 @@ class Environment:
             raise SimulationError(f"{event!r} is already scheduled")
         event._scheduled = True
         self._seq += 1
-        heapq.heappush(self._queue,
-                       (self._now + delay, priority, self._seq, event))
+        heappush(self._queue,
+                 (self._now + delay, priority, self._seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one queue entry."""
         if not self._queue:
             raise SimulationError("step() on an empty schedule")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
-        if when < self._now - 1e-18:  # pragma: no cover - defensive
-            raise SimulationError("time ran backwards")
-        self._now = max(self._now, when)
+        when, _prio, _seq, event = heappop(self._queue)
+        if when > self._now:
+            self._now = when
+        if event.__class__ is _Deferred:
+            event.fn(*event.args)
+            return
         callbacks = event.callbacks
         event.callbacks = None
-        assert callbacks is not None
         for callback in callbacks:
             callback(event)
 
@@ -330,21 +456,45 @@ class Environment:
         Unhandled process failures propagate out of :meth:`run` the moment
         the failed process event is processed with no observer attached.
         """
-        if until is not None and until < self._now:
+        queue = self._queue
+        if until is None:
+            # Hot loop: local aliases, no bound checks, single-callback
+            # dispatch without iterator setup.
+            while queue:
+                when, _prio, _seq, event = heappop(queue)
+                if when > self._now:
+                    self._now = when
+                if event.__class__ is _Deferred:
+                    event.fn(*event.args)
+                    continue
+                callbacks = event.callbacks
+                event.callbacks = None
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+                if (not callbacks and event._exception is not None
+                        and isinstance(event, Process)):
+                    raise event._exception
+            return
+        if until < self._now:
             raise ValueError(f"until={until!r} lies in the past")
-        while self._queue:
-            if until is not None and self.peek() > until:
+        while queue:
+            if queue[0][0] > until:
                 self._now = until
                 return
-            when, _prio, _seq, event = heapq.heappop(self._queue)
-            self._now = max(self._now, when)
+            when, _prio, _seq, event = heappop(queue)
+            if when > self._now:
+                self._now = when
+            if event.__class__ is _Deferred:
+                event.fn(*event.args)
+                continue
             callbacks = event.callbacks
             event.callbacks = None
-            assert callbacks is not None
             for callback in callbacks:
                 callback(event)
-            if (event._exception is not None and not callbacks
+            if (not callbacks and event._exception is not None
                     and isinstance(event, Process)):
                 raise event._exception
-        if until is not None:
-            self._now = until
+        self._now = until

@@ -5,16 +5,32 @@ Two transfer models are used throughout the hardware layer:
 * :class:`FairShareLink` — a max-min fair shared medium: all active flows
   progress simultaneously, each receiving ``bandwidth / n_active``.  Models
   device-memory bandwidth shared by all SMs, or a NIC shared by concurrent
-  messages.  This is the processor-sharing fluid model: completion times are
-  recomputed whenever the set of active flows changes.
+  messages.  This is the processor-sharing fluid model in its *virtual
+  time* formulation: completion times are derived from the cumulative
+  service-per-unit-weight curve instead of recomputed per state change.
 * :class:`SerialLink` — an exclusive FCFS link with per-use fixed latency and
   per-byte cost.  Models PCI-Express transactions and DMA-engine copies where
   transfers serialize.
+
+Virtual-time fluid model
+------------------------
+The classic processor-sharing trick: let ``S(t)`` be the cumulative service
+delivered *per unit weight* (bytes/weight) since the link last went idle.
+While the active set is constant, ``dS/dt = bandwidth / total_weight``.  A
+flow entering at service level ``S0`` with ``nbytes/weight = r`` completes
+exactly when ``S`` reaches ``S0 + r`` — a constant, so completions live in
+a min-heap keyed by that target service level.  A state change (flow entry
+or completion) then costs ``O(log n)`` instead of the naive model's
+``O(n)`` decrement-and-rescan, ``_advance`` touches only the flows that
+actually completed, and the total weight is a single incrementally
+maintained scalar.  When the link drains, ``S`` resets to zero so the
+virtual clock never loses precision on long runs.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional
+from heapq import heappop, heappush
+from typing import Any, Generator, List, Optional, Tuple
 
 from .core import Environment, Event
 from .primitives import Semaphore
@@ -25,10 +41,9 @@ _EPS_BYTES = 1e-6  # flows with fewer remaining bytes are considered done
 
 
 class _Flow:
-    __slots__ = ("remaining", "event", "weight")
+    __slots__ = ("event", "weight")
 
-    def __init__(self, nbytes: float, event: Event, weight: float):
-        self.remaining = float(nbytes)
+    def __init__(self, event: Event, weight: float):
         self.event = event
         self.weight = weight
 
@@ -50,7 +65,13 @@ class FairShareLink:
         self.env = env
         self.name = name
         self.bandwidth = float(bandwidth)
-        self._flows: List[_Flow] = []
+        #: Completion heap: ``(target service level, entry seq, flow)``.
+        self._heap: List[Tuple[float, int, _Flow]] = []
+        self._flow_seq = 0
+        #: Cumulative service per unit weight since the link last drained.
+        self._service = 0.0
+        #: Incrementally maintained sum of active-flow weights.
+        self._weight_sum = 0.0
         self._last_update = env.now
         self._wake_generation = 0
         #: Total bytes ever completed (for utilization accounting).
@@ -59,7 +80,7 @@ class FairShareLink:
     # -- public API ------------------------------------------------------
     @property
     def active_flows(self) -> int:
-        return len(self._flows)
+        return len(self._heap)
 
     def transfer(self, nbytes: float, weight: float = 1.0) -> Event:
         """Start a flow of *nbytes*; the event fires at completion."""
@@ -72,7 +93,10 @@ class FairShareLink:
             ev.succeed()
             return ev
         self._advance()
-        self._flows.append(_Flow(nbytes, ev, weight))
+        target = self._service + nbytes / weight
+        self._flow_seq += 1
+        heappush(self._heap, (target, self._flow_seq, _Flow(ev, weight)))
+        self._weight_sum += weight
         self.bytes_transferred += nbytes
         self._reschedule()
         return ev
@@ -87,39 +111,42 @@ class FairShareLink:
         return nbytes / self.bandwidth
 
     # -- fluid-model internals ------------------------------------------
-    def _total_weight(self) -> float:
-        return sum(f.weight for f in self._flows)
-
     def _advance(self) -> None:
-        """Apply progress accrued since the last state change."""
-        now = self.env.now
+        """Roll the virtual clock forward; complete flows that are due."""
+        env = self.env
+        now = env._now
         elapsed = now - self._last_update
         self._last_update = now
-        if elapsed <= 0 or not self._flows:
+        heap = self._heap
+        if elapsed <= 0 or not heap:
             return
-        total_w = self._total_weight()
-        rate_per_weight = self.bandwidth / total_w
-        done: List[_Flow] = []
-        for flow in self._flows:
-            flow.remaining -= elapsed * rate_per_weight * flow.weight
-            if flow.remaining <= _EPS_BYTES:
-                done.append(flow)
-        for flow in done:
-            self._flows.remove(flow)
+        service = self._service + elapsed * (self.bandwidth / self._weight_sum)
+        self._service = service
+        # A flow is done when its remaining bytes ``(target - S) * weight``
+        # drop below the epsilon — only completed flows are ever touched.
+        while heap and (heap[0][0] - service) * heap[0][2].weight <= _EPS_BYTES:
+            _target, _seq, flow = heappop(heap)
+            self._weight_sum -= flow.weight
             flow.event.succeed()
+        if not heap:
+            # Idle link: reset the virtual clock so ``S`` stays small and
+            # the incremental weight sum cannot accumulate float dust.
+            self._service = 0.0
+            self._weight_sum = 0.0
 
     def _reschedule(self) -> None:
         """Schedule a wakeup at the earliest flow-completion time."""
         self._wake_generation += 1
-        if not self._flows:
+        heap = self._heap
+        if not heap:
             return
         gen = self._wake_generation
-        total_w = self._total_weight()
-        rate_per_weight = self.bandwidth / total_w
-        next_done = min(f.remaining / (rate_per_weight * f.weight)
-                        for f in self._flows)
-        wake = self.env.timeout(next_done, name=f"wake:{self.name}")
-        wake.add_callback(lambda _ev: self._on_wake(gen))
+        # Earliest completion: the heap top reaches its target service.
+        delay = ((heap[0][0] - self._service)
+                 * self._weight_sum / self.bandwidth)
+        if delay < 0.0:  # pragma: no cover - float-dust guard
+            delay = 0.0
+        self.env.call_at(delay, self._on_wake, gen)
 
     def _on_wake(self, generation: int) -> None:
         if generation != self._wake_generation:
@@ -167,7 +194,7 @@ class SerialLink:
             cost = self.occupancy(nbytes)
             self.busy_time += cost
             self.transactions += 1
-            yield self.env.timeout(cost)
+            yield cost
         finally:
             self._lock.release()
 

@@ -30,11 +30,12 @@ class Signal:
     def __init__(self, env: Environment, name: str = "signal"):
         self.env = env
         self.name = name
+        self._wait_name = "wait:" + name
         self._waiters: List[Event] = []
 
     def wait(self) -> Event:
         """Return an event that fires at the next :meth:`fire`."""
-        ev = self.env.event(name=f"wait:{self.name}")
+        ev = Event(self.env, self._wait_name)
         self._waiters.append(ev)
         return ev
 
@@ -62,6 +63,7 @@ class Gate:
                  name: str = "gate"):
         self.env = env
         self.name = name
+        self._wait_name = "wait:" + name
         self._open = is_open
         self._waiters: List[Event] = []
 
@@ -70,7 +72,7 @@ class Gate:
         return self._open
 
     def wait(self) -> Event:
-        ev = self.env.event(name=f"wait:{self.name}")
+        ev = Event(self.env, self._wait_name)
         if self._open:
             ev.succeed()
         else:
@@ -100,6 +102,7 @@ class Semaphore:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.env = env
         self.name = name
+        self._req_name = "req:" + name
         self.capacity = capacity
         self._available = capacity
         self._queue: List[Event] = []
@@ -114,7 +117,7 @@ class Semaphore:
 
     def request(self) -> Event:
         """Return an event that fires once a token is held."""
-        ev = self.env.event(name=f"req:{self.name}")
+        ev = Event(self.env, self._req_name)
         if self._available > 0 and not self._queue:
             self._available -= 1
             ev.succeed()
@@ -124,7 +127,16 @@ class Semaphore:
 
     def acquire(self) -> Generator[Event, Any, None]:
         """``yield from sem.acquire()`` blocks until a token is held."""
-        yield self.request()
+        if self._available > 0 and not self._queue:
+            # Uncontended: take the token and yield a bare zero-delay sleep
+            # — the exact queue slot the immediately-succeeded request event
+            # would occupy, without building the Event.
+            self._available -= 1
+            yield 0.0
+        else:
+            ev = Event(self.env, self._req_name)
+            self._queue.append(ev)
+            yield ev
 
     def release(self) -> None:
         # Skip waiters whose process was interrupted away from the request

@@ -53,13 +53,23 @@ class Resource:
         """Hold one slot for *duration* time units."""
         if duration < 0:
             raise ValueError(f"negative duration {duration!r}")
-        yield from self._sem.acquire()
+        # Inlined uncontended Semaphore.acquire — use() is the hottest
+        # generator in the simulator (every issue-unit and host-worker
+        # charge), so it pays to skip the delegated frame.
+        sem = self._sem
+        if sem._available > 0 and not sem._queue:
+            sem._available -= 1
+            yield 0.0
+        else:
+            ev = Event(sem.env, sem._req_name)
+            sem._queue.append(ev)
+            yield ev
         try:
             self.busy_time += duration
             self.uses += 1
-            yield self.env.timeout(duration)
+            yield duration
         finally:
-            self._sem.release()
+            sem.release()
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of capacity-time spent busy over *elapsed* time."""

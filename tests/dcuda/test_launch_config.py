@@ -1,0 +1,69 @@
+"""``launch``/``DCudaRuntime`` accept a bare ``MachineConfig``.
+
+Regression tests for the convenience auto-wrap: a machine description is
+promoted to a fresh :class:`Cluster` (with its own simulation clock), and
+the config-built run is indistinguishable from the explicit-cluster one.
+"""
+
+import numpy as np
+
+from repro.dcuda import launch
+from repro.hw import Cluster, greina
+from repro.runtime.system import DCudaRuntime
+
+
+def _counting_kernel(rank, out):
+    out[rank.world_rank] = (rank.comm_rank(), rank.comm_size())
+    yield from rank.finish()
+
+
+def test_launch_accepts_machine_config():
+    out = {}
+    result = launch(greina(2), _counting_kernel, ranks_per_device=2,
+                    kernel_args={"out": out})
+    assert isinstance(result.runtime.cluster, Cluster)
+    assert result.runtime.cluster.num_nodes == 2
+    assert out[0] == (0, 4)
+    assert out[3] == (3, 4)
+
+
+def test_launch_config_matches_explicit_cluster():
+    """Config-built and cluster-built launches produce identical timing."""
+    buffers_a = {r: np.zeros(4) for r in range(2)}
+    buffers_b = {r: np.zeros(4) for r in range(2)}
+
+    def kernel(rank, buffers):
+        r = rank.world_rank
+        win = yield from rank.win_create(buffers[r])
+        if r == 0:
+            yield from rank.put_notify(win, 1, 0, np.full(2, 5.0), tag=9)
+        else:
+            yield from rank.wait_notifications(win, source=0, tag=9,
+                                               count=1)
+        yield from rank.win_free(win)
+        yield from rank.finish()
+
+    res_cfg = launch(greina(2), kernel, ranks_per_device=1,
+                     kernel_args={"buffers": buffers_a})
+    res_cluster = launch(Cluster(greina(2)), kernel, ranks_per_device=1,
+                         kernel_args={"buffers": buffers_b})
+    assert res_cfg.elapsed == res_cluster.elapsed
+    np.testing.assert_array_equal(buffers_a[1], buffers_b[1])
+
+
+def test_runtime_accepts_machine_config():
+    runtime = DCudaRuntime(greina(1), ranks_per_device=2)
+    assert isinstance(runtime.cluster, Cluster)
+    assert runtime.cluster.num_nodes == 1
+    assert runtime.total_ranks == 2
+    # The auto-built cluster owns a fresh clock at t=0.
+    assert runtime.env.now == 0.0
+
+
+def test_runtime_config_builds_fresh_clusters():
+    """Two config-built runtimes must not share environment state."""
+    cfg = greina(1)
+    rt_a = DCudaRuntime(cfg, ranks_per_device=1)
+    rt_b = DCudaRuntime(cfg, ranks_per_device=1)
+    assert rt_a.cluster is not rt_b.cluster
+    assert rt_a.env is not rt_b.env

@@ -1,0 +1,52 @@
+"""Golden simulated-timestamp regression (the schedule-preservation gate).
+
+The fixture ``tests/fixtures/golden_timestamps.json`` was captured from
+miniature instances of every figure workload *before* the simulator
+performance work (virtual-time fair-share links, bare-delay sleep lane,
+deferred-call lane, store/semaphore fast paths).  Every optimization of
+the event loop must keep each simulated timestamp **exactly** equal —
+``==`` on IEEE-754 doubles, never ``pytest.approx`` — because the
+optimizations are pure scheduling-cost changes with a schedule-equivalence
+argument, not model changes.
+
+If an *intentional* model change moves timestamps, regenerate with::
+
+    PYTHONPATH=src python -m repro.bench.golden \
+        tests/fixtures/golden_timestamps.json
+
+and justify the regeneration in the commit message.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.golden import GOLDEN_WORKLOADS
+
+FIXTURE = Path(__file__).parent.parent / "fixtures" / "golden_timestamps.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.mark.parametrize("fig", sorted(GOLDEN_WORKLOADS))
+def test_golden_timestamps_exact(fig, golden):
+    current = GOLDEN_WORKLOADS[fig]()
+    expected = {k: v for k, v in golden.items() if k.startswith(fig + ".")}
+    assert expected, f"fixture has no entries for {fig}; regenerate it"
+    assert set(current) == set(expected)
+    mismatches = {
+        k: {"fixture": expected[k], "current": current[k]}
+        for k in expected if current[k] != expected[k]
+    }
+    assert not mismatches, (
+        f"{len(mismatches)} simulated timestamp(s) moved — the event-loop "
+        f"change is not schedule-preserving: {mismatches}")
+
+
+def test_fixture_covers_every_workload(golden):
+    prefixes = {k.split(".", 1)[0] for k in golden}
+    assert prefixes == set(GOLDEN_WORKLOADS)
