@@ -90,10 +90,16 @@ def run_overlap(mode: str, compute_iters: int, do_compute: bool = True,
                 do_exchange: bool = True, steps: int = 20,
                 num_nodes: int = 8, ranks_per_device: int = 52,
                 halo_bytes: int = 1024,
-                cfg: Optional[MachineConfig] = None) -> OverlapPoint:
+                cfg: Optional[MachineConfig] = None,
+                cluster: Optional[Cluster] = None) -> OverlapPoint:
     """One configuration; elapsed is the median of the per-rank loop times
-    (setup such as window creation is excluded, §IV-A)."""
-    cluster = Cluster((cfg or greina()).with_nodes(num_nodes))
+    (setup such as window creation is excluded, §IV-A).
+
+    Pass a pre-built *cluster* to keep access to its tracer/metrics after
+    the run (the observability CLI does); it overrides cfg/num_nodes.
+    """
+    if cluster is None:
+        cluster = Cluster((cfg or greina()).with_nodes(num_nodes))
     loop_time: Dict[int, float] = {}
     launch(cluster, _overlap_kernel, ranks_per_device,
            kernel_args={"mode": mode, "compute_iters": compute_iters,

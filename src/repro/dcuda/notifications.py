@@ -59,6 +59,11 @@ class _Entry:
 class NotificationMatcher:
     """Per-rank notification queue consumer."""
 
+    #: Test hook: force every pass through the wildcard scan fallback.
+    #: Charged cost and matching order must not depend on this flag — the
+    #: parity test asserts exactly that.
+    _force_scan = False
+
     def __init__(self, state: RankState, device: Device, block: Block,
                  cfg: DeviceLibConfig):
         self.state = state
@@ -66,6 +71,14 @@ class NotificationMatcher:
         self.block = block
         self.cfg = cfg
         self.env = state.env
+        # Observability: matching-pass cost and wait-latency histograms,
+        # shared across ranks (or None when disabled).
+        obs = state.node.obs
+        use_hists = bool(obs) and obs.cfg.latency_histograms
+        self._match_hist = obs.latency_histogram("ntf.match_pass") \
+            if use_hists else None
+        self._wait_hist = obs.latency_histogram("ntf.wait") \
+            if use_hists else None
         #: Arrival counter; keys the insertion-ordered fallback map.
         self._arrival_seq = 0
         #: Arrived-but-unmatched entries in arrival order (dicts preserve
@@ -154,7 +167,8 @@ class NotificationMatcher:
         """
         self._drain()
         scanned = len(self._ordered)
-        if win_id != DCUDA_ANY_WINDOW and tag != DCUDA_ANY_TAG:
+        if (not self._force_scan and win_id != DCUDA_ANY_WINDOW
+                and tag != DCUDA_ANY_TAG):
             if source != DCUDA_ANY_SOURCE:
                 bucket = self._by_full.get((win_id, source, tag))
             else:
@@ -166,6 +180,8 @@ class NotificationMatcher:
         if consumed:
             self._compact()
         cost = self.cfg.match_base + self.cfg.match_per_entry * scanned
+        if self._match_hist is not None:
+            self._match_hist.observe(cost)
         yield from self.device.issue_use(self.block, cost, kind="match")
         self.matched_total += consumed
         return consumed
@@ -235,5 +251,7 @@ class NotificationMatcher:
             # blocks overlap their communication.
             yield self.state.notif_queue.arrived.wait()
             yield self.cfg.poll_interval
+        if self._wait_hist is not None:
+            self._wait_hist.observe(self.env.now - t0)
         self.device.tracer.record(self.block.name, "wait", t0, self.env.now,
                                   detail or "notifications")

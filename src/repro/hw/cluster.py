@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..obs.core import Observability
 from ..sim import Environment, Tracer
 from ..net.fabric import Fabric
 from .config import MachineConfig, greina
@@ -16,7 +17,8 @@ class Cluster:
     """A cluster of identical single-GPU nodes.
 
     Owns the simulation :class:`Environment`, the per-node hardware, the
-    interconnect :class:`Fabric`, and the activity :class:`Tracer`.  All
+    interconnect :class:`Fabric`, the activity :class:`Tracer`, and the
+    :class:`~repro.obs.Observability` handle (metrics registry).  All
     higher layers (MPI substrate, dCUDA runtime, applications) are built
     against a ``Cluster`` instance.
     """
@@ -25,12 +27,19 @@ class Cluster:
                  env: Optional[Environment] = None):
         self.cfg = cfg or greina()
         self.env = env or Environment()
-        self.tracer = Tracer(enabled=self.cfg.tracing)
+        self.obs = Observability(self.env, self.cfg.obs)
+        # Observability implies interval tracing (the overlap report and
+        # the Perfetto export are computed from the intervals).
+        self.tracer = Tracer(enabled=self.cfg.tracing or (
+            self.obs.enabled and self.cfg.obs.trace_intervals))
+        if self.obs.enabled and self.cfg.obs.event_loop_stats:
+            self.env.enable_stats()
         self.nodes: List[Node] = [
-            Node(self.env, self.cfg, i, tracer=self.tracer)
+            Node(self.env, self.cfg, i, tracer=self.tracer, obs=self.obs)
             for i in range(self.cfg.num_nodes)
         ]
-        self.fabric = Fabric(self.env, self.cfg.fabric, self.cfg.num_nodes)
+        self.fabric = Fabric(self.env, self.cfg.fabric, self.cfg.num_nodes,
+                             obs=self.obs)
 
     @property
     def num_nodes(self) -> int:

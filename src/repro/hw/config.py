@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..obs.config import ObsConfig, default_obs
+
 __all__ = [
     "GPUConfig",
     "PCIeConfig",
@@ -191,6 +193,9 @@ class MachineConfig:
     mpicuda: MPICUDAConfig = field(default_factory=MPICUDAConfig)
     #: Record per-block activity intervals (compute/comm/wait).
     tracing: bool = False
+    #: Observability layer (metrics registry + trace export); default off.
+    #: :func:`repro.obs.force_enabled` flips the default inside a block.
+    obs: ObsConfig = field(default_factory=default_obs)
 
     def with_nodes(self, num_nodes: int) -> "MachineConfig":
         """Copy of this config with a different node count."""

@@ -74,12 +74,12 @@ class Device:
     """
 
     def __init__(self, env: Environment, cfg: GPUConfig, name: str = "gpu0",
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None, obs: Any = None):
         self.env = env
         self.cfg = cfg
         self.name = name
         self.tracer = tracer or Tracer(enabled=False)
-        self.memory = DeviceMemory(env, cfg, name=f"{name}.mem")
+        self.memory = DeviceMemory(env, cfg, name=f"{name}.mem", obs=obs)
         self.sms = [SM(env, cfg, i, name) for i in range(cfg.num_sms)]
         self._blocks: List[Block] = []
 
@@ -189,6 +189,23 @@ class Device:
         value = yield event
         self.tracer.record(block.name, "wait", t0, self.env.now, detail)
         return value
+
+    def activity_rollup(self) -> dict:
+        """Per-block busy-time rollups from the recorded trace intervals.
+
+        Returns ``{block name: {kind: union busy time}}`` for the
+        compute/comm/wait/match interval kinds — the per-rank activity
+        breakdown the observability report aggregates (overlapping
+        intervals of one kind count once).  Empty when tracing is off.
+        """
+        if not self.tracer.enabled:
+            return {}
+        return {
+            block.name: {kind: self.tracer.busy_time(kind=kind,
+                                                     actor=block.name)
+                         for kind in ("compute", "comm", "wait", "match")}
+            for block in self._blocks
+        }
 
     def bulk_compute(self, nblocks: int = 0, flops_per_block: float = 0.0,
                      mem_bytes_per_block: float = 0.0,

@@ -21,11 +21,12 @@ class DeviceMemory:
     """Aggregate device-memory bandwidth shared by all SMs."""
 
     def __init__(self, env: Environment, cfg: GPUConfig,
-                 name: str = "devmem"):
+                 name: str = "devmem", obs: Any = None):
         self.env = env
         self.cfg = cfg
         self.name = name
-        self.link = FairShareLink(env, cfg.mem_bandwidth, name=name)
+        self.link = FairShareLink(env, cfg.mem_bandwidth, name=name,
+                                  obs=obs)
 
     @property
     def bytes_transferred(self) -> float:

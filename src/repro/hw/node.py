@@ -22,14 +22,17 @@ class Node:
     """
 
     def __init__(self, env: Environment, cfg: MachineConfig, index: int,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None, obs: Any = None):
         self.env = env
         self.cfg = cfg
         self.index = index
         self.name = f"node{index}"
         self.tracer = tracer or Tracer(enabled=False)
+        #: Observability handle (or None); the runtime layer picks it up
+        #: from here to instrument this node's queues and managers.
+        self.obs = obs
         self.device = Device(env, cfg.gpu, name=f"{self.name}.gpu",
-                             tracer=self.tracer)
+                             tracer=self.tracer, obs=obs)
         self.pcie = PCIeLink(env, cfg.pcie, name=f"{self.name}.pcie")
         self.worker = Resource(env, capacity=1, name=f"{self.name}.worker")
 

@@ -36,22 +36,33 @@ _LOOPBACK_BANDWIDTH = 12.0e9
 class _Nic:
     """Per-node injection port; serializes outgoing messages."""
 
-    def __init__(self, env: Environment, index: int):
+    def __init__(self, env: Environment, index: int, obs: Any = None):
         self.lock = Semaphore(env, 1, name=f"nic{index}")
         self.bytes_injected = 0.0
         self.messages = 0
+        # Observability: messages currently queued or injecting at this
+        # NIC (occupancy series) plus byte/message counters, or None.
+        self.inflight = 0
+        self.inflight_series = obs.link_series(
+            f"fabric.nic{index}.inflight") if obs else None
+        self.byte_counter = obs.link_counter(
+            f"fabric.nic{index}.bytes") if obs else None
+        self.msg_counter = obs.link_counter(
+            f"fabric.nic{index}.messages") if obs else None
 
 
 class Fabric:
     """The cluster interconnect."""
 
-    def __init__(self, env: Environment, cfg: FabricConfig, num_nodes: int):
+    def __init__(self, env: Environment, cfg: FabricConfig, num_nodes: int,
+                 obs: Any = None):
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
         self.env = env
         self.cfg = cfg
         self.num_nodes = num_nodes
-        self._nics: List[_Nic] = [_Nic(env, i) for i in range(num_nodes)]
+        self._nics: List[_Nic] = [_Nic(env, i, obs)
+                                  for i in range(num_nodes)]
 
     # -- cost helpers ------------------------------------------------------
     def bandwidth_for(self, mode: str) -> float:
@@ -110,6 +121,9 @@ class Fabric:
     def _wire(self, src: int, nbytes: float, mode: str, done: Event,
               injected: Optional[Event], extra_latency: float):
         nic = self._nics[src]
+        if nic.inflight_series is not None:
+            nic.inflight += 1
+            nic.inflight_series.sample(self.env.now, nic.inflight)
         yield from nic.lock.acquire()
         try:
             yield (self.cfg.injection_overhead
@@ -118,6 +132,11 @@ class Fabric:
             nic.lock.release()
         nic.messages += 1
         nic.bytes_injected += nbytes
+        if nic.inflight_series is not None:
+            nic.inflight -= 1
+            nic.inflight_series.sample(self.env.now, nic.inflight)
+            nic.byte_counter.inc(nbytes)
+            nic.msg_counter.inc()
         if injected is not None:
             injected.succeed()
         yield self.cfg.latency + extra_latency

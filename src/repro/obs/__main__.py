@@ -1,0 +1,95 @@
+"""Observability CLI: run a workload with the layer on, report or export.
+
+Usage::
+
+    python -m repro.obs report                       # diffusion, 2 nodes
+    python -m repro.obs report --workload newton
+    python -m repro.obs export --chrome trace.json   # open in Perfetto
+    python -m repro.obs export --chrome trace.json --workload copy \
+        --nodes 2 --ranks 8 --steps 4
+
+``report`` prints the per-rank overlap-efficiency table (the paper's Fig. 1
+quantity) plus the metrics-registry summary; ``export`` writes a Chrome
+trace-event JSON that loads directly in https://ui.perfetto.dev or
+``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+from ..hw import Cluster, greina
+from ..sim import Tracer
+from .config import ObsConfig
+from .core import Observability
+from .export import write_chrome
+from .report import metrics_report, overlap_report
+
+__all__ = ["main"]
+
+WORKLOADS = ("diffusion", "newton", "copy")
+
+
+def _run_workload(args: argparse.Namespace) -> Tuple[Tracer, Observability]:
+    """Run the chosen workload on an observability-enabled cluster."""
+    cfg = greina(args.nodes, tracing=True, obs=ObsConfig(enabled=True))
+    cluster = Cluster(cfg)
+    if args.workload == "diffusion":
+        from ..apps.diffusion import DiffusionWorkload, run_dcuda_diffusion
+        wl = DiffusionWorkload(ni=8, nj_per_device=2 * args.ranks, nk=2,
+                               steps=args.steps)
+        run_dcuda_diffusion(cluster, wl, args.ranks)
+    else:
+        from ..bench.overlap import run_overlap
+        run_overlap(args.workload, compute_iters=4, steps=args.steps,
+                    num_nodes=args.nodes, ranks_per_device=args.ranks,
+                    cluster=cluster)
+    return cluster.tracer, cluster.obs
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Run a workload with observability enabled; report "
+                    "overlap efficiency or export a Perfetto trace.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def _common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workload", choices=WORKLOADS, default="diffusion",
+                       help="workload to trace (default: diffusion)")
+        p.add_argument("--nodes", type=int, default=2,
+                       help="cluster node count (default: 2)")
+        p.add_argument("--ranks", type=int, default=4,
+                       help="ranks per device (default: 4)")
+        p.add_argument("--steps", type=int, default=2,
+                       help="workload loop iterations (default: 2)")
+
+    rep = sub.add_parser("report",
+                         help="print the per-rank overlap-efficiency table")
+    _common(rep)
+    rep.add_argument("--metrics", action="store_true",
+                     help="also print the full metrics-registry table")
+
+    exp = sub.add_parser("export", help="write a Chrome trace-event JSON")
+    _common(exp)
+    exp.add_argument("--chrome", metavar="PATH", required=True,
+                     help="output path for the trace JSON")
+
+    args = parser.parse_args(argv)
+    tracer, obs = _run_workload(args)
+
+    if args.command == "report":
+        print(overlap_report(tracer).render())
+        if args.metrics:
+            print()
+            print(metrics_report(obs.registry).render())
+    else:
+        count = write_chrome(args.chrome, tracer, obs.registry)
+        print(f"wrote {count} trace events -> {args.chrome}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

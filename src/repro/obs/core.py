@@ -1,0 +1,80 @@
+"""The per-cluster observability handle.
+
+A :class:`Observability` instance rides on the :class:`~repro.hw.cluster.
+Cluster` and is threaded through the hardware and runtime layers at
+construction time.  Components ask it for instruments *once*, at wiring
+time::
+
+    self._depth = obs.series(f"queue.{name}.depth") if obs else None
+
+and guard each recording site with ``if self._depth is not None``.  When the
+layer is disabled the factory methods return ``None``, so a disabled run
+carries no instruments, no registry entries, and no per-event work beyond
+the attribute check — instrumentation is free when off.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from .config import ObsConfig
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    OccupancySeries,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Environment
+
+__all__ = ["Observability"]
+
+
+class Observability:
+    """Metrics registry + config gates for one simulated cluster."""
+
+    def __init__(self, env: "Environment", cfg: Optional[ObsConfig] = None):
+        self.env = env
+        self.cfg = cfg or ObsConfig()
+        self.enabled = self.cfg.enabled
+        self.registry = MetricsRegistry()
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    # -- gated instrument factories (None when the gate is closed) -------
+    def counter(self, name: str) -> Optional[Counter]:
+        return self.registry.counter(name) if self.enabled else None
+
+    def gauge(self, name: str) -> Optional[Gauge]:
+        return self.registry.gauge(name) if self.enabled else None
+
+    def latency_histogram(self, name: str,
+                          bounds: Optional[Sequence[float]] = None
+                          ) -> Optional[Histogram]:
+        if not (self.enabled and self.cfg.latency_histograms):
+            return None
+        return self.registry.histogram(
+            name, bounds or self.cfg.histogram_buckets)
+
+    def link_series(self, name: str) -> Optional[OccupancySeries]:
+        if not (self.enabled and self.cfg.link_series):
+            return None
+        return self.registry.series(name)
+
+    def link_counter(self, name: str) -> Optional[Counter]:
+        if not (self.enabled and self.cfg.link_series):
+            return None
+        return self.registry.counter(name)
+
+    def queue_series(self, name: str) -> Optional[OccupancySeries]:
+        if not (self.enabled and self.cfg.queue_series):
+            return None
+        return self.registry.series(name)
+
+    def queue_counter(self, name: str) -> Optional[Counter]:
+        if not (self.enabled and self.cfg.queue_series):
+            return None
+        return self.registry.counter(name)

@@ -21,7 +21,7 @@ Distributed notified put — the Fig. 5 sequence:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 import numpy as np
 
@@ -59,6 +59,21 @@ class BlockManager:
         self.node = system.node
         self.world = self.runtime.world
         self.cfg = self.runtime.cfg
+        # Observability: per-command-type handling-latency histograms
+        # (dequeue to end of the loop iteration), shared across ranks.
+        obs = self.node.obs
+        use_hists = bool(obs) and obs.cfg.latency_histograms
+        self._obs = obs if use_hists else None
+        self._cmd_hists: Optional[dict] = {} if use_hists else None
+
+    def _note_command(self, cmd: Any, t0: float) -> None:
+        """Bin the handling latency of *cmd* (obs enabled only)."""
+        name = type(cmd).__name__
+        hist = self._cmd_hists.get(name)
+        if hist is None:
+            hist = self._cmd_hists[name] = self._obs.latency_histogram(
+                f"bm.cmd.{name}.latency")
+        hist.observe(self.env.now - t0)
 
     # ------------------------------------------------------------------ loop --
     def run(self) -> Generator[Event, Any, None]:
@@ -66,6 +81,7 @@ class BlockManager:
         while True:
             was_idle = self.state.cmd_queue.occupancy == 0
             cmd = yield from self.state.cmd_queue.dequeue()
+            t0 = self.env.now
             if was_idle:
                 # Expected delay until the polling worker thread notices
                 # the new entry; a busy manager drains its queue without
@@ -91,9 +107,13 @@ class BlockManager:
                                  name=f"ibar:r{cmd.origin_rank}")
             elif isinstance(cmd, FinishCommand):
                 yield from self._handle_finish(cmd)
+                if self._cmd_hists is not None:
+                    self._note_command(cmd, t0)
                 return
             else:
                 raise TypeError(f"unknown command {cmd!r}")
+            if self._cmd_hists is not None:
+                self._note_command(cmd, t0)
 
     # ------------------------------------------------------- RMA origin side --
     def _start_put(self, cmd: PutCommand) -> None:

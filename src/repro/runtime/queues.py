@@ -43,7 +43,8 @@ class CircularQueue:
     """A single-producer single-consumer circular buffer over PCIe."""
 
     def __init__(self, env: Environment, size: int,
-                 link: Optional[PCIeLink] = None, name: str = "queue"):
+                 link: Optional[PCIeLink] = None, name: str = "queue",
+                 obs: Any = None):
         if size < 1:
             raise ValueError(f"queue size must be >= 1, got {size}")
         self.env = env
@@ -51,6 +52,18 @@ class CircularQueue:
         self.link = link
         self.name = name
         self.stats = QueueStats()
+        # Observability: depth (receiver view) and sender-credit occupancy
+        # series plus enqueue/stall counters, or None when disabled.  The
+        # samples are recorded at the existing state-change points only —
+        # no extra events, no schedule perturbation.
+        self._depth_series = obs.queue_series(f"queue.{name}.depth") \
+            if obs else None
+        self._credit_series = obs.queue_series(f"queue.{name}.credits") \
+            if obs else None
+        self._enq_counter = obs.queue_counter(f"queue.{name}.enqueues") \
+            if obs else None
+        self._stall_counter = obs.queue_counter(
+            f"queue.{name}.full_stalls") if obs else None
         # Receiver-memory state: the entry buffer and the tail counter.
         self._entries = Store(env, name=f"buf:{name}")
         self._tail = 0          # receiver's dequeue counter
@@ -83,6 +96,8 @@ class CircularQueue:
             yield from self.link.mapped_read()
         self._known_tail = self._tail
         self._credits = self.size - (self._head - self._known_tail)
+        if self._credit_series is not None:
+            self._credit_series.sample(self.env.now, self._credits)
 
     def enqueue(self, entry: Any) -> Generator[Event, Any, None]:
         """Append *entry*; amortized one posted PCIe write per call.
@@ -95,10 +110,14 @@ class CircularQueue:
             yield from self._reload_credits()
             while self._credits == 0:
                 self.stats.full_stalls += 1
+                if self._stall_counter is not None:
+                    self._stall_counter.inc()
                 yield self._space_freed.wait()
                 yield from self._reload_credits()
         self._credits -= 1
         self._head += 1
+        if self._credit_series is not None:
+            self._credit_series.sample(self.env.now, self._credits)
         delay = 0.0
         if self.link is not None:
             # One transaction writes the entry together with its sequence
@@ -117,6 +136,9 @@ class CircularQueue:
         """The posted write landed in receiver memory."""
         self._entries.try_put((seq, entry))
         self.stats.enqueues += 1
+        if self._depth_series is not None:
+            self._depth_series.sample(self.env.now, len(self._entries))
+            self._enq_counter.inc()
         self.arrived.fire()
 
     def try_room(self) -> bool:
@@ -129,6 +151,8 @@ class CircularQueue:
         seq, entry = yield self._entries.get()
         self._tail += 1
         self.stats.dequeues += 1
+        if self._depth_series is not None:
+            self._depth_series.sample(self.env.now, len(self._entries))
         # Waking a starved sender models the sender's polling loop
         # observing the advanced tail pointer; the sender still pays the
         # PCIe read in _reload_credits.
@@ -142,5 +166,7 @@ class CircularQueue:
             return None
         self._tail += 1
         self.stats.dequeues += 1
+        if self._depth_series is not None:
+            self._depth_series.sample(self.env.now, len(self._entries))
         self._space_freed.fire()
         return item[1]

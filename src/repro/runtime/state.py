@@ -58,14 +58,15 @@ class RankState:
         self.device_rank = device_rank
         self.block = block
         pcie = node.pcie
+        obs = node.obs
         self.cmd_queue = CircularQueue(env, queue_size, pcie,
-                                       name=f"cmd:r{world_rank}")
+                                       name=f"cmd:r{world_rank}", obs=obs)
         self.ack_queue = CircularQueue(env, queue_size, pcie,
-                                       name=f"ack:r{world_rank}")
+                                       name=f"ack:r{world_rank}", obs=obs)
         self.notif_queue = CircularQueue(env, queue_size, pcie,
-                                         name=f"ntf:r{world_rank}")
+                                         name=f"ntf:r{world_rank}", obs=obs)
         self.log_queue = CircularQueue(env, queue_size, pcie,
-                                       name=f"log:r{world_rank}")
+                                       name=f"log:r{world_rank}", obs=obs)
         # Device-visible flush counter, mirrored by the block manager.
         self.flush_counter = 0
         self.flush_signal = Signal(env, name=f"flush:r{world_rank}")

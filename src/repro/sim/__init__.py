@@ -11,7 +11,14 @@ Public surface:
 * :class:`Tracer` interval tracing
 """
 
-from .core import Environment, Event, Interrupt, Process, SimulationError
+from .core import (
+    Environment,
+    EnvStats,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+)
 from .primitives import AllOf, AnyOf, Gate, Semaphore, Signal, wait_all
 from .channel import Channel, Store
 from .link import FairShareLink, SerialLink
@@ -19,7 +26,8 @@ from .resources import Resource
 from .trace import Interval, Tracer, merge_intervals, overlap_time, total_time
 
 __all__ = [
-    "Environment", "Event", "Interrupt", "Process", "SimulationError",
+    "Environment", "EnvStats", "Event", "Interrupt", "Process",
+    "SimulationError",
     "AllOf", "AnyOf", "Gate", "Semaphore", "Signal", "wait_all",
     "Channel", "Store",
     "FairShareLink", "SerialLink",

@@ -37,12 +37,42 @@ from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
     "Environment",
+    "EnvStats",
     "Event",
     "Process",
     "Interrupt",
     "SimulationError",
     "PENDING",
 ]
+
+
+class EnvStats:
+    """Event-loop counters for the observability layer.
+
+    Only attached via :meth:`Environment.enable_stats`; a bare environment
+    carries ``stats = None`` and its hot loop is byte-for-byte the
+    uninstrumented one (``run`` dispatches to the counting twin loop only
+    when stats are attached).  Counting is passive — the instrumented loop
+    pops, advances time, and dispatches in exactly the same order, so
+    attaching stats never moves a simulated timestamp.
+    """
+
+    __slots__ = ("entries", "deferred_calls", "events", "callbacks",
+                 "time_advances", "max_queue_len")
+
+    def __init__(self) -> None:
+        #: Queue entries processed (events + deferred calls).
+        self.entries = 0
+        #: Lightweight-lane deferred calls fired.
+        self.deferred_calls = 0
+        #: Full events processed (callback lists run).
+        self.events = 0
+        #: Individual callbacks invoked.
+        self.callbacks = 0
+        #: Entries that advanced the simulated clock.
+        self.time_advances = 0
+        #: High-water mark of the pending-entry heap.
+        self.max_queue_len = 0
 
 
 class SimulationError(RuntimeError):
@@ -359,6 +389,15 @@ class Environment:
         self._queue: List[Any] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: Event-loop counters (observability); ``None`` keeps the
+        #: uninstrumented hot loop.
+        self.stats: Optional[EnvStats] = None
+
+    def enable_stats(self) -> EnvStats:
+        """Attach (or return the existing) event-loop counters."""
+        if self.stats is None:
+            self.stats = EnvStats()
+        return self.stats
 
     # -- clock ----------------------------------------------------------
     @property
@@ -439,14 +478,26 @@ class Environment:
         """Process exactly one queue entry."""
         if not self._queue:
             raise SimulationError("step() on an empty schedule")
+        stats = self.stats
+        if stats is not None:
+            stats.entries += 1
+            if len(self._queue) > stats.max_queue_len:
+                stats.max_queue_len = len(self._queue)
         when, _prio, _seq, event = heappop(self._queue)
         if when > self._now:
             self._now = when
+            if stats is not None:
+                stats.time_advances += 1
         if event.__class__ is _Deferred:
+            if stats is not None:
+                stats.deferred_calls += 1
             event.fn(*event.args)
             return
         callbacks = event.callbacks
         event.callbacks = None
+        if stats is not None:
+            stats.events += 1
+            stats.callbacks += len(callbacks)
         for callback in callbacks:
             callback(event)
 
@@ -456,6 +507,8 @@ class Environment:
         Unhandled process failures propagate out of :meth:`run` the moment
         the failed process event is processed with no observer attached.
         """
+        if self.stats is not None:
+            return self._run_counting(until)
         queue = self._queue
         if until is None:
             # Hot loop: local aliases, no bound checks, single-callback
@@ -498,3 +551,42 @@ class Environment:
                     and isinstance(event, Process)):
                 raise event._exception
         self._now = until
+
+    def _run_counting(self, until: Optional[float] = None) -> None:
+        """Twin of :meth:`run` that also bumps :class:`EnvStats` counters.
+
+        Pops, time advances, and callback dispatch happen in exactly the
+        same order as the uninstrumented loop — the counters are pure
+        observation, so the schedule (and every simulated timestamp) is
+        identical with stats attached.
+        """
+        queue = self._queue
+        stats = self.stats
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until!r} lies in the past")
+        while queue:
+            if until is not None and queue[0][0] > until:
+                self._now = until
+                return
+            stats.entries += 1
+            if len(queue) > stats.max_queue_len:
+                stats.max_queue_len = len(queue)
+            when, _prio, _seq, event = heappop(queue)
+            if when > self._now:
+                self._now = when
+                stats.time_advances += 1
+            if event.__class__ is _Deferred:
+                stats.deferred_calls += 1
+                event.fn(*event.args)
+                continue
+            callbacks = event.callbacks
+            event.callbacks = None
+            stats.events += 1
+            stats.callbacks += len(callbacks)
+            for callback in callbacks:
+                callback(event)
+            if (not callbacks and event._exception is not None
+                    and isinstance(event, Process)):
+                raise event._exception
+        if until is not None:
+            self._now = until

@@ -59,12 +59,19 @@ class FairShareLink:
     """
 
     def __init__(self, env: Environment, bandwidth: float,
-                 name: str = "link"):
+                 name: str = "link", obs: Any = None):
         if bandwidth <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth}")
         self.env = env
         self.name = name
         self.bandwidth = float(bandwidth)
+        # Observability (duck-typed to keep sim free of upward imports):
+        # an active-flow occupancy series plus a bytes counter, or None.
+        # Instruments only record — they never touch the event queue.
+        self._flow_series = obs.link_series(f"link.{name}.active_flows") \
+            if obs else None
+        self._byte_counter = obs.link_counter(f"link.{name}.bytes") \
+            if obs else None
         #: Completion heap: ``(target service level, entry seq, flow)``.
         self._heap: List[Tuple[float, int, _Flow]] = []
         self._flow_seq = 0
@@ -98,6 +105,9 @@ class FairShareLink:
         heappush(self._heap, (target, self._flow_seq, _Flow(ev, weight)))
         self._weight_sum += weight
         self.bytes_transferred += nbytes
+        if self._flow_series is not None:
+            self._flow_series.sample(self.env._now, len(self._heap))
+            self._byte_counter.inc(nbytes)
         self._reschedule()
         return ev
 
@@ -124,10 +134,14 @@ class FairShareLink:
         self._service = service
         # A flow is done when its remaining bytes ``(target - S) * weight``
         # drop below the epsilon — only completed flows are ever touched.
+        completed = 0
         while heap and (heap[0][0] - service) * heap[0][2].weight <= _EPS_BYTES:
             _target, _seq, flow = heappop(heap)
             self._weight_sum -= flow.weight
             flow.event.succeed()
+            completed += 1
+        if completed and self._flow_series is not None:
+            self._flow_series.sample(now, len(heap))
         if not heap:
             # Idle link: reset the virtual clock so ``S`` stays small and
             # the incremental weight sum cannot accumulate float dust.

@@ -41,6 +41,12 @@ class Tracer:
                detail: str = "") -> None:
         if not self.enabled:
             return
+        if not isinstance(actor, str) or not actor:
+            raise ValueError(f"interval actor must be a non-empty string, "
+                             f"got {actor!r}")
+        if not isinstance(kind, str) or not kind:
+            raise ValueError(f"interval kind must be a non-empty string, "
+                             f"got {kind!r}")
         if end < start:
             raise ValueError(f"interval ends before it starts: {start}..{end}")
         self.intervals.append(Interval(actor, kind, start, end, detail))

@@ -1,0 +1,87 @@
+"""Indexed fast path vs wildcard scan parity for notification matching.
+
+The matcher keeps indexed buckets for the common fully-specified and
+any-source patterns and an insertion-ordered map for everything else.  The
+two implementations must be observationally identical: same matches in the
+same order, same remaining pending set, same *charged* simulated cost
+(``match_base + match_per_entry x |pending|`` regardless of path).  The
+``_force_scan`` hook routes every pass through the wildcard fallback so
+the property can compare them on identical workloads.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dcuda.notifications import NotificationMatcher
+from repro.hw import Cluster, greina
+from repro.runtime import DCudaRuntime
+from repro.runtime.commands import Notification
+
+
+@st.composite
+def notification_batches(draw):
+    n = draw(st.integers(min_value=0, max_value=25))
+    return [Notification(win_id=draw(st.integers(0, 2)),
+                         source=draw(st.integers(0, 3)),
+                         tag=draw(st.integers(0, 2)))
+            for _ in range(n)]
+
+
+@st.composite
+def query_sequences(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    return [(draw(st.integers(-1, 2)),    # win_id (may be ANY)
+             draw(st.integers(-1, 3)),    # source (may be ANY)
+             draw(st.integers(-1, 2)),    # tag    (may be ANY)
+             draw(st.integers(0, 8)))     # count
+            for _ in range(n)]
+
+
+def _run_queries(batch, queries, force_scan):
+    """Run *queries* against a fresh matcher; returns every observable."""
+    cluster = Cluster(greina(1))
+    rt = DCudaRuntime(cluster, ranks_per_device=1)
+    state = rt.state_of(0)
+    matcher = NotificationMatcher(state, cluster.node(0).device,
+                                  state.block, cluster.cfg.devicelib)
+    matcher._force_scan = force_scan
+    matcher._pending = list(batch)
+    out = {"consumed": [], "times": []}
+
+    def proc(env):
+        for win, source, tag, count in queries:
+            got = yield from matcher.test(win, source, tag, count=count)
+            out["consumed"].append(got)
+            out["times"].append(env.now)
+
+    cluster.env.process(proc(cluster.env))
+    cluster.run()
+    out["pending"] = matcher._pending
+    out["matched_total"] = matcher.matched_total
+    return out
+
+
+@given(notification_batches(), query_sequences())
+@settings(max_examples=100, deadline=None)
+def test_indexed_and_scan_paths_are_identical(batch, queries):
+    fast = _run_queries(batch, queries, force_scan=False)
+    scan = _run_queries(batch, queries, force_scan=True)
+    assert fast["consumed"] == scan["consumed"]
+    assert fast["pending"] == scan["pending"]
+    assert fast["matched_total"] == scan["matched_total"]
+    # Charged cost parity: every pass completes at the exact same
+    # simulated time whichever implementation found the matches.
+    assert fast["times"] == scan["times"]
+
+
+@given(notification_batches())
+@settings(max_examples=50, deadline=None)
+def test_any_source_bucket_matches_scan(batch):
+    """The (win, tag) any-source index — the ubiquitous wait pattern —
+    agrees with the scan for every concrete (win, tag) pair."""
+    queries = [(w, -1, t, 4) for w in range(3) for t in range(3)]
+    fast = _run_queries(batch, queries, force_scan=False)
+    scan = _run_queries(batch, queries, force_scan=True)
+    assert fast["consumed"] == scan["consumed"]
+    assert fast["pending"] == scan["pending"]
+    assert fast["times"] == scan["times"]

@@ -65,6 +65,72 @@ def test_tracer_rejects_backwards_interval():
         tr.record("a", "x", 2.0, 1.0)
 
 
+def test_tracer_rejects_empty_actor_and_kind():
+    tr = Tracer()
+    with pytest.raises(ValueError, match="actor"):
+        tr.record("", "compute", 0.0, 1.0)
+    with pytest.raises(ValueError, match="kind"):
+        tr.record("block0", "", 0.0, 1.0)
+    assert tr.intervals == []
+
+
+def test_tracer_rejects_non_string_actor_and_kind():
+    tr = Tracer()
+    with pytest.raises(ValueError, match="actor"):
+        tr.record(None, "compute", 0.0, 1.0)
+    with pytest.raises(ValueError, match="kind"):
+        tr.record("block0", 3, 0.0, 1.0)
+
+
+def test_tracer_disabled_skips_validation():
+    # The disabled tracer is a pure no-op — no cost, no checks.
+    tr = Tracer(enabled=False)
+    tr.record("", "", 2.0, 1.0)
+    assert tr.intervals == []
+
+
+def test_tracer_accepts_zero_length_interval():
+    tr = Tracer()
+    tr.record("a", "x", 1.0, 1.0)
+    assert tr.intervals[0].duration == 0.0
+
+
+def test_merge_intervals_unsorted_input():
+    assert merge_intervals([(5, 6), (0, 2), (1, 3)]) == [(0, 3), (5, 6)]
+
+
+def test_merge_intervals_zero_length_inside_span():
+    # Zero-length spans carry no time and are dropped even when they fall
+    # inside (or touch) a real span.
+    assert merge_intervals([(0, 2), (1, 1), (2, 2), (3, 3)]) == [(0, 2)]
+
+
+def test_merge_intervals_contained_span():
+    assert merge_intervals([(0, 10), (2, 3), (4, 5)]) == [(0, 10)]
+
+
+def test_overlap_time_exact_touch_is_zero():
+    # Spans that only share a boundary point overlap for zero time.
+    assert overlap_time([(0, 1)], [(1, 2)]) == 0.0
+
+
+def test_overlap_time_unsorted_input():
+    a = [(4, 6), (0, 2)]
+    b = [(1, 5)]
+    assert overlap_time(a, b) == pytest.approx(2.0)
+
+
+def test_overlap_time_identical_sets():
+    spans = [(0, 1), (2, 4)]
+    assert overlap_time(spans, spans) == pytest.approx(3.0)
+
+
+def test_overlap_time_empty_sets():
+    assert overlap_time([], [(0, 1)]) == 0.0
+    assert overlap_time([(0, 1)], []) == 0.0
+    assert overlap_time([], []) == 0.0
+
+
 def test_interval_duration():
     iv = Interval("a", "compute", 1.0, 3.5)
     assert iv.duration == pytest.approx(2.5)
