@@ -26,7 +26,14 @@ from .device_api import (
     DCUDA_COMM_WORLD,
     DRank,
 )
-from .errors import DCudaError
+from .errors import (
+    ERROR_TABLE,
+    DCudaError,
+    DCudaFaultError,
+    DCudaProtocolError,
+    DCudaTimeoutError,
+    DCudaUsageError,
+)
 from .launch import LaunchResult, launch
 from .notifications import NotificationMatcher
 from .window import Window, same_memory
@@ -35,7 +42,8 @@ __all__ = [
     "capi", "collectives", "ext",
     "DCUDA_ANY_SOURCE", "DCUDA_ANY_TAG", "DCUDA_ANY_WINDOW",
     "DCUDA_COMM_DEVICE", "DCUDA_COMM_WORLD", "DRank",
-    "DCudaError",
+    "DCudaError", "DCudaProtocolError", "DCudaUsageError",
+    "DCudaTimeoutError", "DCudaFaultError", "ERROR_TABLE",
     "LaunchResult", "launch",
     "NotificationMatcher",
     "Window", "same_memory",

@@ -28,7 +28,15 @@ __all__ = ["tree_broadcast", "tree_reduce", "hierarchical_broadcast",
 
 
 def tree_levels(p: int) -> int:
-    """Depth of a binomial tree over *p* participants."""
+    """Depth of a binomial tree over *p* participants.
+
+    Args:
+        p: Number of participants (>= 1).
+
+    Returns:
+        The smallest *l* with ``2**l >= p`` — the number of communication
+        rounds a binomial broadcast/reduction needs.
+    """
     levels = 0
     while (1 << levels) < p:
         levels += 1
@@ -53,6 +61,23 @@ def tree_broadcast(rank: DRank, win: Window, group: Sequence[int],
     same region on every participant); after return it holds the root's
     data everywhere.  Non-root ranks wait for one notification from their
     parent before forwarding.
+
+    Args:
+        rank: The calling rank (every member of *group* must call).
+        win: Window covering the broadcast region on all participants.
+        group: World ranks participating, in a common order.
+        buf: This rank's view of the region at *offset*.
+        root: Broadcast root; defaults to ``group[0]``.
+        offset: Element offset of the region in the target windows.
+        tag: Notification tag distinguishing concurrent collectives.
+
+    Returns:
+        Nothing; completion is per-rank (tree order, no global barrier).
+
+    Raises:
+        DCudaError: the calling rank is not a member of *group*.
+        DCudaTimeoutError: a fault plane is attached and a parent
+            notification never arrived within ``handshake_timeout``.
     """
     group = list(group)
     p = len(group)
@@ -85,9 +110,27 @@ def tree_reduce(rank: DRank, scratch_win: Window, group: Sequence[int],
 
     Every rank passes a private *scratch_win* whose buffer has room for
     ``tree_levels(len(group)) * value.size`` elements — one slot per tree
-    level, so concurrent children never collide.  Returns the reduced
-    array at *root* and ``None`` elsewhere.  *op* must be commutative and
-    support ``op(a, b, out=a)``.
+    level, so concurrent children never collide.  *op* must be commutative
+    and support ``op(a, b, out=a)``.
+
+    Args:
+        rank: The calling rank (every member of *group* must call).
+        scratch_win: Per-rank private scratch window (receive slots).
+        group: World ranks participating, in a common order.
+        value: This rank's contribution (any array shape; flattened size
+            defines the slot width).
+        root: Rank receiving the result; defaults to ``group[0]``.
+        op: Reduction ufunc, e.g. ``np.add`` / ``np.maximum``.
+        tag_base: Tags ``tag_base + level`` are used per tree level.
+
+    Returns:
+        The reduced array at *root*; ``None`` on every other rank.
+
+    Raises:
+        DCudaError: the calling rank is not in *group*, or *scratch_win*
+            is too small for ``tree_levels(len(group))`` slots.
+        DCudaTimeoutError: a fault plane is attached and a child's
+            contribution never arrived within ``handshake_timeout``.
     """
     group = list(group)
     p = len(group)
@@ -135,6 +178,24 @@ def hierarchical_broadcast(rank: DRank, win: Window, buf: np.ndarray,
     single transfer-once/notify-all within each device.  Compared to a
     flat tree over all ranks, the data crosses each device boundary once
     and the intra-device fan-out is one data movement total.
+
+    Args:
+        rank: The calling rank; *every* world rank must call.
+        win: Window covering the broadcast region on all ranks.
+        buf: This rank's view of the region at *offset*.
+        root: Broadcast root; defaults to world rank 0.
+        offset: Element offset of the region in the target windows.
+        tag: Notification tag distinguishing concurrent collectives.
+
+    Returns:
+        Nothing; per-rank completion as in :func:`tree_broadcast`.
+
+    Raises:
+        DCudaError: propagated from :func:`tree_broadcast` /
+            :func:`~repro.dcuda.ext.notify_all.put_notify_all` on
+            malformed groups.
+        DCudaTimeoutError: a fault plane is attached and an expected
+            notification never arrived within ``handshake_timeout``.
     """
     rt = rank.runtime
     rpd = rt.ranks_per_device

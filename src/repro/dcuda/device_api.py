@@ -44,8 +44,8 @@ from ..runtime.commands import (
     WinFreeCommand,
 )
 from ..runtime.system import DCudaRuntime
-from ..sim import Event
-from .errors import DCudaError
+from ..sim import AnyOf, Event
+from .errors import DCudaProtocolError, DCudaTimeoutError, DCudaUsageError
 from .notifications import (
     DCUDA_ANY_SOURCE,
     DCUDA_ANY_TAG,
@@ -62,7 +62,17 @@ DCUDA_COMM_DEVICE = "device"
 
 
 class DRank:
-    """One rank's device-side library instance (the context object)."""
+    """One rank's device-side library instance (the context object).
+
+    Args:
+        runtime: The started :class:`~repro.runtime.system.DCudaRuntime`
+            this rank belongs to.
+        world_rank: The rank's id in the world communicator.
+
+    Raises:
+        ValueError: ``world_rank`` is out of range for the runtime
+            (via ``runtime.check_rank``).
+    """
 
     def __init__(self, runtime: DCudaRuntime, world_rank: int):
         runtime.check_rank(world_rank)
@@ -90,21 +100,51 @@ class DRank:
         raise ValueError(f"unknown communicator {comm!r}")
 
     def comm_size(self, comm: str = DCUDA_COMM_WORLD) -> int:
-        """Number of ranks in *comm* (dcuda_comm_size)."""
+        """Number of ranks in *comm* (dcuda_comm_size, paper §II-C).
+
+        Args:
+            comm: ``DCUDA_COMM_WORLD`` or ``DCUDA_COMM_DEVICE``.
+
+        Returns:
+            The communicator's rank count.
+
+        Raises:
+            ValueError: *comm* is not a known communicator.
+        """
         self._comm_name(comm)
         if comm == DCUDA_COMM_WORLD:
             return self.runtime.total_ranks
         return self.runtime.ranks_per_device
 
     def comm_rank(self, comm: str = DCUDA_COMM_WORLD) -> int:
-        """This rank's id within *comm* (dcuda_comm_rank)."""
+        """This rank's id within *comm* (dcuda_comm_rank, paper §II-C).
+
+        Args:
+            comm: ``DCUDA_COMM_WORLD`` or ``DCUDA_COMM_DEVICE``.
+
+        Returns:
+            The calling rank's id in that communicator.
+
+        Raises:
+            ValueError: *comm* is not a known communicator.
+        """
         self._comm_name(comm)
         if comm == DCUDA_COMM_WORLD:
             return self.world_rank
         return self.state.device_rank
 
     def comm_participants(self, comm: str) -> Tuple[int, ...]:
-        """World ranks belonging to *comm*."""
+        """World ranks belonging to *comm*.
+
+        Args:
+            comm: ``DCUDA_COMM_WORLD`` or ``DCUDA_COMM_DEVICE``.
+
+        Returns:
+            The member world ranks, ascending.
+
+        Raises:
+            ValueError: *comm* is not a known communicator.
+        """
         cached = self._participants_cache.get(comm)
         if cached is not None:
             return cached
@@ -127,17 +167,33 @@ class DRank:
     def win_create(self, buffer: np.ndarray,
                    comm: str = DCUDA_COMM_WORLD
                    ) -> Generator[Event, Any, Window]:
-        """Collectively create a window over *buffer* (dcuda_win_create).
+        """Collectively create a window over *buffer* (dcuda_win_create,
+        paper §II-C).
 
         Every rank of *comm* must call with its own (possibly overlapping)
         local memory range; sizes may differ per rank.
+
+        Args:
+            buffer: 1-D numpy view the window exposes for remote access.
+            comm: Communicator the window spans.
+
+        Returns:
+            The created :class:`~repro.dcuda.window.Window`.
+
+        Raises:
+            ValueError: *buffer* is not 1-D, or *comm* is unknown.
+            DCudaUsageError: called after :meth:`finish`.
+            DCudaProtocolError: the runtime acknowledged with the wrong
+                ack kind (runtime bug).
+            DCudaTimeoutError: the ack handshake exceeded the configured
+                timeout (fault plane attached only).
         """
         buffer = np.asarray(buffer)
         if buffer.ndim != 1:
             raise ValueError(f"window buffers must be 1-D views, got "
                              f"{buffer.ndim}-D")
         if self._finished:
-            raise DCudaError(f"rank {self.world_rank} already finished")
+            raise DCudaUsageError(f"rank {self.world_rank} already finished")
         comm_name = self._comm_name(comm)
         local_id = self.state.allocate_local_win()
         yield from self._assemble()
@@ -145,22 +201,28 @@ class DRank:
             origin_rank=self.world_rank, local_win_id=local_id,
             comm_name=comm_name, buffer=buffer,
             participants=self.comm_participants(comm)))
-        ack = yield from self.state.ack_queue.dequeue()
-        if ack.kind != "win_create":  # pragma: no cover - protocol guard
-            raise DCudaError(f"expected win_create ack, got {ack.kind}")
+        ack = yield from self._await_ack("win_create")
         return Window(local_id=local_id, global_id=ack.value,
                       comm_name=comm_name, owner_rank=self.world_rank,
                       buffer=buffer,
                       participants=self.comm_participants(comm))
 
     def win_free(self, win: Window) -> Generator[Event, Any, None]:
-        """Collectively free *win* (dcuda_win_free)."""
+        """Collectively free *win* (dcuda_win_free, paper §II-C).
+
+        Args:
+            win: The window to free; every participant must call.
+
+        Raises:
+            DCudaProtocolError: the runtime acknowledged with the wrong
+                ack kind (runtime bug).
+            DCudaTimeoutError: the ack handshake exceeded the configured
+                timeout (fault plane attached only).
+        """
         yield from self._assemble()
         yield from self.state.cmd_queue.enqueue(WinFreeCommand(
             origin_rank=self.world_rank, global_win_id=win.global_id))
-        ack = yield from self.state.ack_queue.dequeue()
-        if ack.kind != "win_free":  # pragma: no cover - protocol guard
-            raise DCudaError(f"expected win_free ack, got {ack.kind}")
+        yield from self._await_ack("win_free")
 
     # ------------------------------------------------------------------ RMA --
     def put_notify(self, win: Window, target_rank: int, target_offset: int,
@@ -168,8 +230,25 @@ class DRank:
                    notify: bool = True) -> Generator[Event, Any, None]:
         """Notified put: write *src* into the target's window region and,
         once complete, enqueue a notification at the target
-        (dcuda_put_notify).  Returns immediately after command submission —
-        completion is tracked by ``flush`` and the target's notification.
+        (dcuda_put_notify, paper §II-C).  Returns immediately after command
+        submission — completion is tracked by ``flush`` and the target's
+        notification.
+
+        Args:
+            win: Target window.
+            target_rank: World rank whose window region is written.
+            target_offset: Element offset into the target's region.
+            src: Source array; snapshotted at issue time for remote puts.
+            tag: Notification tag matched by the target's waits.
+            notify: Deliver a notification at the target on completion.
+
+        Raises:
+            ValueError: the access falls outside the target's region
+                (via ``win.check_target``).
+            IndexError: a shared-memory put overruns the target buffer.
+            TypeError: a shared-memory put with mismatched dtype.
+            DCudaTimeoutError: the command-queue handshake exhausted its
+                retry budget (fault plane attached only).
         """
         src = np.asarray(src)
         win.check_target(target_rank, target_offset, src.size)
@@ -190,7 +269,20 @@ class DRank:
 
     def put(self, win: Window, target_rank: int, target_offset: int,
             src: np.ndarray, tag: int = 0) -> Generator[Event, Any, None]:
-        """Unnotified put (dcuda_put); complete it with ``flush``."""
+        """Unnotified put (dcuda_put, paper §II-C); complete with ``flush``.
+
+        Args:
+            win: Target window.
+            target_rank: World rank whose window region is written.
+            target_offset: Element offset into the target's region.
+            src: Source array.
+            tag: Kept for symmetry with :meth:`put_notify`; unused.
+
+        Raises:
+            ValueError: the access falls outside the target's region.
+            IndexError: a shared-memory put overruns the target buffer.
+            TypeError: a shared-memory put with mismatched dtype.
+        """
         yield from self.put_notify(win, target_rank, target_offset, src,
                                    tag, notify=False)
 
@@ -198,9 +290,24 @@ class DRank:
                    dst: np.ndarray, tag: int = 0,
                    notify: bool = True) -> Generator[Event, Any, None]:
         """Notified get: fetch the target's window region into *dst*
-        (dcuda_get_notify).  The notification is delivered to *this* rank's
-        queue with the target as its source, so the caller can wait for its
-        own gets.
+        (dcuda_get_notify, paper §II-C).  The notification is delivered to
+        *this* rank's queue with the target as its source, so the caller
+        can wait for its own gets.
+
+        Args:
+            win: Source window.
+            target_rank: World rank whose window region is read.
+            target_offset: Element offset into the target's region.
+            dst: Writeable destination array.
+            tag: Notification tag for the self-notification.
+            notify: Deliver the self-notification on completion.
+
+        Raises:
+            ValueError: *dst* is read-only, or the access falls outside
+                the target's region.
+            IndexError: a shared-memory get overruns the source buffer.
+            DCudaTimeoutError: the command-queue handshake exhausted its
+                retry budget (fault plane attached only).
         """
         dst = np.asarray(dst)
         if not dst.flags.writeable:
@@ -220,7 +327,19 @@ class DRank:
 
     def get(self, win: Window, target_rank: int, target_offset: int,
             dst: np.ndarray, tag: int = 0) -> Generator[Event, Any, None]:
-        """Unnotified get (dcuda_get); complete it with ``flush``."""
+        """Unnotified get (dcuda_get, paper §II-C); complete with ``flush``.
+
+        Args:
+            win: Source window.
+            target_rank: World rank whose window region is read.
+            target_offset: Element offset into the target's region.
+            dst: Writeable destination array.
+            tag: Kept for symmetry with :meth:`get_notify`; unused.
+
+        Raises:
+            ValueError: *dst* is read-only or the access is out of range.
+            IndexError: a shared-memory get overruns the source buffer.
+        """
         yield from self.get_notify(win, target_rank, target_offset, dst,
                                    tag, notify=False)
 
@@ -230,7 +349,19 @@ class DRank:
                            tag: int = DCUDA_ANY_TAG,
                            count: int = 1) -> Generator[Event, Any, None]:
         """Block until *count* matching notifications arrived and were
-        consumed (dcuda_wait_notifications)."""
+        consumed (dcuda_wait_notifications, paper §II-C/§III-C).
+
+        Args:
+            win: Window filter, or ``None`` for ``DCUDA_ANY_WINDOW``.
+            source: Source-rank filter, or ``DCUDA_ANY_SOURCE``.
+            tag: Tag filter, or ``DCUDA_ANY_TAG``.
+            count: Notifications to consume before returning.
+
+        Raises:
+            ValueError: *count* is negative.
+            DCudaTimeoutError: a fault plane is attached and the wait
+                exceeded its ``handshake_timeout``.
+        """
         win_id = DCUDA_ANY_WINDOW if win is None else win.local_id
         yield from self.matcher.wait(win_id, source, tag, count,
                                      detail=f"tag={tag}")
@@ -239,8 +370,21 @@ class DRank:
                            source: int = DCUDA_ANY_SOURCE,
                            tag: int = DCUDA_ANY_TAG,
                            count: int = 1) -> Generator[Event, Any, int]:
-        """Consume up to *count* matching notifications without blocking;
-        returns how many matched (dcuda_test_notifications)."""
+        """Consume up to *count* matching notifications without blocking
+        (dcuda_test_notifications, paper §II-C).
+
+        Args:
+            win: Window filter, or ``None`` for ``DCUDA_ANY_WINDOW``.
+            source: Source-rank filter, or ``DCUDA_ANY_SOURCE``.
+            tag: Tag filter, or ``DCUDA_ANY_TAG``.
+            count: Maximum notifications to consume.
+
+        Returns:
+            How many notifications matched and were consumed.
+
+        Raises:
+            ValueError: *count* is negative.
+        """
         win_id = DCUDA_ANY_WINDOW if win is None else win.local_id
         matched = yield from self.matcher.test(win_id, source, tag, count)
         return matched
@@ -249,23 +393,67 @@ class DRank:
     def flush(self, win: Optional[Window] = None
               ) -> Generator[Event, Any, None]:
         """Wait until pending RMA operations completed at the origin —
-        all of this rank's operations, or only *win*'s when given."""
+        all of this rank's operations, or only *win*'s when given
+        (window ``flush``, paper §II-C).
+
+        Args:
+            win: Restrict the wait to this window's last operation; all of
+                the rank's operations when ``None``.
+
+        Raises:
+            DCudaTimeoutError: a fault plane is attached and the flush
+                counter did not reach the target within its
+                ``handshake_timeout``.
+        """
         target = (self.state.next_flush_id - 1 if win is None
                   else win._last_flush_id)
+        faults = getattr(self.node, "faults", None)
+        if faults is None:
+            while self.state.flush_counter < target:
+                yield self.state.flush_signal.wait()
+            return
+        deadline = self.env.now + faults.cfg.handshake_timeout
         while self.state.flush_counter < target:
-            yield self.state.flush_signal.wait()
+            remaining = deadline - self.env.now
+            advanced = self.state.flush_signal.wait()
+            if remaining <= 0:
+                raise DCudaTimeoutError(
+                    f"flush: counter stuck at {self.state.flush_counter} "
+                    f"of {target}", rank=self.world_rank,
+                    sim_time=self.env.now)
+            timer = self.env.timeout(remaining)
+            which = yield AnyOf(self.env, [advanced, timer])
+            if which[0] == 0 or advanced.triggered:
+                timer.abandoned = True
+            if which[0] == 1 and not advanced.triggered \
+                    and self.state.flush_counter < target:
+                advanced.abandoned = True
+                raise DCudaTimeoutError(
+                    f"flush: counter stuck at {self.state.flush_counter} "
+                    f"of {target}", rank=self.world_rank,
+                    sim_time=self.env.now)
 
     def barrier(self, comm: str = DCUDA_COMM_WORLD
                 ) -> Generator[Event, Any, None]:
-        """Barrier over all ranks of *comm* (looped through the host)."""
+        """Barrier over all ranks of *comm*, looped through the host
+        (paper §II-C; the flat-tree host barrier of §III-B).
+
+        Args:
+            comm: Communicator to synchronize.
+
+        Raises:
+            ValueError: *comm* is not a known communicator.
+            DCudaProtocolError: the runtime acknowledged with the wrong
+                ack kind (runtime bug).
+            DCudaTimeoutError: the ack handshake exceeded the configured
+                timeout (fault plane attached only).
+        """
         comm_name = self._comm_name(comm)
         t0 = self.env.now
         yield from self._assemble()
         yield from self.state.cmd_queue.enqueue(BarrierCommand(
             origin_rank=self.world_rank, comm_name=comm_name))
-        ack = yield from self.state.ack_queue.dequeue()
-        if ack.kind != "barrier":  # pragma: no cover - protocol guard
-            raise DCudaError(f"expected barrier ack, got {ack.kind}")
+        yield from self._await_ack("barrier")
         self.device.tracer.record(self.block.name, "wait", t0, self.env.now,
                                   f"barrier:{comm_name}")
 
@@ -274,31 +462,83 @@ class DRank:
                 fn: Optional[Callable[[], Any]] = None,
                 detail: str = "") -> Generator[Event, Any, Any]:
         """One compute phase: run *fn* (real numpy work) immediately and
-        charge the device cost model for it."""
+        charge the device cost model for it.
+
+        Args:
+            flops: Floating-point operations to charge.
+            mem_bytes: Device-memory traffic to charge.
+            fn: Optional callable doing the real numerics; executed before
+                the simulated time is charged.
+            detail: Trace annotation.
+
+        Returns:
+            Whatever *fn* returned (``None`` without one).
+
+        Raises:
+            ValueError: *flops* or *mem_bytes* is negative.
+        """
         result = fn() if fn is not None else None
         yield from self.device.compute(self.block, flops=flops,
                                        mem_bytes=mem_bytes, detail=detail)
         return result
 
     def log(self, message: str) -> Generator[Event, Any, None]:
-        """Print through the logging queue (host collects the records)."""
+        """Print through the logging queue (§III-C: device-side logging
+        loops through the host, which collects the records).
+
+        Args:
+            message: Text to record; coerced to ``str``.
+
+        Returns:
+            Nothing; the record lands in ``LaunchResult.log_records``.
+        """
         yield from self.state.log_queue.enqueue(LogCommand(
             origin_rank=self.world_rank, message=str(message)))
 
     def finish(self) -> Generator[Event, Any, None]:
-        """Collective teardown (dcuda_finish): global barrier + shutdown
-        of this rank's block manager."""
+        """Collective teardown (dcuda_finish, paper §II-C): global barrier
+        plus shutdown of this rank's block manager.
+
+        Raises:
+            DCudaUsageError: the rank already finished.
+            DCudaProtocolError: the runtime acknowledged with the wrong
+                ack kind (runtime bug).
+            DCudaTimeoutError: the ack handshake exceeded the configured
+                timeout (fault plane attached only).
+        """
         if self._finished:
-            raise DCudaError(f"rank {self.world_rank} already finished")
+            raise DCudaUsageError(f"rank {self.world_rank} already finished")
         yield from self._assemble()
         yield from self.state.cmd_queue.enqueue(FinishCommand(
             origin_rank=self.world_rank))
-        ack = yield from self.state.ack_queue.dequeue()
-        if ack.kind != "finish":  # pragma: no cover - protocol guard
-            raise DCudaError(f"expected finish ack, got {ack.kind}")
+        yield from self._await_ack("finish")
         self._finished = True
 
     # ------------------------------------------------------------ internals --
+    def _await_ack(self, kind: str) -> Generator[Event, Any, Any]:
+        """Dequeue the next ack and validate its kind.
+
+        With a fault plane attached the wait is bounded by the plane's
+        ``handshake_timeout`` (the queue raises ``DCudaTimeoutError``);
+        without one it blocks indefinitely, as the paper's runtime does.
+
+        Raises:
+            DCudaProtocolError: the ack kind does not match *kind*.
+            DCudaTimeoutError: bounded wait expired (fault plane only).
+        """
+        faults = getattr(self.node, "faults", None)
+        if faults is not None:
+            ack = yield from self.state.ack_queue.dequeue_timeout(
+                faults.cfg.handshake_timeout, rank=self.world_rank,
+                what=f"{kind} ack")
+        else:
+            ack = yield from self.state.ack_queue.dequeue()
+        if ack.kind != kind:  # pragma: no cover - protocol guard
+            raise DCudaProtocolError(
+                f"expected {kind} ack, got {ack.kind}",
+                rank=self.world_rank, sim_time=self.env.now)
+        return ack
+
     def _assemble(self) -> Generator[Event, Any, None]:
         """Charge the device-side command assembly on the issue unit."""
         return self.device.issue_use(

@@ -1,7 +1,26 @@
-"""dCUDA error types."""
+"""dCUDA error types — public re-export of :mod:`repro.errors`.
 
-__all__ = ["DCudaError"]
+The canonical hierarchy lives at the top level so the runtime layer can
+raise these without importing the :mod:`repro.dcuda` package (which would
+be circular).  Import from here for the public API surface::
 
+    from repro.dcuda.errors import DCudaError, DCudaTimeoutError
+"""
 
-class DCudaError(RuntimeError):
-    """Raised for dCUDA protocol/usage errors (bad acks, use after finish)."""
+from ..errors import (  # noqa: F401
+    ERROR_TABLE,
+    DCudaError,
+    DCudaFaultError,
+    DCudaProtocolError,
+    DCudaTimeoutError,
+    DCudaUsageError,
+)
+
+__all__ = [
+    "DCudaError",
+    "DCudaProtocolError",
+    "DCudaUsageError",
+    "DCudaTimeoutError",
+    "DCudaFaultError",
+    "ERROR_TABLE",
+]

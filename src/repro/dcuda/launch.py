@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
+from ..errors import DCudaFaultError, DCudaTimeoutError
 from ..hw.cluster import Cluster
 from ..hw.config import MachineConfig
 from ..runtime.system import DCudaRuntime
@@ -49,9 +50,25 @@ def launch(cluster: Union[Cluster, MachineConfig], kernel: Callable[..., Any],
 
     The rank count per device is capped at the device's in-flight block
     limit — dCUDA's over-subscription rule (§II-B).
+
+    With a fault plane attached (``MachineConfig.faults``) the run is
+    guarded by a simulated-time watchdog: instead of hanging, a launch
+    that outlives ``FaultsConfig.watchdog`` raises
+    :class:`~repro.errors.DCudaTimeoutError` naming the unfinished ranks,
+    and a diagnosed deadlock or non-quiescent runtime raises
+    :class:`~repro.errors.DCudaFaultError`.
+
+    Raises:
+        DCudaTimeoutError: the simulated-time watchdog expired (faults
+            attached only).
+        DCudaFaultError: the run drained but rank processes or the runtime
+            never completed, under fault injection.
+        RuntimeError: same diagnosis without a fault plane (unchanged
+            legacy behaviour).
     """
     if isinstance(cluster, MachineConfig):
         cluster = Cluster(cluster)
+    faults = getattr(cluster, "faults", None)
     runtime = DCudaRuntime(cluster, ranks_per_device)
     runtime.start()
     args = kernel_args or {}
@@ -61,15 +78,31 @@ def launch(cluster: Union[Cluster, MachineConfig], kernel: Callable[..., Any],
         drank = DRank(runtime, world_rank)
         procs.append(cluster.env.process(kernel(drank, **args),
                                          name=f"kernel:r{world_rank}"))
-    cluster.run()
+    if faults is not None and faults.cfg.watchdog > 0:
+        drained = cluster.env.run_watchdog(t0 + faults.cfg.watchdog)
+        if not drained:
+            unfinished = [p.name for p in procs if not p.triggered]
+            raise DCudaTimeoutError(
+                f"watchdog: simulated time exceeded "
+                f"{faults.cfg.watchdog:.3e}s with "
+                f"{len(unfinished)} rank(s) unfinished "
+                f"({', '.join(unfinished) or 'runtime only'})",
+                sim_time=cluster.env.now)
+    else:
+        cluster.run()
     for p in procs:
         if not p.triggered:
-            raise RuntimeError(
-                f"deadlock: rank process {p.name} never completed")
+            message = f"deadlock: rank process {p.name} never completed"
+            if faults is not None:
+                raise DCudaFaultError(message, sim_time=cluster.env.now)
+            raise RuntimeError(message)
     problems = runtime.check_quiescent()
     if problems:
-        raise RuntimeError("runtime not quiescent after launch: "
-                           + "; ".join(problems))
+        message = ("runtime not quiescent after launch: "
+                   + "; ".join(problems))
+        if faults is not None:
+            raise DCudaFaultError(message, sim_time=cluster.env.now)
+        raise RuntimeError(message)
     return LaunchResult(elapsed=cluster.env.now - t0,
                         results=[p.value for p in procs],
                         runtime=runtime, tracer=cluster.tracer,

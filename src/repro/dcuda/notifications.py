@@ -28,11 +28,12 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Dict, Generator, Tuple
 
+from ..errors import DCudaTimeoutError
 from ..hw.config import DeviceLibConfig
 from ..hw.gpu import Block, Device
 from ..runtime.commands import Notification
 from ..runtime.state import RankState
-from ..sim import Event
+from ..sim import AnyOf, Event
 
 __all__ = ["NotificationMatcher", "DCUDA_ANY_SOURCE", "DCUDA_ANY_TAG",
            "DCUDA_ANY_WINDOW"]
@@ -231,10 +232,19 @@ class NotificationMatcher:
              count: int = 1,
              detail: str = "") -> Generator[Event, Any, None]:
         """Block until *count* matching notifications were consumed
-        (dcuda_wait_notifications)."""
+        (dcuda_wait_notifications).
+
+        Raises:
+            ValueError: *count* is negative.
+            DCudaTimeoutError: a fault plane is attached and no matching
+                notification arrived within its ``handshake_timeout``.
+        """
         if count < 0:
             raise ValueError(f"negative notification count {count!r}")
         t0 = self.env.now
+        faults = getattr(self.state.node, "faults", None)
+        deadline = (t0 + faults.cfg.handshake_timeout
+                    if faults is not None else None)
         matched = 0
         while matched < count:
             matched += yield from self._match_pass(win_id, source, tag,
@@ -249,7 +259,28 @@ class NotificationMatcher:
             # then continue on the following poll boundary.  The SM issue
             # unit is free during the sleep — this is where over-subscribed
             # blocks overlap their communication.
-            yield self.state.notif_queue.arrived.wait()
+            if deadline is None:
+                yield self.state.notif_queue.arrived.wait()
+            else:
+                remaining = deadline - self.env.now
+                if remaining <= 0:
+                    raise DCudaTimeoutError(
+                        f"wait_notifications(win={win_id}, source={source}, "
+                        f"tag={tag}): {matched}/{count} matched within "
+                        f"{faults.cfg.handshake_timeout:.3e}s simulated",
+                        rank=self.state.world_rank, sim_time=self.env.now)
+                arrival = self.state.notif_queue.arrived.wait()
+                timer = self.env.timeout(remaining)
+                which = yield AnyOf(self.env, [arrival, timer])
+                if which[0] == 0 or arrival.triggered:
+                    timer.abandoned = True
+                if which[0] == 1 and not arrival.triggered:
+                    arrival.abandoned = True
+                    raise DCudaTimeoutError(
+                        f"wait_notifications(win={win_id}, source={source}, "
+                        f"tag={tag}): {matched}/{count} matched within "
+                        f"{faults.cfg.handshake_timeout:.3e}s simulated",
+                        rank=self.state.world_rank, sim_time=self.env.now)
             yield self.cfg.poll_interval
         if self._wait_hist is not None:
             self._wait_hist.observe(self.env.now - t0)

@@ -21,6 +21,14 @@ def same_memory(a: np.ndarray, b: np.ndarray) -> bool:
 
     This is the paper's zero-copy test: a shared-memory put whose source
     and target addresses coincide performs no data movement.
+
+    Args:
+        a: First array.
+        b: Second array.
+
+    Returns:
+        ``True`` iff both arrays share base pointer, element size, total
+        size, and strides.
     """
     if a.size != b.size or a.itemsize != b.itemsize:
         return False
@@ -30,7 +38,20 @@ def same_memory(a: np.ndarray, b: np.ndarray) -> bool:
 
 
 class Window:
-    """A rank's handle to a created window."""
+    """A rank's handle to a created window (§II-C).
+
+    Returned by :meth:`~repro.dcuda.device_api.DRank.win_create`; pass it
+    to the RMA calls (``put_notify``, ``get``, …) and release it with
+    ``win_free``.
+
+    Attributes:
+        local_id: Device-local window id (per-rank namespace).
+        global_id: Globally valid id assigned by the runtime (§III-B).
+        comm_name: Communicator the window was created over.
+        owner_rank: World rank holding this handle.
+        buffer: The registered local 1-D numpy buffer.
+        participants: World ranks participating in the window.
+    """
 
     __slots__ = ("local_id", "global_id", "comm_name", "owner_rank",
                  "buffer", "participants", "_last_flush_id")
@@ -54,9 +75,21 @@ class Window:
 
     @property
     def dtype(self) -> np.dtype:
+        """Element dtype of the registered buffer."""
         return self.buffer.dtype
 
     def check_target(self, target_rank: int, offset: int, count: int) -> None:
+        """Validate an RMA target triple against this window.
+
+        Args:
+            target_rank: World rank addressed by the operation.
+            offset: Element offset into the target's window region.
+            count: Number of elements transferred.
+
+        Raises:
+            ValueError: *target_rank* is not a participant, or *offset* /
+                *count* is negative.
+        """
         if target_rank not in self.participants:
             raise ValueError(
                 f"rank {target_rank} is not a participant of window "

@@ -1,0 +1,143 @@
+"""The dCUDA error hierarchy.
+
+All runtime-visible failures derive from :class:`DCudaError`, so existing
+``except DCudaError`` sites keep working as the taxonomy grows.  Each class
+carries a stable machine-readable :attr:`~DCudaError.code` and a one-line
+:attr:`~DCudaError.remediation` hint (the table in ``docs/faults.md`` is
+generated from :data:`ERROR_TABLE`).  Instances optionally carry structured
+context — the world rank and the simulated time of the failure — so chaos
+tests and the fault report can attribute failures without parsing messages.
+
+The canonical definitions live here, in a dependency-free module, because
+the hardened runtime layer (:mod:`repro.runtime.queues`) raises these
+errors and must not import the :mod:`repro.dcuda` package (which imports
+the runtime back).  :mod:`repro.dcuda.errors` re-exports everything for
+the public API surface.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "DCudaError",
+    "DCudaProtocolError",
+    "DCudaUsageError",
+    "DCudaTimeoutError",
+    "DCudaFaultError",
+    "ERROR_TABLE",
+]
+
+
+class DCudaError(RuntimeError):
+    """Base class for all dCUDA protocol, usage, and fault errors.
+
+    Args:
+        message: Human-readable description of the failure.
+        rank: World rank the failure is attributed to, when known.
+        sim_time: Simulated time [s] at which the failure was detected.
+
+    Attributes:
+        code: Stable machine-readable error code of the class.
+        remediation: One-line hint on how to address this error class.
+        rank: World rank context (``None`` when not attributable).
+        sim_time: Simulated-time context (``None`` when not applicable).
+
+    Raises:
+        Nothing itself; it *is* the thing that gets raised.
+    """
+
+    code = "DCUDA_ERROR"
+    remediation = ("Inspect the message; this is the base class for all "
+                   "dCUDA failures.")
+
+    def __init__(self, message: str = "", *, rank: Optional[int] = None,
+                 sim_time: Optional[float] = None):
+        super().__init__(message)
+        self.rank = rank
+        self.sim_time = sim_time
+
+    def context(self) -> str:
+        """Render the structured context (rank, simulated time) as text.
+
+        Returns:
+            A string like ``"rank=3 t=1.2e-04s"``; empty when no context
+            was attached.
+        """
+        parts = []
+        if self.rank is not None:
+            parts.append(f"rank={self.rank}")
+        if self.sim_time is not None:
+            parts.append(f"t={self.sim_time:.6e}s")
+        return " ".join(parts)
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        ctx = self.context()
+        return f"{base} [{ctx}]" if ctx else base
+
+
+class DCudaProtocolError(DCudaError):
+    """The host↔device queue protocol was violated (e.g. a misaligned ack).
+
+    Indicates a runtime bug or corrupted queue state, not an application
+    error: the device received an acknowledgement of a kind it never asked
+    for, or an entry failed its sequence-number validation in a way the
+    recovery path cannot repair.
+    """
+
+    code = "DCUDA_PROTOCOL"
+    remediation = ("File a runtime bug: the ack/command streams went out "
+                   "of sync. Re-run with observability enabled and inspect "
+                   "the per-queue counters.")
+
+
+class DCudaUsageError(DCudaError):
+    """The application misused the device API (e.g. use after ``finish``).
+
+    The request was well-formed but illegal in the current rank state.
+    """
+
+    code = "DCUDA_USAGE"
+    remediation = ("Fix the kernel: check rank lifecycle (no calls after "
+                   "finish()) and window/communicator arguments.")
+
+
+class DCudaTimeoutError(DCudaError):
+    """A bounded wait expired: handshake, notification wait, or watchdog.
+
+    Raised by the hardened runtime when a queue handshake exhausts its
+    backoff retries, a notification wait exceeds the configured simulated
+    timeout, or the launch-level simulated-time watchdog fires.  Always
+    carries ``sim_time``; carries ``rank`` whenever one rank is waiting.
+    """
+
+    code = "DCUDA_TIMEOUT"
+    remediation = ("Raise FaultsConfig.handshake_timeout/watchdog if the "
+                   "workload is legitimately slow; otherwise a peer rank "
+                   "is stuck — check the fault report for the lossy "
+                   "window/queue.")
+
+
+class DCudaFaultError(DCudaError):
+    """An injected (or detected) fault exceeded the runtime's recovery budget.
+
+    Raised when sequence-number recovery re-posts a dropped queue slot more
+    than ``FaultsConfig.max_retries`` times, or when fault injection drives
+    the runtime into a state the hardening cannot repair (diagnosed
+    deadlock under injection).
+    """
+
+    code = "DCUDA_FAULT"
+    remediation = ("The fault schedule outran the recovery budget: raise "
+                   "FaultsConfig.max_retries/redelivery_delay or reduce "
+                   "the injected loss burst (FaultEvent.count).")
+
+
+#: ``code -> (class name, remediation)`` — the documentation table
+#: (``docs/faults.md``) and the fault report render from this.
+ERROR_TABLE = {
+    cls.code: (cls.__name__, cls.remediation)
+    for cls in (DCudaError, DCudaProtocolError, DCudaUsageError,
+                DCudaTimeoutError, DCudaFaultError)
+}

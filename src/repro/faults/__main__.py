@@ -1,0 +1,165 @@
+"""Fault-injection CLI: seeded chaos runs with a per-rank fault report.
+
+Usage::
+
+    python -m repro.faults report                  # one seeded run + report
+    python -m repro.faults report --seed 7
+    python -m repro.faults report --sweep 50       # chaos envelope
+    python -m repro.faults report --selftest       # CI smoke check
+
+``report`` runs the diffusion mini-app under a deterministic seeded fault
+schedule and prints what was injected, which ranks recovered, and the
+error-code table.  ``--sweep N`` sweeps seeds ``0..N-1`` and prints the
+completion/diagnosed-failure envelope; ``--selftest`` additionally checks
+the zero-perturbation contract (inert plane = bit-identical timing and
+numerics) and exits non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import FaultsConfig
+from .report import (
+    ChaosOutcome,
+    baseline_field,
+    chaos_sweep,
+    fault_report,
+    run_chaos_case,
+    sweep_table,
+)
+
+__all__ = ["main"]
+
+
+def _workload(args: argparse.Namespace):
+    from ..apps.diffusion import DiffusionWorkload
+    return DiffusionWorkload(ni=8, nj_per_device=2 * args.ranks, nk=2,
+                             steps=args.steps)
+
+
+def _outcome_line(outcome: ChaosOutcome) -> str:
+    if outcome.status == "completed":
+        verdict = ("numerics identical" if outcome.numerics_equal
+                   else "NUMERICS DIVERGED")
+        return (f"seed={outcome.seed}: completed in "
+                f"{outcome.elapsed:.3e}s simulated, "
+                f"{outcome.injections} injections, {verdict}")
+    return (f"seed={outcome.seed}: {outcome.status} [{outcome.error_code}] "
+            f"after {outcome.injections} injections — {outcome.error}")
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    """One seeded run, keeping the cluster handles for the full report."""
+    from ..apps.diffusion import run_dcuda_diffusion
+    from ..hw import Cluster, greina
+    from ..obs import ObsConfig
+
+    import numpy as np
+
+    wl = _workload(args)
+    _, baseline = baseline_field(wl, args.nodes, args.ranks)
+    cfg = FaultsConfig(enabled=True, seed=args.seed)
+    cluster = Cluster(greina(args.nodes, faults=cfg,
+                             obs=ObsConfig(enabled=True)))
+    runtime = None
+    try:
+        elapsed, field, res = run_dcuda_diffusion(cluster, wl, args.ranks)
+        runtime = res.runtime
+        outcome = ChaosOutcome(
+            seed=args.seed, status="completed", elapsed=elapsed,
+            injections=cluster.faults.total_injections(),
+            numerics_equal=bool(np.array_equal(field, baseline)))
+    except Exception as exc:  # typed failures still want the report
+        outcome = ChaosOutcome(
+            seed=args.seed, status=type(exc).__name__,
+            elapsed=cluster.env.now,
+            injections=cluster.faults.total_injections(),
+            numerics_equal=None, error=str(exc),
+            error_code=getattr(exc, "code", ""))
+    print(fault_report(cluster.faults, runtime, cluster.obs))
+    print()
+    print(_outcome_line(outcome))
+    return 0 if outcome.clean else 1
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    outcomes = chaos_sweep(range(args.sweep), args.nodes, args.ranks,
+                           wl=_workload(args))
+    print(sweep_table(outcomes).render())
+    dirty = [o for o in outcomes if not o.clean]
+    for o in dirty:
+        print(_outcome_line(o))
+    return 0 if not dirty else 1
+
+
+def _run_selftest(args: argparse.Namespace) -> int:
+    """CI smoke: zero-perturbation + one clean chaos case."""
+    from ..apps.diffusion import run_dcuda_diffusion
+    from ..hw import Cluster, greina
+
+    import numpy as np
+
+    wl = _workload(args)
+    base_elapsed, baseline = baseline_field(wl, args.nodes, args.ranks)
+    # Inert plane (enabled, nothing scheduled): hardening active, zero
+    # injections — timing and numerics must be bit-identical.
+    cluster = Cluster(greina(args.nodes, faults=FaultsConfig(enabled=True)))
+    elapsed, field, _ = run_dcuda_diffusion(cluster, wl, args.ranks)
+    checks = [
+        ("inert plane injects nothing",
+         cluster.faults.total_injections() == 0),
+        ("inert plane timing bit-identical", elapsed == base_elapsed),
+        ("inert plane numerics bit-identical",
+         np.array_equal(field, baseline)),
+    ]
+    outcome = run_chaos_case(seed=args.seed, num_nodes=args.nodes,
+                             ranks_per_device=args.ranks, wl=wl,
+                             baseline=baseline)
+    checks.append((f"seeded chaos case (seed={args.seed}) satisfies the "
+                   f"chaos contract", outcome.clean))
+    failed = 0
+    for name, ok in checks:
+        print(f"{'ok' if ok else 'FAIL'}: {name}")
+        failed += 0 if ok else 1
+    print(_outcome_line(outcome))
+    print(f"selftest: {len(checks) - failed}/{len(checks)} checks passed")
+    return 0 if failed == 0 else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Deterministic fault injection: seeded chaos runs over "
+                    "the diffusion mini-app with a per-rank fault report.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rep = sub.add_parser("report", help="run under a seeded fault schedule "
+                                        "and print the fault report")
+    rep.add_argument("--seed", type=int, default=1,
+                     help="fault-plan seed (default: 1)")
+    rep.add_argument("--sweep", type=int, metavar="N",
+                     help="instead: sweep seeds 0..N-1 and print the "
+                          "chaos envelope")
+    rep.add_argument("--selftest", action="store_true",
+                     help="zero-perturbation + chaos-contract smoke check "
+                          "(non-zero exit on violation)")
+    rep.add_argument("--nodes", type=int, default=2,
+                     help="cluster node count (default: 2)")
+    rep.add_argument("--ranks", type=int, default=2,
+                     help="ranks per device (default: 2)")
+    rep.add_argument("--steps", type=int, default=2,
+                     help="diffusion iterations (default: 2)")
+
+    args = parser.parse_args(argv)
+    if args.selftest:
+        return _run_selftest(args)
+    if args.sweep:
+        return _run_sweep(args)
+    return _run_report(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,262 @@
+"""Per-rank fault report + the seeded chaos runner.
+
+The tentpole's acceptance contract: under any seeded fault schedule the
+diffusion mini-app either completes with numerics bit-identical to a
+fault-free run, or raises a typed :class:`~repro.errors.DCudaFaultError` /
+:class:`~repro.errors.DCudaTimeoutError` carrying rank and simulated-time
+context — never a hang.  :func:`run_chaos_case` executes one such run and
+classifies it; :func:`chaos_sweep` sweeps many seeds and aggregates the
+envelope reported in ``EXPERIMENTS.md``; :func:`fault_report` renders what
+a plane injected plus the per-rank hardening counters, next to the obs
+metrics registry when one is attached.
+
+Everything here loads lazily from :mod:`repro.faults` (PEP 562) because it
+imports the hw/apps layers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..bench.table import Table
+from ..errors import ERROR_TABLE, DCudaFaultError, DCudaTimeoutError
+from .config import FaultsConfig
+from .plane import FaultPlane
+
+__all__ = ["ChaosOutcome", "run_chaos_case", "chaos_sweep", "fault_report",
+           "injection_table", "hardening_table", "baseline_field"]
+
+#: CircularQueue hardening counters surfaced by the per-rank report.
+_QUEUE_STATS = ("retries", "dropped_writes", "recovered",
+                "duplicates_dropped", "starved_reloads")
+_QUEUES = ("cmd_queue", "ack_queue", "notif_queue", "log_queue")
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """Classification of one fault-injected run.
+
+    ``status`` is ``"completed"`` or the raised error's class name
+    (``"DCudaTimeoutError"`` / ``"DCudaFaultError"``).  Any other
+    exception type is a harness bug and propagates out of
+    :func:`run_chaos_case` instead of being classified.
+    """
+
+    seed: Optional[int]
+    status: str
+    elapsed: float
+    injections: int
+    #: Final field bit-identical to the fault-free baseline; ``None`` when
+    #: the run raised before producing numerics.
+    numerics_equal: Optional[bool]
+    error: str = ""
+    error_code: str = ""
+
+    @property
+    def clean(self) -> bool:
+        """Does this run satisfy the chaos contract?
+
+        True iff the run completed with bit-identical numerics, or failed
+        with a *typed* diagnosed error.  (Hangs never produce an outcome:
+        the simulated-time watchdog turns them into
+        :class:`~repro.errors.DCudaTimeoutError`.)
+        """
+        if self.status == "completed":
+            return bool(self.numerics_equal)
+        return self.status in ("DCudaTimeoutError", "DCudaFaultError")
+
+
+_baseline_cache: Dict[tuple, Tuple[float, np.ndarray]] = {}
+
+
+def baseline_field(wl, num_nodes: int, ranks_per_device: int
+                   ) -> Tuple[float, np.ndarray]:
+    """Fault-free diffusion run: ``(elapsed, final field)``, cached.
+
+    The chaos contract compares numerics against a *clean dCUDA run* of
+    the identical workload (itself validated against the serial reference
+    by the tier-1 suite), so fault-induced divergence is isolated from any
+    model-vs-reference differences.
+    """
+    from ..apps.diffusion import run_dcuda_diffusion
+    from ..hw import Cluster, greina
+
+    key = (wl, num_nodes, ranks_per_device)
+    cached = _baseline_cache.get(key)
+    if cached is None:
+        cluster = Cluster(greina(num_nodes, faults=None))
+        elapsed, field, _ = run_dcuda_diffusion(cluster, wl,
+                                                ranks_per_device)
+        cached = _baseline_cache[key] = (elapsed, field)
+    return cached[0], cached[1].copy()
+
+
+def run_chaos_case(seed: Optional[int] = None, num_nodes: int = 2,
+                   ranks_per_device: int = 2, wl=None,
+                   cfg: Optional[FaultsConfig] = None,
+                   baseline: Optional[np.ndarray] = None) -> ChaosOutcome:
+    """Run diffusion under one fault schedule and classify the outcome.
+
+    Args:
+        seed: Random-plan seed (ignored if *cfg* is given).
+        num_nodes: Cluster size.
+        ranks_per_device: dCUDA over-subscription factor.
+        wl: :class:`~repro.apps.diffusion.DiffusionWorkload`; a small
+            default is used when ``None``.
+        cfg: Full :class:`FaultsConfig` override (for explicit schedules);
+            defaults to ``FaultsConfig(enabled=True, seed=seed)``.
+        baseline: Fault-free final field to compare against; computed (and
+            cached) via :func:`baseline_field` when ``None``.
+
+    Returns:
+        A :class:`ChaosOutcome`.  Exceptions other than the two typed
+        dCUDA failures are *not* caught — they indicate a harness bug.
+    """
+    from ..apps.diffusion import DiffusionWorkload, run_dcuda_diffusion
+    from ..hw import Cluster, greina
+
+    if wl is None:
+        wl = DiffusionWorkload(ni=8, nj_per_device=2 * ranks_per_device,
+                               nk=2, steps=2)
+    if baseline is None:
+        _, baseline = baseline_field(wl, num_nodes, ranks_per_device)
+    if cfg is None:
+        cfg = FaultsConfig(enabled=True, seed=seed)
+    cluster = Cluster(greina(num_nodes, faults=cfg))
+    plane = cluster.faults
+    try:
+        elapsed, field, _ = run_dcuda_diffusion(cluster, wl,
+                                                ranks_per_device)
+    except (DCudaTimeoutError, DCudaFaultError) as exc:
+        return ChaosOutcome(
+            seed=seed, status=type(exc).__name__, elapsed=cluster.env.now,
+            injections=plane.total_injections() if plane else 0,
+            numerics_equal=None, error=str(exc), error_code=exc.code)
+    return ChaosOutcome(
+        seed=seed, status="completed", elapsed=elapsed,
+        injections=plane.total_injections() if plane else 0,
+        numerics_equal=bool(np.array_equal(field, baseline)))
+
+
+def chaos_sweep(seeds: Sequence[int], num_nodes: int = 2,
+                ranks_per_device: int = 2, wl=None) -> List[ChaosOutcome]:
+    """Run :func:`run_chaos_case` for every seed; returns all outcomes.
+
+    The baseline is computed once and shared across the sweep.
+    """
+    from ..apps.diffusion import DiffusionWorkload
+
+    if wl is None:
+        wl = DiffusionWorkload(ni=8, nj_per_device=2 * ranks_per_device,
+                               nk=2, steps=2)
+    _, baseline = baseline_field(wl, num_nodes, ranks_per_device)
+    return [run_chaos_case(seed, num_nodes, ranks_per_device, wl=wl,
+                           baseline=baseline) for seed in seeds]
+
+
+def sweep_table(outcomes: Sequence[ChaosOutcome]) -> Table:
+    """Envelope summary of a chaos sweep (the EXPERIMENTS.md table)."""
+    table = Table("Chaos-sweep envelope",
+                  ["outcome", "runs", "injections", "share"])
+    total = len(outcomes) or 1
+    by_status: Dict[str, List[ChaosOutcome]] = {}
+    for o in outcomes:
+        by_status.setdefault(o.status, []).append(o)
+    for status in sorted(by_status):
+        group = by_status[status]
+        table.add_row(status, len(group),
+                      sum(o.injections for o in group),
+                      f"{len(group) / total:.0%}")
+    dirty = [o for o in outcomes if not o.clean]
+    table.add_note(f"{len(outcomes)} seeded runs; "
+                   f"{len(outcomes) - len(dirty)} satisfy the chaos "
+                   f"contract (identical numerics or typed failure), "
+                   f"{len(dirty)} violate it; hangs are impossible by "
+                   f"construction (simulated-time watchdog)")
+    return table
+
+
+# --------------------------------------------------------------- report -----
+def _site_rank(site: str) -> str:
+    """Best-effort world-rank attribution of an injection site name."""
+    m = re.search(r":r(\d+)$", site)
+    if m:
+        return m.group(1)
+    return "-"
+
+
+def injection_table(plane: FaultPlane) -> Table:
+    """What the plane injected: one row per ``(kind, site)`` pair."""
+    table = Table("Fault injections",
+                  ["kind", "site", "rank", "count", "first [us]"])
+    first: Dict[Tuple[str, str], float] = {}
+    for t, kind, site in plane.log:
+        first.setdefault((kind, site), t)
+    for (kind, site) in sorted(plane.injections):
+        count = plane.injections[(kind, site)]
+        t0 = first.get((kind, site))
+        table.add_row(kind, site, _site_rank(site), count,
+                      t0 * 1e6 if t0 is not None else "-")
+    table.add_note(f"{plane.total_injections()} injections from "
+                   f"{len(plane.schedule)} scheduled events "
+                   f"(seed={plane.cfg.seed!r})")
+    return table
+
+
+def hardening_table(runtime) -> Table:
+    """Per-rank runtime-hardening counters (recovery activity)."""
+    table = Table("Per-rank hardening activity",
+                  ["rank", "queue", "retries", "drops", "recovered",
+                   "dup-dropped", "starved"])
+    for rank in range(runtime.total_ranks):
+        state = runtime.state_of(rank)
+        for attr in _QUEUES:
+            queue = getattr(state, attr)
+            stats = queue.stats
+            values = [getattr(stats, name) for name in _QUEUE_STATS]
+            if any(values):
+                table.add_row(rank, queue.name, *values)
+    if not table.rows:
+        table.add_note("no hardening activity: every handshake succeeded "
+                       "first try")
+    return table
+
+
+def fault_report(plane: Optional[FaultPlane], runtime=None,
+                 obs=None) -> str:
+    """Render the full fault report (injections + per-rank hardening).
+
+    Args:
+        plane: The cluster's :class:`FaultPlane` (``cluster.faults``);
+            ``None`` renders a no-plane notice.
+        runtime: Optional :class:`~repro.runtime.system.DCudaRuntime` for
+            the per-rank hardening counters.
+        obs: Optional :class:`~repro.obs.Observability`; when given, the
+            ``faults.*`` counters from its metrics registry are appended,
+            tying the report into the observability layer.
+
+    Returns:
+        A printable multi-table string.
+    """
+    if plane is None:
+        return ("no fault plane attached (MachineConfig.faults is None or "
+                "disabled)")
+    parts = [injection_table(plane).render()]
+    if runtime is not None:
+        parts.append(hardening_table(runtime).render())
+    if obs is not None:
+        metrics = Table("Registry fault counters", ["metric", "value"])
+        for name, value in obs.registry.snapshot().items():
+            if name.startswith("faults."):
+                metrics.add_row(name, value)
+        if metrics.rows:
+            parts.append(metrics.render())
+    codes = Table("Error code table", ["code", "class", "remediation"])
+    for code, (cls_name, remediation) in sorted(ERROR_TABLE.items()):
+        codes.add_row(code, cls_name, remediation)
+    parts.append(codes.render())
+    return "\n\n".join(parts)

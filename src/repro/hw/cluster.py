@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..faults.plane import FaultPlane
 from ..obs.core import Observability
 from ..sim import Environment, Tracer
 from ..net.fabric import Fabric
@@ -34,12 +35,18 @@ class Cluster:
             self.obs.enabled and self.cfg.obs.trace_intervals))
         if self.obs.enabled and self.cfg.obs.event_loop_stats:
             self.env.enable_stats()
+        #: Fault plane (or None when ``cfg.faults`` is unset/disabled);
+        #: threaded through nodes, devices, links, and queues exactly like
+        #: the observability handle.
+        self.faults = FaultPlane.build(self.env, self.cfg.faults,
+                                       self.cfg.num_nodes, obs=self.obs)
         self.nodes: List[Node] = [
-            Node(self.env, self.cfg, i, tracer=self.tracer, obs=self.obs)
+            Node(self.env, self.cfg, i, tracer=self.tracer, obs=self.obs,
+                 faults=self.faults)
             for i in range(self.cfg.num_nodes)
         ]
         self.fabric = Fabric(self.env, self.cfg.fabric, self.cfg.num_nodes,
-                             obs=self.obs)
+                             obs=self.obs, faults=self.faults)
 
     @property
     def num_nodes(self) -> int:

@@ -24,7 +24,9 @@ Times are seconds, sizes are bytes, compute is FLOPs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
+from ..faults.config import FaultsConfig, default_faults
 from ..obs.config import ObsConfig, default_obs
 
 __all__ = [
@@ -196,6 +198,10 @@ class MachineConfig:
     #: Observability layer (metrics registry + trace export); default off.
     #: :func:`repro.obs.force_enabled` flips the default inside a block.
     obs: ObsConfig = field(default_factory=default_obs)
+    #: Fault-injection plane + runtime hardening; ``None`` (the default)
+    #: means the plane is never built and the stack runs its unperturbed
+    #: fast paths.  :func:`repro.faults.force_faults` flips the default.
+    faults: Optional[FaultsConfig] = field(default_factory=default_faults)
 
     def with_nodes(self, num_nodes: int) -> "MachineConfig":
         """Copy of this config with a different node count."""

@@ -74,14 +74,18 @@ class Device:
     """
 
     def __init__(self, env: Environment, cfg: GPUConfig, name: str = "gpu0",
-                 tracer: Optional[Tracer] = None, obs: Any = None):
+                 tracer: Optional[Tracer] = None, obs: Any = None,
+                 faults: Any = None):
         self.env = env
         self.cfg = cfg
         self.name = name
         self.tracer = tracer or Tracer(enabled=False)
-        self.memory = DeviceMemory(env, cfg, name=f"{name}.mem", obs=obs)
+        self.memory = DeviceMemory(env, cfg, name=f"{name}.mem", obs=obs,
+                                   faults=faults)
         self.sms = [SM(env, cfg, i, name) for i in range(cfg.num_sms)]
         self._blocks: List[Block] = []
+        # Fault plane or None; queried per compute phase for block stalls.
+        self._faults = faults
 
     # -- block management ---------------------------------------------------
     @property
@@ -145,6 +149,11 @@ class Device:
             # throttling aggregate bandwidth (see GPUConfig).
             issue_time = (self.alu_time(flops)
                           + mem_bytes / self.cfg.sm_lsu_bandwidth)
+            if self._faults is not None:
+                # A stalled block holds its issue unit longer, so the
+                # slowdown also delays co-resident ranks on the same SM.
+                issue_time *= self._faults.block_stall_factor(
+                    block.name, self.env._now)
             if issue_time > 0:
                 yield issue_time
         finally:

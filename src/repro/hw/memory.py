@@ -21,12 +21,12 @@ class DeviceMemory:
     """Aggregate device-memory bandwidth shared by all SMs."""
 
     def __init__(self, env: Environment, cfg: GPUConfig,
-                 name: str = "devmem", obs: Any = None):
+                 name: str = "devmem", obs: Any = None, faults: Any = None):
         self.env = env
         self.cfg = cfg
         self.name = name
         self.link = FairShareLink(env, cfg.mem_bandwidth, name=name,
-                                  obs=obs)
+                                  obs=obs, faults=faults)
 
     @property
     def bytes_transferred(self) -> float:

@@ -22,7 +22,8 @@ class Node:
     """
 
     def __init__(self, env: Environment, cfg: MachineConfig, index: int,
-                 tracer: Optional[Tracer] = None, obs: Any = None):
+                 tracer: Optional[Tracer] = None, obs: Any = None,
+                 faults: Any = None):
         self.env = env
         self.cfg = cfg
         self.index = index
@@ -31,8 +32,11 @@ class Node:
         #: Observability handle (or None); the runtime layer picks it up
         #: from here to instrument this node's queues and managers.
         self.obs = obs
+        #: Fault plane (or None); the runtime layer picks it up from here
+        #: to harden this node's queues and bound its handshakes.
+        self.faults = faults
         self.device = Device(env, cfg.gpu, name=f"{self.name}.gpu",
-                             tracer=self.tracer, obs=obs)
+                             tracer=self.tracer, obs=obs, faults=faults)
         self.pcie = PCIeLink(env, cfg.pcie, name=f"{self.name}.pcie")
         self.worker = Resource(env, capacity=1, name=f"{self.name}.worker")
 

@@ -55,7 +55,7 @@ class Fabric:
     """The cluster interconnect."""
 
     def __init__(self, env: Environment, cfg: FabricConfig, num_nodes: int,
-                 obs: Any = None):
+                 obs: Any = None, faults: Any = None):
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
         self.env = env
@@ -63,6 +63,11 @@ class Fabric:
         self.num_nodes = num_nodes
         self._nics: List[_Nic] = [_Nic(env, i, obs)
                                   for i in range(num_nodes)]
+        # Fault plane or None.  Wire transfers query it for partition
+        # windows (hold until heal), burst loss (retransmit delay — the
+        # message is never silently lost; reliability is re-established by
+        # retransmission, the arrival is just late), and NIC degradation.
+        self._faults = faults
 
     # -- cost helpers ------------------------------------------------------
     def bandwidth_for(self, mode: str) -> float:
@@ -101,7 +106,8 @@ class Fabric:
         else:
             self.bandwidth_for(mode)  # validate early
             self.env.process(
-                self._wire(src, nbytes, mode, done, injected, extra_latency),
+                self._wire(src, dst, nbytes, mode, done, injected,
+                           extra_latency),
                 name=f"wire:{src}->{dst}")
         return done
 
@@ -118,16 +124,33 @@ class Fabric:
             injected.succeed()
         done.succeed()
 
-    def _wire(self, src: int, nbytes: float, mode: str, done: Event,
+    def _wire(self, src: int, dst: int, nbytes: float, mode: str, done: Event,
               injected: Optional[Event], extra_latency: float):
         nic = self._nics[src]
+        faults = self._faults
+        if faults is not None:
+            # Partition window: the wire holds until the partition heals.
+            hold = faults.partition_hold(src, dst, self.env.now)
+            if hold > 0.0:
+                yield hold
         if nic.inflight_series is not None:
             nic.inflight += 1
             nic.inflight_series.sample(self.env.now, nic.inflight)
         yield from nic.lock.acquire()
         try:
-            yield (self.cfg.injection_overhead
-                   + self.serialization_time(nbytes, mode))
+            serialization = self.serialization_time(nbytes, mode)
+            if faults is not None:
+                # Degradation scales the NIC occupancy; burst loss costs
+                # one full timeout-and-resend round per lost attempt.  The
+                # message itself is never dropped — link-level reliability
+                # re-establishes delivery, only later.
+                serialization *= faults.degrade_factor(
+                    f"fabric.nic{src}", self.env.now)
+                retries = faults.loss_retries(src, dst, self.env.now)
+                if retries:
+                    extra_latency += retries * (serialization
+                                                + 2.0 * self.cfg.latency)
+            yield self.cfg.injection_overhead + serialization
         finally:
             nic.lock.release()
         nic.messages += 1

@@ -15,14 +15,35 @@ Faithful model of the paper's queue design (§III-C, "Queue Design"):
 Both host→device (ack/notification) and device→host (command/logging)
 queues cross the same PCIe link; intra-memory queues can be built by
 passing ``link=None`` (no transaction cost), which the tests use.
+
+Hardening under fault injection
+-------------------------------
+When a fault plane is attached (``faults=``), the queue defends exactly
+the way the paper's design allows it to:
+
+* **dropped posted writes** are detected by the gap they leave in the
+  sequence numbers; the slot is re-posted after an exponentially backed-off
+  redelivery delay, later slots park until the gap closes (delivery stays
+  in sequence order), and a :class:`~repro.errors.DCudaFaultError` is
+  raised when the redelivery budget is exhausted;
+* **duplicated posted writes** carry a stale sequence number by the time
+  they land, so the receiver's validity check discards them;
+* **credit starvation** turns the sender's wait into a bounded
+  retry-with-exponential-backoff loop (re-reading the tail pointer each
+  round) that raises :class:`~repro.errors.DCudaTimeoutError` instead of
+  hanging.
+
+With ``faults=None`` (the default) every hot path is byte-for-byte the
+unhardened one — the golden-fixture replay test holds.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Dict, Generator, Optional
 
+from ..errors import DCudaFaultError, DCudaTimeoutError
 from ..hw.pcie import PCIeLink
-from ..sim import Environment, Event, Signal, Store
+from ..sim import AnyOf, Environment, Event, Signal, Store
 
 __all__ = ["CircularQueue", "QueueStats"]
 
@@ -30,13 +51,21 @@ __all__ = ["CircularQueue", "QueueStats"]
 class QueueStats:
     """Counters exposed for tests and the queue-sizing ablation."""
 
-    __slots__ = ("enqueues", "dequeues", "credit_reloads", "full_stalls")
+    __slots__ = ("enqueues", "dequeues", "credit_reloads", "full_stalls",
+                 "dropped_writes", "duplicates_dropped", "recovered",
+                 "retries", "starved_reloads")
 
     def __init__(self) -> None:
         self.enqueues = 0
         self.dequeues = 0
         self.credit_reloads = 0
         self.full_stalls = 0
+        # Hardening counters (only move when a fault plane is attached).
+        self.dropped_writes = 0      # posted writes lost by injection
+        self.duplicates_dropped = 0  # stale-seq entries discarded
+        self.recovered = 0           # dropped slots redelivered in order
+        self.retries = 0             # backed-off credit-handshake retries
+        self.starved_reloads = 0     # reloads that saw injected starvation
 
 
 class CircularQueue:
@@ -44,7 +73,7 @@ class CircularQueue:
 
     def __init__(self, env: Environment, size: int,
                  link: Optional[PCIeLink] = None, name: str = "queue",
-                 obs: Any = None):
+                 obs: Any = None, faults: Any = None):
         if size < 1:
             raise ValueError(f"queue size must be >= 1, got {size}")
         self.env = env
@@ -52,6 +81,12 @@ class CircularQueue:
         self.link = link
         self.name = name
         self.stats = QueueStats()
+        # Fault plane (or None).  The hardened commit/enqueue paths are
+        # only taken when a plane is attached; the default path is the
+        # unperturbed one.
+        self._faults = faults
+        self._next_deliver = 1              # next in-order sequence number
+        self._parked: Dict[int, Any] = {}   # out-of-order arrivals by seq
         # Observability: depth (receiver view) and sender-credit occupancy
         # series plus enqueue/stall counters, or None when disabled.  The
         # samples are recorded at the existing state-change points only —
@@ -96,6 +131,12 @@ class CircularQueue:
             yield from self.link.mapped_read()
         self._known_tail = self._tail
         self._credits = self.size - (self._head - self._known_tail)
+        if self._faults is not None and \
+                self._faults.credit_starved(self.name, self.env.now):
+            # An injected starvation window: the reloaded tail reads as if
+            # the receiver made no progress, so the sender sees no space.
+            self._credits = 0
+            self.stats.starved_reloads += 1
         if self._credit_series is not None:
             self._credit_series.sample(self.env.now, self._credits)
 
@@ -106,6 +147,9 @@ class CircularQueue:
         visible to the receiver after the write-visibility latency.  A
         constant delay preserves FIFO order.
         """
+        if self._faults is not None:
+            yield from self._enqueue_hardened(entry)
+            return
         if self._credits == 0:
             yield from self._reload_credits()
             while self._credits == 0:
@@ -132,6 +176,56 @@ class CircularQueue:
         else:
             self._commit(self._seq, entry)
 
+    def _enqueue_hardened(self, entry: Any) -> Generator[Event, Any, None]:
+        """Enqueue under an attached fault plane: bounded, never hangs.
+
+        The credit handshake becomes retry-with-exponential-backoff: each
+        round waits for a space-freed signal *or* the backoff timer
+        (whichever first), re-reads the tail pointer, and gives up with a
+        :class:`DCudaTimeoutError` once the retry budget is spent.  The
+        posted write then goes through :meth:`_commit_faulty`, which
+        implements drop/duplicate recovery.
+
+        Raises:
+            DCudaTimeoutError: the handshake exhausted ``max_retries``.
+        """
+        cfg = self._faults.cfg
+        if self._credits == 0:
+            yield from self._reload_credits()
+            attempt = 0
+            while self._credits == 0:
+                attempt += 1
+                self.stats.full_stalls += 1
+                if self._stall_counter is not None:
+                    self._stall_counter.inc()
+                if attempt > cfg.max_retries:
+                    raise DCudaTimeoutError(
+                        f"queue {self.name}: no credits after "
+                        f"{cfg.max_retries} backed-off handshake retries",
+                        sim_time=self.env.now)
+                backoff = cfg.backoff_base * (2 ** (attempt - 1))
+                freed = self._space_freed.wait()
+                timer = self.env.timeout(backoff)
+                which = yield AnyOf(self.env, [freed, timer])
+                # Abandon the losing arm so the orphaned event neither
+                # stretches the run nor leaks a signal waiter.
+                (timer if which[0] == 0 else freed).abandoned = True
+                self.stats.retries += 1
+                yield from self._reload_credits()
+        self._credits -= 1
+        self._head += 1
+        if self._credit_series is not None:
+            self._credit_series.sample(self.env.now, self._credits)
+        delay = 0.0
+        if self.link is not None:
+            yield from self.link.mapped_post()
+            delay = self.link.write_visibility_delay
+        self._seq += 1
+        if delay > 0:
+            self.env.call_at(delay, self._commit_faulty, self._seq, entry, 0)
+        else:
+            self._commit_faulty(self._seq, entry, 0)
+
     def _commit(self, seq: int, entry: Any) -> None:
         """The posted write landed in receiver memory."""
         self._entries.try_put((seq, entry))
@@ -140,6 +234,54 @@ class CircularQueue:
             self._depth_series.sample(self.env.now, len(self._entries))
             self._enq_counter.inc()
         self.arrived.fire()
+
+    def _commit_faulty(self, seq: int, entry: Any, attempt: int) -> None:
+        """Fault-aware commit: validity check, drop recovery, in-order drain.
+
+        ``attempt`` is 0 for the original posted write, ``> 0`` for a
+        redelivery of a dropped slot, and ``< 0`` for an injected duplicate
+        (which skips the drop check so a dup cannot recurse forever).
+
+        Raises:
+            DCudaFaultError: a slot was dropped more than ``max_retries``
+                times (via :meth:`_redeliver`).
+        """
+        now = self.env.now
+        if seq < self._next_deliver:
+            # Sequence-number validity check (§III-C): the slot was already
+            # delivered — this is a stale duplicate; discard it.
+            self.stats.duplicates_dropped += 1
+            return
+        if attempt >= 0 and self._faults.queue_drop(self.name, now):
+            # The posted write was lost in flight.  The gap it leaves in
+            # the sequence numbers parks later slots until redelivery.
+            self.stats.dropped_writes += 1
+            self._redeliver(seq, entry, attempt + 1)
+            return
+        self._parked[seq] = entry
+        if attempt > 0:
+            self.stats.recovered += 1
+        duplicate = attempt >= 0 and self._faults.queue_dup(self.name, now)
+        while self._next_deliver in self._parked:
+            self._commit(self._next_deliver,
+                         self._parked.pop(self._next_deliver))
+            self._next_deliver += 1
+        if duplicate:
+            # The duplicate lands after the original was delivered, so the
+            # stale-seq check above is guaranteed to discard it.
+            self.env.call_at(self._faults.cfg.redelivery_delay,
+                             self._commit_faulty, seq, entry, -1)
+
+    def _redeliver(self, seq: int, entry: Any, attempt: int) -> None:
+        """Re-post a dropped slot after an exponentially backed-off delay."""
+        cfg = self._faults.cfg
+        if attempt > cfg.max_retries:
+            raise DCudaFaultError(
+                f"queue {self.name}: slot seq={seq} lost {attempt} times; "
+                f"redelivery budget ({cfg.max_retries}) exhausted",
+                sim_time=self.env.now)
+        delay = cfg.redelivery_delay * (2 ** (attempt - 1))
+        self.env.call_at(delay, self._commit_faulty, seq, entry, attempt)
 
     def try_room(self) -> bool:
         """Sender-local, zero-cost check whether credits remain."""
@@ -156,6 +298,47 @@ class CircularQueue:
         # Waking a starved sender models the sender's polling loop
         # observing the advanced tail pointer; the sender still pays the
         # PCIe read in _reload_credits.
+        self._space_freed.fire()
+        return entry
+
+    def dequeue_timeout(self, timeout: float, rank: Optional[int] = None,
+                        what: str = "entry") -> Generator[Event, Any, Any]:
+        """Blocking dequeue with a simulated-time bound.
+
+        Args:
+            timeout: Simulated seconds to wait before giving up.
+            rank: World rank attached to the error for diagnosis.
+            what: Human-readable description of the awaited entry.
+
+        Returns:
+            The dequeued entry.
+
+        Raises:
+            DCudaTimeoutError: nothing arrived within ``timeout``; carries
+                ``rank`` and the simulated time.
+        """
+        get_ev = self._entries.get()
+        if not get_ev.triggered:
+            timer = self.env.timeout(timeout)
+            result = yield AnyOf(self.env, [get_ev, timer])
+            if result[0] == 0 or get_ev.triggered:
+                timer.abandoned = True
+            if result[0] == 1 and not get_ev.triggered:
+                # The timer won and the get never fired: abandon the
+                # waiter so the store prunes it instead of handing it a
+                # future entry nobody will read.
+                get_ev.abandoned = True
+                raise DCudaTimeoutError(
+                    f"queue {self.name}: timed out after {timeout:.3e}s "
+                    f"simulated waiting for {what}",
+                    rank=rank, sim_time=self.env.now)
+            # Either the get won, or both fired in the same step — the
+            # entry was removed from the buffer either way, so consume it.
+        seq, entry = get_ev.value
+        self._tail += 1
+        self.stats.dequeues += 1
+        if self._depth_series is not None:
+            self._depth_series.sample(self.env.now, len(self._entries))
         self._space_freed.fire()
         return entry
 

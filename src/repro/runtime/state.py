@@ -59,14 +59,19 @@ class RankState:
         self.block = block
         pcie = node.pcie
         obs = node.obs
+        faults = getattr(node, "faults", None)
         self.cmd_queue = CircularQueue(env, queue_size, pcie,
-                                       name=f"cmd:r{world_rank}", obs=obs)
+                                       name=f"cmd:r{world_rank}", obs=obs,
+                                       faults=faults)
         self.ack_queue = CircularQueue(env, queue_size, pcie,
-                                       name=f"ack:r{world_rank}", obs=obs)
+                                       name=f"ack:r{world_rank}", obs=obs,
+                                       faults=faults)
         self.notif_queue = CircularQueue(env, queue_size, pcie,
-                                         name=f"ntf:r{world_rank}", obs=obs)
+                                         name=f"ntf:r{world_rank}", obs=obs,
+                                         faults=faults)
         self.log_queue = CircularQueue(env, queue_size, pcie,
-                                       name=f"log:r{world_rank}", obs=obs)
+                                       name=f"log:r{world_rank}", obs=obs,
+                                       faults=faults)
         # Device-visible flush counter, mirrored by the block manager.
         self.flush_counter = 0
         self.flush_signal = Signal(env, name=f"flush:r{world_rank}")

@@ -515,11 +515,18 @@ class Environment:
             # dispatch without iterator setup.
             while queue:
                 when, _prio, _seq, event = heappop(queue)
-                if when > self._now:
-                    self._now = when
                 if event.__class__ is _Deferred:
+                    if when > self._now:
+                        self._now = when
                     event.fn(*event.args)
                     continue
+                if event.abandoned:
+                    # An orphaned timer (e.g. the losing arm of a bounded
+                    # wait): dropped without advancing the clock, so a
+                    # dangling timeout cannot stretch the simulated run.
+                    continue
+                if when > self._now:
+                    self._now = when
                 callbacks = event.callbacks
                 event.callbacks = None
                 if len(callbacks) == 1:
@@ -538,11 +545,15 @@ class Environment:
                 self._now = until
                 return
             when, _prio, _seq, event = heappop(queue)
-            if when > self._now:
-                self._now = when
             if event.__class__ is _Deferred:
+                if when > self._now:
+                    self._now = when
                 event.fn(*event.args)
                 continue
+            if event.abandoned:
+                continue
+            if when > self._now:
+                self._now = when
             callbacks = event.callbacks
             event.callbacks = None
             for callback in callbacks:
@@ -551,6 +562,60 @@ class Environment:
                     and isinstance(event, Process)):
                 raise event._exception
         self._now = until
+
+    def run_watchdog(self, deadline: float) -> bool:
+        """Run like :meth:`run`, but stop *before* crossing ``deadline``.
+
+        Returns ``True`` when the queue drained (normal completion) and
+        ``False`` when the next event lies beyond the deadline — i.e. the
+        simulation would run past its simulated-time budget.  Unlike
+        ``run(until=deadline)`` the clock is left at the last processed
+        event, not advanced to the deadline, so callers can still report a
+        meaningful elapsed time for the work that did happen.  Unhandled
+        process failures propagate exactly as in :meth:`run`.
+        """
+        queue = self._queue
+        stats = self.stats
+        while queue:
+            if queue[0][0] > deadline:
+                head = queue[0][3]
+                if head.__class__ is not _Deferred and head.abandoned:
+                    # An orphaned timer beyond the deadline is not pending
+                    # work — drop it instead of declaring a timeout.
+                    heappop(queue)
+                    continue
+                return False
+            if stats is not None:
+                stats.entries += 1
+                if len(queue) > stats.max_queue_len:
+                    stats.max_queue_len = len(queue)
+            when, _prio, _seq, event = heappop(queue)
+            if event.__class__ is _Deferred:
+                if when > self._now:
+                    self._now = when
+                    if stats is not None:
+                        stats.time_advances += 1
+                if stats is not None:
+                    stats.deferred_calls += 1
+                event.fn(*event.args)
+                continue
+            if event.abandoned:
+                continue
+            if when > self._now:
+                self._now = when
+                if stats is not None:
+                    stats.time_advances += 1
+            callbacks = event.callbacks
+            event.callbacks = None
+            if stats is not None:
+                stats.events += 1
+                stats.callbacks += len(callbacks)
+            for callback in callbacks:
+                callback(event)
+            if (not callbacks and event._exception is not None
+                    and isinstance(event, Process)):
+                raise event._exception
+        return True
 
     def _run_counting(self, until: Optional[float] = None) -> None:
         """Twin of :meth:`run` that also bumps :class:`EnvStats` counters.
@@ -572,13 +637,18 @@ class Environment:
             if len(queue) > stats.max_queue_len:
                 stats.max_queue_len = len(queue)
             when, _prio, _seq, event = heappop(queue)
-            if when > self._now:
-                self._now = when
-                stats.time_advances += 1
             if event.__class__ is _Deferred:
+                if when > self._now:
+                    self._now = when
+                    stats.time_advances += 1
                 stats.deferred_calls += 1
                 event.fn(*event.args)
                 continue
+            if event.abandoned:
+                continue
+            if when > self._now:
+                self._now = when
+                stats.time_advances += 1
             callbacks = event.callbacks
             event.callbacks = None
             stats.events += 1

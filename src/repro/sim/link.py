@@ -59,7 +59,7 @@ class FairShareLink:
     """
 
     def __init__(self, env: Environment, bandwidth: float,
-                 name: str = "link", obs: Any = None):
+                 name: str = "link", obs: Any = None, faults: Any = None):
         if bandwidth <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth}")
         self.env = env
@@ -72,6 +72,9 @@ class FairShareLink:
             if obs else None
         self._byte_counter = obs.link_counter(f"link.{name}.bytes") \
             if obs else None
+        # Fault plane (same duck-typed contract): transient bandwidth
+        # degradation scales a flow's *service demand* at entry, or None.
+        self._faults = faults
         #: Completion heap: ``(target service level, entry seq, flow)``.
         self._heap: List[Tuple[float, int, _Flow]] = []
         self._flow_seq = 0
@@ -100,7 +103,13 @@ class FairShareLink:
             ev.succeed()
             return ev
         self._advance()
-        target = self._service + nbytes / weight
+        demand = nbytes
+        if self._faults is not None:
+            # A degradation window multiplies the flow's service demand —
+            # the bytes counter below still records the *actual* payload.
+            demand = nbytes * self._faults.degrade_factor(
+                self.name, self.env._now)
+        target = self._service + demand / weight
         self._flow_seq += 1
         heappush(self._heap, (target, self._flow_seq, _Flow(ev, weight)))
         self._weight_sum += weight

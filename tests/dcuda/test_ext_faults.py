@@ -1,0 +1,149 @@
+"""§V extensions under fault injection: one schedule interaction each.
+
+The fault plane threads through every layer the extensions touch, so each
+extension gets a direct test against a targeted schedule: the nonblocking
+barrier under a block stall, notify-all under queue duplication, 2-D puts
+under link degradation, and host ranks under notification-queue drops.
+"""
+
+import numpy as np
+
+from repro.dcuda import DRank, launch
+from repro.dcuda.ext import (
+    HostRank,
+    get_2d,
+    ibarrier,
+    put_notify_2d,
+    put_notify_all,
+    wait_collective,
+)
+from repro.faults import FaultEvent, FaultsConfig
+from repro.hw import Cluster, greina
+from repro.runtime import DCudaRuntime
+
+
+def faulty(*events, **cfg_kw):
+    return FaultsConfig(enabled=True, events=tuple(events), **cfg_kw)
+
+
+# ---------------------------------------------------- ibarrier + stall ------
+def test_ibarrier_completes_under_block_stall():
+    done = {}
+
+    def kernel(rank):
+        yield from ibarrier(rank, tag=5)
+        yield from rank.compute(flops=1e4)
+        yield from wait_collective(rank, tag=5)
+        done[rank.world_rank] = rank.now
+        yield from rank.finish()
+
+    cfg = faulty(FaultEvent("block_stall", start=0.0, duration=1.0,
+                            target="node0.gpu.b0", factor=10.0))
+    cluster = Cluster(greina(1, faults=cfg))
+    launch(cluster, kernel, ranks_per_device=2)
+    assert set(done) == {0, 1}
+    assert cluster.faults.total_injections() > 0
+    # The stalled rank computes 10x longer, so it consumes its completion
+    # notification no earlier than the clean rank.
+    assert done[0] >= done[1]
+
+
+# ------------------------------------------------- notify-all + queue dup ---
+def test_put_notify_all_survives_duplicated_notifications():
+    shared = np.zeros(8)
+    got = []
+
+    def kernel(rank):
+        r = rank.world_rank
+        win = yield from rank.win_create(shared)
+        if r == 0:
+            yield from put_notify_all(rank, win, [1, 2, 3], 0,
+                                      np.full(4, 7.0), tag=2)
+        else:
+            # Exactly one notification each — duplicates must have been
+            # discarded by the sequence-validity check, or the *second*
+            # wait below would consume a phantom.
+            yield from rank.wait_notifications(win, source=0, tag=2,
+                                               count=1)
+            extra = yield from rank.test_notifications(win, source=0, tag=2)
+            got.append((r, shared[0], extra))
+        yield from rank.finish()
+
+    cfg = faulty(FaultEvent("queue_dup", start=0.0, duration=1.0,
+                            target="ntf:", count=4))
+    cluster = Cluster(greina(1, faults=cfg))
+    launch(cluster, kernel, ranks_per_device=4)
+    assert sorted(r for r, _, _ in got) == [1, 2, 3]
+    assert all(v == 7.0 for _, v, _ in got)
+    assert all(extra == 0 for _, _, extra in got), \
+        "a duplicated notification leaked through the stale-seq filter"
+    assert cluster.faults.injections.get(("queue_dup", "ntf:r1"), 0) \
+        + cluster.faults.injections.get(("queue_dup", "ntf:r2"), 0) \
+        + cluster.faults.injections.get(("queue_dup", "ntf:r3"), 0) > 0
+
+
+# ------------------------------------------------------ 2-D + degrade -------
+def test_put_get_2d_exact_under_link_degradation():
+    stride = 8
+    buffers = {r: np.zeros(4 * stride) for r in range(2)}
+    rect = np.arange(12, dtype=np.float64).reshape(3, 4)
+    out = np.zeros((2, 4))
+
+    def kernel(rank):
+        r = rank.world_rank
+        win = yield from rank.win_create(buffers[r])
+        if r == 0:
+            yield from put_notify_2d(rank, win, 1, target_offset=2,
+                                     target_stride=stride, src=rect, tag=9)
+            yield from get_2d(rank, win, 1, target_offset=2,
+                              target_stride=stride, dst=out, tag=3)
+            yield from rank.wait_notifications(win, source=1, tag=3,
+                                               count=1)
+        else:
+            yield from rank.wait_notifications(win, source=0, tag=9,
+                                               count=1)
+        yield from rank.barrier()
+        yield from rank.finish()
+
+    cfg = faulty(FaultEvent("link_degrade", start=0.0, duration=1.0,
+                            factor=5.0))
+    cluster = Cluster(greina(2, faults=cfg))
+    launch(cluster, kernel, ranks_per_device=1)
+    np.testing.assert_array_equal(
+        buffers[1].reshape(4, stride)[:3, 2:6], rect)
+    np.testing.assert_array_equal(out, rect[:2])
+    assert any(k == "link_degrade" for k, _ in cluster.faults.injections)
+
+
+# --------------------------------------------------- host rank + drop -------
+def test_host_rank_put_recovers_from_notification_drop():
+    cfg = faulty(FaultEvent("queue_drop", start=0.0, duration=1.0,
+                            target="ntf:r0", count=1))
+    cluster = Cluster(greina(1, faults=cfg))
+    runtime = DCudaRuntime(cluster, ranks_per_device=1)
+    runtime.start()
+    host = HostRank(runtime, 0)
+    buf = np.zeros(8)
+    state = {}
+
+    def kernel(rank):
+        win = yield from rank.win_create(buf)
+        state["win"] = win
+        yield from rank.wait_notifications(win, source=host.rank_id,
+                                           tag=4, count=1)
+        yield from rank.finish()
+
+    def host_proc(env):
+        while "win" not in state:
+            yield env.timeout(1e-6)
+        yield from host.put_notify(state["win"], 0, 2,
+                                   np.array([9.0, 9.5]), tag=4)
+
+    cluster.env.process(kernel(DRank(runtime, 0)))
+    cluster.env.process(host_proc(cluster.env))
+    cluster.run()
+    np.testing.assert_array_equal(buf[2:4], [9.0, 9.5])
+    # The notification really was dropped once and redelivered.
+    ntf = runtime.state_of(0).notif_queue
+    assert ntf.stats.dropped_writes == 1
+    assert ntf.stats.recovered == 1

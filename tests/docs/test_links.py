@@ -1,0 +1,89 @@
+"""Intra-repo markdown link checker (the docs CI gate).
+
+Walks ``docs/`` plus the top-level guides and verifies that every
+relative markdown link resolves: the file exists, and when the link
+carries a ``#fragment`` the target file contains a heading whose
+GitHub-style anchor slug matches.  External (``http``/``https``/
+``mailto``) links are out of scope — CI must not depend on the network.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent.parent
+CHECKED = sorted(
+    list((REPO / "docs").rglob("*.md"))
+    + [REPO / "README.md", REPO / "DESIGN.md", REPO / "EXPERIMENTS.md"]
+)
+
+#: ``[text](target)`` — excludes images by stripping the leading ``!``.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor algorithm: lowercase, drop punctuation, dash spaces.
+
+    Emphasis markers (``*``, backticks) are stripped; literal underscores
+    are *kept* — ``### `comm_size``` anchors as ``#comm_size``.
+    """
+    text = re.sub(r"[*`]", "", heading.strip())
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = CODE_FENCE_RE.sub("", path.read_text())
+    slugs = set()
+    counts = {}
+    for match in HEADING_RE.finditer(text):
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def iter_links(path: Path):
+    text = CODE_FENCE_RE.sub("", path.read_text())
+    for match in LINK_RE.finditer(text):
+        yield match.group(1)
+
+
+def test_checked_set_is_nonempty():
+    assert len(CHECKED) >= 7, [p.name for p in CHECKED]
+
+
+@pytest.mark.parametrize("path", CHECKED, ids=lambda p: str(p.relative_to(REPO)))
+def test_intra_repo_links_resolve(path):
+    broken = []
+    for link in iter_links(path):
+        if link.startswith(("http://", "https://", "mailto:")):
+            continue
+        target, _, fragment = link.partition("#")
+        if target:
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                broken.append(f"{link} -> missing file {target}")
+                continue
+        else:
+            resolved = path
+        if fragment and resolved.suffix == ".md":
+            if fragment not in anchors_of(resolved):
+                broken.append(f"{link} -> no heading with anchor "
+                              f"#{fragment} in {resolved.name}")
+    assert not broken, (
+        f"{path.relative_to(REPO)} has {len(broken)} broken link(s):\n  "
+        + "\n  ".join(broken))
+
+
+def test_readme_links_into_docs():
+    """The README must cross-link the docs site (the restructure gate)."""
+    text = (REPO / "README.md").read_text()
+    for target in ("docs/index.md", "docs/architecture.md",
+                   "docs/faults.md"):
+        assert target in text, f"README does not link {target}"

@@ -1,0 +1,77 @@
+"""The DCudaError hierarchy: codes, remediation, structured context."""
+
+import pytest
+
+from repro.errors import (
+    ERROR_TABLE,
+    DCudaError,
+    DCudaFaultError,
+    DCudaProtocolError,
+    DCudaTimeoutError,
+    DCudaUsageError,
+)
+
+ALL_CLASSES = (DCudaError, DCudaProtocolError, DCudaUsageError,
+               DCudaTimeoutError, DCudaFaultError)
+
+
+def test_hierarchy():
+    for cls in ALL_CLASSES:
+        assert issubclass(cls, DCudaError)
+        assert issubclass(cls, RuntimeError)
+    assert not issubclass(DCudaTimeoutError, DCudaFaultError)
+    assert not issubclass(DCudaFaultError, DCudaTimeoutError)
+
+
+def test_every_class_has_code_and_remediation():
+    codes = set()
+    for cls in ALL_CLASSES:
+        assert cls.code.startswith("DCUDA")
+        assert cls.remediation
+        codes.add(cls.code)
+    assert len(codes) == len(ALL_CLASSES), "codes must be unique"
+
+
+def test_error_table_covers_all_classes():
+    assert set(ERROR_TABLE) == {cls.code for cls in ALL_CLASSES}
+    for cls in ALL_CLASSES:
+        name, remediation = ERROR_TABLE[cls.code]
+        assert name == cls.__name__
+        assert remediation == cls.remediation
+
+
+def test_context_rendering():
+    err = DCudaTimeoutError("stuck", rank=3, sim_time=1.25e-4)
+    assert err.rank == 3 and err.sim_time == 1.25e-4
+    assert "rank=3" in str(err)
+    assert "t=1.25" in str(err)
+    assert str(err).startswith("stuck")
+
+
+def test_no_context_keeps_plain_message():
+    err = DCudaUsageError("bad call")
+    assert str(err) == "bad call"
+    assert err.context() == ""
+
+
+def test_partial_context():
+    assert "t=" in str(DCudaFaultError("x", sim_time=1.0))
+    assert "rank=" not in str(DCudaFaultError("x", sim_time=1.0))
+    assert "rank=7" in str(DCudaError("x", rank=7))
+
+
+def test_catchable_as_base_class():
+    with pytest.raises(DCudaError):
+        raise DCudaFaultError("injected")
+    with pytest.raises(RuntimeError):
+        raise DCudaTimeoutError("late")
+
+
+def test_dcuda_package_reexports_same_objects():
+    import repro.dcuda as dcuda
+    import repro.dcuda.errors as derr
+
+    for cls in ALL_CLASSES:
+        assert getattr(dcuda, cls.__name__) is cls
+        assert getattr(derr, cls.__name__) is cls
+    assert dcuda.ERROR_TABLE is ERROR_TABLE

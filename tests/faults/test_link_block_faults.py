@@ -1,0 +1,103 @@
+"""Link, fabric, and GPU-block faults end-to-end over the diffusion app."""
+
+import numpy as np
+import pytest
+
+from repro.apps.diffusion import DiffusionWorkload, run_dcuda_diffusion
+from repro.faults import FaultEvent, FaultPlane, FaultsConfig
+from repro.hw import Cluster, greina
+from repro.sim import Environment
+from repro.sim.link import FairShareLink
+
+WL = DiffusionWorkload(ni=8, nj_per_device=4, nk=2, steps=2)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    elapsed, field, _ = run_dcuda_diffusion(Cluster(greina(2)), WL,
+                                            ranks_per_device=2)
+    return elapsed, field
+
+
+def run_with(*events):
+    cfg = FaultsConfig(enabled=True, events=tuple(events))
+    cluster = Cluster(greina(2, faults=cfg))
+    elapsed, field, _ = run_dcuda_diffusion(cluster, WL, ranks_per_device=2)
+    return elapsed, field, cluster.faults
+
+
+# ------------------------------------------------------- fair-share link ----
+def test_fair_share_link_degradation_slows_transfer():
+    def one_transfer(plane):
+        env = Environment()
+        link = FairShareLink(env, bandwidth=1e9, name="memlink",
+                             faults=plane(env) if plane else None)
+        done = {}
+
+        def flow(env):
+            yield link.transfer(1e6)
+            done["t"] = env.now
+
+        env.process(flow(env))
+        env.run()
+        return done["t"]
+
+    clean = one_transfer(None)
+
+    def degraded(env):
+        cfg = FaultsConfig(enabled=True, events=(
+            FaultEvent("link_degrade", start=0.0, duration=1.0,
+                       target="memlink", factor=2.0),))
+        return FaultPlane(env, cfg, 1)
+
+    assert one_transfer(degraded) == pytest.approx(2.0 * clean)
+
+
+# ------------------------------------------------------------- end-to-end ---
+def test_fabric_degrade_slows_run_but_keeps_numerics(baseline):
+    base_elapsed, base_field = baseline
+    elapsed, field, plane = run_with(
+        FaultEvent("link_degrade", start=0.0, duration=1.0, target="fabric",
+                   factor=4.0))
+    assert plane.injections  # the window actually hit fabric NICs
+    assert any(k == "link_degrade" for k, _ in plane.injections)
+    assert elapsed > base_elapsed
+    assert np.array_equal(field, base_field)
+
+
+def test_burst_loss_adds_retransmit_delay(baseline):
+    base_elapsed, base_field = baseline
+    elapsed, field, plane = run_with(
+        FaultEvent("burst_loss", start=0.0, duration=1.0, count=4))
+    assert plane.total_injections() == 4
+    assert elapsed > base_elapsed
+    assert np.array_equal(field, base_field)
+
+
+def test_partition_window_delays_wire_but_heals(baseline):
+    base_elapsed, base_field = baseline
+    elapsed, field, plane = run_with(
+        FaultEvent("partition", start=1e-5, duration=4e-5))
+    assert any(k == "partition" for k, _ in plane.injections)
+    assert elapsed > base_elapsed
+    assert np.array_equal(field, base_field)
+
+
+def test_block_stall_slows_one_rank(baseline):
+    base_elapsed, base_field = baseline
+    elapsed, field, plane = run_with(
+        FaultEvent("block_stall", start=0.0, duration=1.0,
+                   target="node0.gpu.b0", factor=50.0))
+    assert any(site.startswith("node0.gpu.b0")
+               for k, site in plane.injections if k == "block_stall")
+    assert elapsed > base_elapsed
+    assert np.array_equal(field, base_field)
+
+
+def test_window_outside_run_injects_nothing(baseline):
+    base_elapsed, base_field = baseline
+    elapsed, field, plane = run_with(
+        FaultEvent("link_degrade", start=1.0, duration=1.0, factor=9.0))
+    assert plane.total_injections() == 0
+    assert elapsed == base_elapsed
+    assert np.array_equal(field, base_field)

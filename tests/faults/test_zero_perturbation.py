@@ -1,0 +1,99 @@
+"""Fault plane must not perturb the simulation when off — or inert.
+
+Two gates, mirroring the observability zero-perturbation suite:
+
+1. **Golden timestamps.**  The schedule-preservation fixture (captured
+   before the fault plane existed, ``faults=None``) must replay bit-for-bit
+   — and it must *also* replay bit-for-bit with an inert **enabled** plane
+   forced onto every workload: the hardening code paths (bounded waits,
+   sequence validation, watchdog) may not move a single event when no
+   fault fires.
+
+2. **Direct run comparison.**  Diffusion with ``faults=None`` vs an inert
+   enabled plane: identical elapsed time, output bits, and hardware
+   counters.  ``==`` on IEEE-754 doubles, never ``pytest.approx``.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.apps.diffusion import DiffusionWorkload, run_dcuda_diffusion
+from repro.bench.golden import GOLDEN_WORKLOADS
+from repro.faults import FaultsConfig, force_faults
+from repro.hw import Cluster, greina
+
+FIXTURE = Path(__file__).parent.parent / "fixtures" / "golden_timestamps.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.mark.parametrize("fig", sorted(GOLDEN_WORKLOADS))
+def test_golden_timestamps_with_faults_none(fig, golden):
+    """The default (no plane) replays the fixture exactly."""
+    current = GOLDEN_WORKLOADS[fig]()
+    expected = {k: v for k, v in golden.items() if k.startswith(fig + ".")}
+    assert expected, f"fixture has no entries for {fig}; regenerate it"
+    assert {k: current[k] for k in expected} == expected
+
+
+@pytest.mark.parametrize("fig", sorted(GOLDEN_WORKLOADS))
+def test_golden_timestamps_with_inert_plane(fig, golden):
+    """An enabled-but-empty plane may not move a single timestamp."""
+    with force_faults(FaultsConfig(enabled=True)):
+        current = GOLDEN_WORKLOADS[fig]()
+    expected = {k: v for k, v in golden.items() if k.startswith(fig + ".")}
+    mismatches = {
+        k: {"fixture": expected[k], "with_faults": current[k]}
+        for k in expected if current[k] != expected[k]
+    }
+    assert not mismatches, (
+        f"{len(mismatches)} simulated timestamp(s) moved with an inert "
+        f"fault plane — hardening is perturbing the schedule: {mismatches}")
+
+
+def _run_diffusion(faults_cfg):
+    cluster = Cluster(greina(2, faults=faults_cfg))
+    wl = DiffusionWorkload(ni=8, nj_per_device=4, nk=2, steps=2)
+    elapsed, field, _ = run_dcuda_diffusion(cluster, wl, ranks_per_device=2)
+    counters = {}
+    for node in cluster.nodes:
+        pcie = node.pcie
+        counters[f"{node.name}.pcie.mapped_writes"] = pcie.mapped_writes
+        counters[f"{node.name}.pcie.mapped_reads"] = pcie.mapped_reads
+        counters[f"{node.name}.pcie.dma_bytes"] = pcie.dma_bytes
+        counters[f"{node.name}.mem.bytes"] = \
+            node.device.memory.bytes_transferred
+    return elapsed, field, counters, cluster
+
+
+def test_faults_off_and_inert_runs_are_bit_identical():
+    base_elapsed, base_field, base_counters, off = _run_diffusion(None)
+    inert_elapsed, inert_field, inert_counters, on = _run_diffusion(
+        FaultsConfig(enabled=True))
+    assert off.faults is None
+    assert on.faults is not None
+    assert on.faults.total_injections() == 0
+    assert inert_elapsed == base_elapsed
+    assert np.array_equal(inert_field, base_field)
+    assert inert_counters == base_counters
+
+
+def test_hardening_counters_stay_zero_without_injection():
+    cluster = Cluster(greina(2, faults=FaultsConfig(enabled=True)))
+    wl = DiffusionWorkload(ni=8, nj_per_device=4, nk=2, steps=2)
+    _, _, res = run_dcuda_diffusion(cluster, wl, ranks_per_device=2)
+    for rank in range(res.runtime.total_ranks):
+        state = res.runtime.state_of(rank)
+        for q in (state.cmd_queue, state.ack_queue, state.notif_queue,
+                  state.log_queue):
+            values = (q.stats.dropped_writes, q.stats.duplicates_dropped,
+                      q.stats.recovered, q.stats.retries,
+                      q.stats.starved_reloads)
+            assert not any(values), \
+                f"{q.name} moved hardening counters: {values}"
