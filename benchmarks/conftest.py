@@ -9,6 +9,13 @@ shape (who wins, by roughly what factor, where crossovers fall).
 
 pytest-benchmark measures wall-clock time of the simulation itself; the
 scientifically meaningful output is the *simulated* time in the tables.
+
+Every figure's point loop goes through the :func:`engine_sweep` fixture —
+one call into the deterministic sweep engine (:mod:`repro.exec`) instead
+of an inline ``for`` loop — so the whole benchmark suite can be
+parallelized (``REPRO_EXEC_WORKERS=4``) or served from the result cache
+(``REPRO_EXEC_CACHE=.repro-cache``) without touching any test, and the
+tables are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -18,13 +25,48 @@ from pathlib import Path
 
 import pytest
 
+from repro.exec import ResultCache, default_workers, run_specs
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Environment knob: cache directory for benchmark sweeps (no caching
+#: when unset — each run simulates from scratch).
+CACHE_ENV = "REPRO_EXEC_CACHE"
 
 
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def exec_workers() -> int:
+    """Engine worker count for benchmark sweeps ($REPRO_EXEC_WORKERS)."""
+    return default_workers()
+
+
+@pytest.fixture(scope="session")
+def sweep_cache():
+    """Shared result cache when $REPRO_EXEC_CACHE names a directory."""
+    cache_dir = os.environ.get(CACHE_ENV, "").strip()
+    return ResultCache(cache_dir) if cache_dir else None
+
+
+@pytest.fixture
+def engine_sweep(exec_workers, sweep_cache):
+    """Run a spec list through the sweep engine; returns the result list.
+
+    Results come back in spec order and are bit-identical for any worker
+    count, so the figure assertions downstream never depend on how the
+    sweep was executed.
+    """
+
+    def _sweep(specs, shared=None):
+        return run_specs(specs, workers=exec_workers, cache=sweep_cache,
+                         shared=shared).results
+
+    return _sweep
 
 
 @pytest.fixture

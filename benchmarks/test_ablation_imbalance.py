@@ -8,44 +8,51 @@ dCUDA hide more of the halo-exchange cost; imbalance erodes the hiding
 (stragglers gate the notification chains).
 """
 
-import dataclasses
-
 import pytest
 
 from repro.apps.particles import ParticleWorkload
 from repro.bench import Table
-from repro.bench.weak_scaling import particles_weak_scaling
+from repro.bench.weak_scaling import weak_scaling_specs, weak_scaling_table
+
+DISTRIBUTIONS = ("uniform", "clustered")
 
 
-def run_variant(distribution: str):
-    wl = ParticleWorkload(cells_per_node=104, particles_per_node=10400,
-                          steps=10, distribution=distribution)
-    # Fig. 9's own configuration (26 ranks/device, 4 cells each): the
-    # metric below compares each variant against itself across node
-    # counts, so the coarser dCUDA work granularity cancels out.
-    table = particles_weak_scaling(node_counts=(1, 8), wl=wl,
-                                   verify=False)
-    rows = {r[0]: r for r in table.rows}
-    # Table cells are already in milliseconds.
-    d1, m1 = rows[1][1] / 1e3, rows[1][2] / 1e3
-    d8, m8, halo8 = rows[8][1] / 1e3, rows[8][2] / 1e3, rows[8][3] / 1e3
-    # Hidden fraction: how much of MPI-CUDA's scaling cost dCUDA avoids.
-    mpicuda_cost = m8 - m1
-    dcuda_cost = d8 - d1
-    hidden = 1.0 - dcuda_cost / max(mpicuda_cost, 1e-12)
-    return {"d1": d1, "d8": d8, "m1": m1, "m8": m8, "halo8": halo8,
-            "hidden": hidden}
-
-
-def test_ablation_imbalance(benchmark, report):
+def run_ablation(engine_sweep):
+    # One flat spec list: both distributions' (1, 8)-node points in a
+    # single engine sweep.  Fig. 9's own configuration (26 ranks/device,
+    # 4 cells each): the metric below compares each variant against
+    # itself across node counts, so the coarser dCUDA work granularity
+    # cancels out.
+    specs, wls = [], {}
+    for dist in DISTRIBUTIONS:
+        wl = ParticleWorkload(cells_per_node=104, particles_per_node=10400,
+                              steps=10, distribution=dist)
+        dist_specs, wls[dist] = weak_scaling_specs(
+            "particles", (1, 8), wl=wl, verify=False)
+        specs += dist_specs
+    points = engine_sweep(specs)
     results = {}
+    for i, dist in enumerate(DISTRIBUTIONS):
+        rows = points[2 * i:2 * i + 2]
+        table = weak_scaling_table("particles", wls[dist], rows)
+        cells = {r[0]: r for r in table.rows}
+        # Table cells are already in milliseconds.
+        d1, m1 = cells[1][1] / 1e3, cells[1][2] / 1e3
+        d8, m8, halo8 = (cells[8][1] / 1e3, cells[8][2] / 1e3,
+                         cells[8][3] / 1e3)
+        # Hidden fraction: how much of MPI-CUDA's scaling cost dCUDA
+        # avoids.
+        mpicuda_cost = m8 - m1
+        dcuda_cost = d8 - d1
+        hidden = 1.0 - dcuda_cost / max(mpicuda_cost, 1e-12)
+        results[dist] = {"d1": d1, "d8": d8, "m1": m1, "m8": m8,
+                         "halo8": halo8, "hidden": hidden}
+    return results
 
-    def run_all():
-        for dist in ("uniform", "clustered"):
-            results[dist] = run_variant(dist)
-        return results
 
-    benchmark.pedantic(run_all, rounds=1, iterations=1)
+def test_ablation_imbalance(benchmark, report, engine_sweep):
+    results = benchmark.pedantic(run_ablation, args=(engine_sweep,),
+                                 rounds=1, iterations=1)
 
     table = Table("Ablation - load imbalance vs overlap (particles)",
                   ["distribution", "dcuda 1 [ms]", "dcuda 8 [ms]",

@@ -13,8 +13,8 @@ import dataclasses
 
 import pytest
 
-from repro.bench.overlap import run_overlap
 from repro.bench import Table
+from repro.exec import RunSpec
 from repro.hw import greina
 
 STEPS = 20
@@ -29,31 +29,43 @@ VARIANTS = {
 }
 
 
-def overlap_fraction(match_base, match_per_entry) -> tuple:
-    """Returns (overlap fraction, combined time, exchange-only time)."""
+def _variant_cfg(match_base, match_per_entry):
     cfg = greina(NODES)
-    if match_base is not None:
-        cfg = dataclasses.replace(
-            cfg, devicelib=dataclasses.replace(
-                cfg.devicelib, match_base=match_base,
-                match_per_entry=match_per_entry))
-    both = run_overlap("newton", NEWTON, True, True, STEPS, NODES, RPD,
-                       cfg=cfg).elapsed
-    comp = run_overlap("newton", NEWTON, True, False, STEPS, NODES, RPD,
-                       cfg=cfg).elapsed
-    ex = run_overlap("newton", 0, False, True, STEPS, NODES, RPD,
-                     cfg=cfg).elapsed
-    hideable = max(comp + ex - max(comp, ex), 1e-12)
-    return (comp + ex - both) / hideable, both, ex
+    if match_base is None:
+        return cfg
+    return dataclasses.replace(
+        cfg, devicelib=dataclasses.replace(
+            cfg.devicelib, match_base=match_base,
+            match_per_entry=match_per_entry))
 
 
-def run_ablation():
+def _point(cfg, compute_iters, do_compute, do_exchange, label):
+    return RunSpec("overlap_point",
+                   dict(mode="newton", compute_iters=compute_iters,
+                        do_compute=do_compute, do_exchange=do_exchange,
+                        steps=STEPS, num_nodes=NODES,
+                        ranks_per_device=RPD, cfg=cfg),
+                   label=label)
+
+
+def run_ablation(engine_sweep):
+    specs = []
+    for name, (base, per) in VARIANTS.items():
+        cfg = _variant_cfg(base, per)
+        specs += [
+            _point(cfg, NEWTON, True, True, f"match:{name}:both"),
+            _point(cfg, NEWTON, True, False, f"match:{name}:comp"),
+            _point(cfg, 0, False, True, f"match:{name}:ex"),
+        ]
+    points = engine_sweep(specs)
     table = Table("Ablation - notification matching cost",
                   ["matcher", "overlap", "combined [ms]",
                    "exchange only [ms]"])
     results = {}
-    for name, (base, per) in VARIANTS.items():
-        frac, both, ex = overlap_fraction(base, per)
+    for i, name in enumerate(VARIANTS):
+        both, comp, ex = (p.elapsed for p in points[3 * i:3 * i + 3])
+        hideable = max(comp + ex - max(comp, ex), 1e-12)
+        frac = (comp + ex - both) / hideable
         results[name] = (frac, both, ex)
         table.add_row(name, frac, both * 1e3, ex * 1e3)
     table.add_note("compute-bound (Newton) workload; matching competes for "
@@ -61,8 +73,9 @@ def run_ablation():
     return table, results
 
 
-def test_ablation_matching(benchmark, report):
-    table, results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+def test_ablation_matching(benchmark, report, engine_sweep):
+    table, results = benchmark.pedantic(run_ablation, args=(engine_sweep,),
+                                        rounds=1, iterations=1)
     report("ablation_matching", table.render())
     benchmark.extra_info["rows"] = [[r[0], float(r[1]), float(r[2]),
                                      float(r[3])]

@@ -8,7 +8,8 @@ hides behind competing blocks' compute.  This sweep quantifies that.
 
 import pytest
 
-from repro.bench import Table, run_overlap
+from repro.bench import Table
+from repro.exec import RunSpec
 
 STEPS = 20
 NODES = 4
@@ -16,18 +17,31 @@ COPY_ITERS = 128
 BLOCKS_PER_SM = [1, 2, 4, 8]
 
 
-def run_ablation():
-    rows = []
+def _point(rpd, compute_iters, do_compute, do_exchange, label):
+    return RunSpec("overlap_point",
+                   dict(mode="copy", compute_iters=compute_iters,
+                        do_compute=do_compute, do_exchange=do_exchange,
+                        steps=STEPS, num_nodes=NODES,
+                        ranks_per_device=rpd),
+                   label=label)
+
+
+def run_ablation(engine_sweep):
+    specs = []
     for bps in BLOCKS_PER_SM:
         rpd = 13 * bps
-        both = run_overlap("copy", COPY_ITERS, True, True, STEPS, NODES,
-                           rpd).elapsed
-        comp = run_overlap("copy", COPY_ITERS, True, False, STEPS, NODES,
-                           rpd).elapsed
-        ex = run_overlap("copy", 0, False, True, STEPS, NODES, rpd).elapsed
+        specs += [
+            _point(rpd, COPY_ITERS, True, True, f"oversub:{bps}:both"),
+            _point(rpd, COPY_ITERS, True, False, f"oversub:{bps}:comp"),
+            _point(rpd, 0, False, True, f"oversub:{bps}:ex"),
+        ]
+    points = engine_sweep(specs)
+    rows = []
+    for i, bps in enumerate(BLOCKS_PER_SM):
+        both, comp, ex = (p.elapsed for p in points[3 * i:3 * i + 3])
         hideable = max(comp + ex - max(comp, ex), 1e-12)
         frac = (comp + ex - both) / hideable
-        rows.append((bps, rpd, both, comp, ex, frac))
+        rows.append((bps, 13 * bps, both, comp, ex, frac))
     table = Table("Ablation - over-subscription (blocks per SM)",
                   ["blocks/SM", "ranks/device", "both [ms]",
                    "compute [ms]", "exchange [ms]", "overlap"])
@@ -37,8 +51,9 @@ def run_ablation():
     return table, rows
 
 
-def test_ablation_oversubscription(benchmark, report):
-    table, rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+def test_ablation_oversubscription(benchmark, report, engine_sweep):
+    table, rows = benchmark.pedantic(run_ablation, args=(engine_sweep,),
+                                     rounds=1, iterations=1)
     report("ablation_oversubscription", table.render())
     benchmark.extra_info["rows"] = [list(map(float, r)) for r in table.rows]
 

@@ -7,57 +7,28 @@ one-entry queue degenerates to a read per enqueue; large queues make
 reloads disappear.  Measured on a put burst from one rank.
 """
 
-import dataclasses
-
 import pytest
 
-import numpy as np
-
 from repro.bench import Table
-from repro.dcuda import launch
-from repro.hw import Cluster, greina
+from repro.exec import RunSpec
 
 QUEUE_SIZES = [2, 8, 32, 128]
 BURST = 192
 
 
-def test_ablation_queue(benchmark, report):
-    # Collect per-size burst time and queue statistics.
-    results = []
-    for qsize in QUEUE_SIZES:
-        cfg = greina(1)
-        cfg = dataclasses.replace(
-            cfg, devicelib=dataclasses.replace(cfg.devicelib,
-                                               queue_size=qsize))
-        cluster = Cluster(cfg)
-        buffers = {r: np.zeros(8, dtype=np.uint8) for r in range(2)}
-        out = {}
-        stats_out = {}
+def run_ablation(engine_sweep):
+    specs = [RunSpec("queue_burst_point",
+                     dict(queue_size=qsize, burst=BURST),
+                     label=f"queue:{qsize}")
+             for qsize in QUEUE_SIZES]
+    cells = engine_sweep(specs)
+    return [(qsize, c["time"], c["reloads"], c["stalls"])
+            for qsize, c in zip(QUEUE_SIZES, cells)]
 
-        def kernel(rank, _q=qsize):
-            r = rank.world_rank
-            win = yield from rank.win_create(buffers[r])
-            yield from rank.barrier()
-            if r == 0:
-                t0 = rank.now
-                for _ in range(BURST):
-                    yield from rank.put_notify(win, 1, 0, buffers[0][:8],
-                                               tag=1, notify=False)
-                yield from rank.flush(win)
-                out["time"] = rank.now - t0
-                q = rank.state.cmd_queue
-                stats_out["reloads"] = q.stats.credit_reloads
-                stats_out["stalls"] = q.stats.full_stalls
-            yield from rank.barrier()
-            yield from rank.finish()
 
-        def run_once():
-            return launch(cluster, kernel, ranks_per_device=2)
-
-        benchmark.pedantic(run_once, rounds=1, iterations=1) \
-            if qsize == QUEUE_SIZES[0] else run_once()
-        results.append((qsize, out["time"], stats_out["reloads"],
-                        stats_out["stalls"]))
+def test_ablation_queue(benchmark, report, engine_sweep):
+    results = benchmark.pedantic(run_ablation, args=(engine_sweep,),
+                                 rounds=1, iterations=1)
 
     table = Table("Ablation - queue size vs credit reloads",
                   ["queue size", "burst time [us]", "credit reloads",

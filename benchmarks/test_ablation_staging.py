@@ -8,52 +8,31 @@ layers improves the relative performance of the MPI-CUDA variant as it
 benefits from the higher bandwidth of host staged transfers").
 """
 
-import dataclasses
-
-import numpy as np
 import pytest
 
 from repro.bench import Table
-from repro.hw import Cluster, greina
-from repro.mpi import MPIWorld
+from repro.exec import RunSpec
 
 MESSAGE_SIZES = [4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20]
 
-
-def one_way_time(nbytes: float, staging_threshold: int) -> float:
-    cfg = greina(2)
-    cfg = dataclasses.replace(
-        cfg, fabric=dataclasses.replace(cfg.fabric,
-                                        staging_threshold=staging_threshold))
-    cluster = Cluster(cfg)
-    world = MPIWorld(cluster)
-    out = {}
-
-    def sender(env):
-        yield from world.send(0, 1, None, nbytes=nbytes, device=True)
-
-    def receiver(env):
-        t0 = env.now
-        yield from world.recv(1)
-        out["dt"] = env.now - t0
-
-    cluster.env.process(sender(cluster.env))
-    cluster.env.process(receiver(cluster.env))
-    cluster.run()
-    return out["dt"]
+NEVER = 1 << 30     # staging disabled: everything direct d2d
+ALWAYS = 0          # stage everything
+DEFAULT = 30 * 1024
+THRESHOLDS = (NEVER, ALWAYS, DEFAULT)
 
 
-def run_ablation():
-    never = 1 << 30     # staging disabled: everything direct d2d
-    always = 0          # stage everything
+def run_ablation(engine_sweep):
+    specs = [RunSpec("staging_point",
+                     dict(nbytes=nbytes, staging_threshold=threshold),
+                     label=f"staging:{nbytes}B@{threshold}")
+             for nbytes in MESSAGE_SIZES for threshold in THRESHOLDS]
+    times = engine_sweep(specs)
     table = Table("Ablation - host-staging threshold",
                   ["message [kB]", "direct d2d [us]", "host staged [us]",
                    "default 30 kB [us]"])
     rows = []
-    for nbytes in MESSAGE_SIZES:
-        direct = one_way_time(nbytes, never)
-        staged = one_way_time(nbytes, always)
-        default = one_way_time(nbytes, 30 * 1024)
+    for i, nbytes in enumerate(MESSAGE_SIZES):
+        direct, staged, default = times[3 * i:3 * i + 3]
         rows.append((nbytes, direct, staged, default))
         table.add_row(nbytes / 1024, direct * 1e6, staged * 1e6,
                       default * 1e6)
@@ -62,8 +41,9 @@ def run_ablation():
     return table, rows
 
 
-def test_ablation_staging(benchmark, report):
-    table, rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+def test_ablation_staging(benchmark, report, engine_sweep):
+    table, rows = benchmark.pedantic(run_ablation, args=(engine_sweep,),
+                                     rounds=1, iterations=1)
     report("ablation_staging", table.render())
     benchmark.extra_info["rows"] = [list(map(float, r)) for r in table.rows]
 

@@ -8,17 +8,19 @@ corresponds to the halo-exchange time.
 
 import pytest
 
-from repro.bench import stencil_weak_scaling
+from repro.bench.weak_scaling import weak_scaling_specs, weak_scaling_table
 
 NODE_COUNTS = (1, 2, 4, 8)
 
 
-def run_figure():
-    return stencil_weak_scaling(node_counts=NODE_COUNTS, verify=True)
+def run_figure(engine_sweep):
+    specs, wl = weak_scaling_specs("stencil", NODE_COUNTS, verify=True)
+    return weak_scaling_table("stencil", wl, engine_sweep(specs))
 
 
-def test_fig10_stencil(benchmark, report):
-    table = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+def test_fig10_stencil(benchmark, report, engine_sweep):
+    table = benchmark.pedantic(run_figure, args=(engine_sweep,),
+                               rounds=1, iterations=1)
     report("fig10_stencil", table.render())
     benchmark.extra_info["rows"] = [list(map(float, r)) for r in table.rows]
 

@@ -11,17 +11,19 @@ MPI-CUDA's larger messages get host-staged at higher bandwidth).
 
 import pytest
 
-from repro.bench import spmv_weak_scaling
+from repro.bench.weak_scaling import weak_scaling_specs, weak_scaling_table
 
 NODE_COUNTS = (1, 4, 9)
 
 
-def run_figure():
-    return spmv_weak_scaling(node_counts=NODE_COUNTS, verify=True)
+def run_figure(engine_sweep):
+    specs, wl = weak_scaling_specs("spmv", NODE_COUNTS, verify=True)
+    return weak_scaling_table("spmv", wl, engine_sweep(specs))
 
 
-def test_fig11_spmv(benchmark, report):
-    table = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+def test_fig11_spmv(benchmark, report, engine_sweep):
+    table = benchmark.pedantic(run_figure, args=(engine_sweep,),
+                               rounds=1, iterations=1)
     report("fig11_spmv", table.render())
     benchmark.extra_info["rows"] = [list(map(float, r)) for r in table.rows]
 

@@ -9,7 +9,8 @@ distributed-memory ranks (GPUDirect RDMA ceiling).
 
 import pytest
 
-from repro.bench import Table, pingpong_sweep, run_pingpong
+from repro.bench import Table
+from repro.exec import RunSpec
 
 PACKET_SIZES = [4 ** k for k in range(0, 12)]  # 1 B .. 4 MB
 
@@ -19,9 +20,25 @@ PAPER_BW_SHARED = 4457.6e6
 PAPER_BW_DISTRIBUTED = 2057.9e6
 
 
-def run_figure():
-    shared = pingpong_sweep(True, PACKET_SIZES, iterations=30)
-    distributed = pingpong_sweep(False, PACKET_SIZES, iterations=30)
+def figure_specs():
+    """Both bandwidth curves plus the two zero-byte latency probes."""
+    specs = [RunSpec("pingpong_point",
+                     dict(shared_mem=shared_mem, packet_bytes=size,
+                          iterations=30),
+                     label=f"fig6:{'shm' if shared_mem else 'dist'}:{size}B")
+             for shared_mem in (True, False) for size in PACKET_SIZES]
+    specs += [RunSpec("pingpong_point",
+                      dict(shared_mem=shared_mem, packet_bytes=0,
+                           iterations=100),
+                      label=f"fig6:lat:{'shm' if shared_mem else 'dist'}")
+              for shared_mem in (True, False)]
+    return specs
+
+
+def assemble(results):
+    half = len(PACKET_SIZES)
+    shared, distributed = results[:half], results[half:2 * half]
+    lat_s, lat_d = results[2 * half].latency, results[2 * half + 1].latency
     table = Table("Fig. 6 - put bandwidth vs packet size",
                   ["packet [B]", "shared [MB/s]", "distributed [MB/s]",
                    "shared lat [us]", "distributed lat [us]"])
@@ -30,17 +47,16 @@ def run_figure():
                       s.latency * 1e6, d.latency * 1e6)
     table.add_note("paper: 4457.6 MB/s shared / 2057.9 MB/s distributed "
                    "at 4 MB; 7.8 / 9.4 us zero-byte latency")
-    return table, shared, distributed
+    return table, shared, distributed, lat_s, lat_d
 
 
-def test_fig6_pingpong(benchmark, report):
-    table, shared, distributed = benchmark.pedantic(
-        run_figure, rounds=1, iterations=1)
+def test_fig6_pingpong(benchmark, report, engine_sweep):
+    results = benchmark.pedantic(lambda: engine_sweep(figure_specs()),
+                                 rounds=1, iterations=1)
+    table, shared, distributed, lat_s, lat_d = assemble(results)
     report("fig6_pingpong", table.render())
     benchmark.extra_info["rows"] = [list(map(float, r)) for r in table.rows]
 
-    lat_s = run_pingpong(True, 0, iterations=100).latency
-    lat_d = run_pingpong(False, 0, iterations=100).latency
     # Zero-byte latencies within 10% of the paper's measurements.
     assert lat_s == pytest.approx(PAPER_LATENCY_SHARED, rel=0.10)
     assert lat_d == pytest.approx(PAPER_LATENCY_DISTRIBUTED, rel=0.10)

@@ -8,7 +8,8 @@ the notification matching itself being compute heavy.
 
 import pytest
 
-from repro.bench import Table, run_overlap
+from repro.bench import Table
+from repro.exec.suites import overlap_sweep_specs
 
 NEWTON_ITERS = [0, 16, 64, 128, 256, 512]
 STEPS = 20
@@ -16,16 +17,10 @@ NODES = 8
 RPD = 52
 
 
-def run_figure():
-    rows = []
-    exchange_only = run_overlap("newton", 0, False, True, STEPS, NODES,
-                                RPD).elapsed
-    for n in NEWTON_ITERS:
-        both = run_overlap("newton", n, True, True, STEPS, NODES,
-                           RPD).elapsed
-        comp = (run_overlap("newton", n, True, False, STEPS, NODES,
-                            RPD).elapsed if n else 0.0)
-        rows.append((n, both, comp, exchange_only))
+def run_figure(engine_sweep):
+    specs, reassemble = overlap_sweep_specs("newton", STEPS, NODES, RPD,
+                                            iters=NEWTON_ITERS)
+    rows = reassemble(engine_sweep(specs))
     table = Table("Fig. 7 - overlap for square root calculation "
                   "(Newton-Raphson)",
                   ["newton iters/exchange", "compute&exchange [ms]",
@@ -37,8 +32,9 @@ def run_figure():
     return table, rows
 
 
-def test_fig7_overlap_compute(benchmark, report):
-    table, rows = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+def test_fig7_overlap_compute(benchmark, report, engine_sweep):
+    table, rows = benchmark.pedantic(run_figure, args=(engine_sweep,),
+                                     rounds=1, iterations=1)
     report("fig7_overlap_compute", table.render())
     benchmark.extra_info["rows"] = [list(map(float, r)) for r in table.rows]
 

@@ -7,7 +7,8 @@ max(compute, exchange); each copy iteration moves 1 kB per rank.
 
 import pytest
 
-from repro.bench import Table, run_overlap
+from repro.bench import Table
+from repro.exec.suites import overlap_sweep_specs
 
 COPY_ITERS = [0, 16, 64, 128, 256, 512]
 STEPS = 20
@@ -15,15 +16,10 @@ NODES = 8
 RPD = 52
 
 
-def run_figure():
-    rows = []
-    exchange_only = run_overlap("copy", 0, False, True, STEPS, NODES,
-                                RPD).elapsed
-    for n in COPY_ITERS:
-        both = run_overlap("copy", n, True, True, STEPS, NODES, RPD).elapsed
-        comp = (run_overlap("copy", n, True, False, STEPS, NODES,
-                            RPD).elapsed if n else 0.0)
-        rows.append((n, both, comp, exchange_only))
+def run_figure(engine_sweep):
+    specs, reassemble = overlap_sweep_specs("copy", STEPS, NODES, RPD,
+                                            iters=COPY_ITERS)
+    rows = reassemble(engine_sweep(specs))
     table = Table("Fig. 8 - overlap for memory-to-memory copy",
                   ["copy iters/exchange", "compute&exchange [ms]",
                    "compute only [ms]", "halo exchange [ms]"])
@@ -34,8 +30,9 @@ def run_figure():
     return table, rows
 
 
-def test_fig8_overlap_copy(benchmark, report):
-    table, rows = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+def test_fig8_overlap_copy(benchmark, report, engine_sweep):
+    table, rows = benchmark.pedantic(run_figure, args=(engine_sweep,),
+                                     rounds=1, iterations=1)
     report("fig8_overlap_copy", table.render())
     benchmark.extra_info["rows"] = [list(map(float, r)) for r in table.rows]
 

@@ -7,11 +7,18 @@ Usage::
     python -m repro.bench fig9 fig10        # several
     python -m repro.bench all               # everything (minutes)
     python -m repro.bench fig10 --nodes 1 2 4
+    python -m repro.bench fig6 --workers 4  # sweep on a process pool
+    python -m repro.bench fig6 --cache-dir .repro-cache
     python -m repro.bench fig6 -o results/  # also write tables to files
 
-Each figure prints the same table the corresponding benchmark module
-produces; the pytest benchmarks remain the canonical shape-asserting
-entry point.
+Every figure is a sweep of independent simulation points, so this CLI is
+a thin client of the suite registry (:mod:`repro.exec.suites`): it builds
+the figure's spec list, hands it to the deterministic sweep engine
+(``--workers`` for a process pool, ``--cache-dir`` for content-addressed
+result caching — the tables are bit-identical either way), and renders
+the assembled table.  ``python -m repro.exec run <figure>`` executes the
+*same* specs, so cached results are shared between the two CLIs; the
+pytest benchmarks remain the canonical shape-asserting entry point.
 """
 
 from __future__ import annotations
@@ -19,82 +26,16 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
-from .overlap import run_overlap
-from .pingpong import pingpong_sweep
-from .table import Table
-from .weak_scaling import (
-    particles_weak_scaling,
-    spmv_weak_scaling,
-    stencil_weak_scaling,
-)
+from ..exec import run_specs
+from ..exec.suites import SUITE_NAMES, build_suite
 
-__all__ = ["main"]
+__all__ = ["main", "FIGURES"]
 
-
-def _fig6(args) -> Table:
-    sizes = [4 ** k for k in range(0, 12)]
-    shared = pingpong_sweep(True, sizes, iterations=args.iterations)
-    distributed = pingpong_sweep(False, sizes, iterations=args.iterations)
-    table = Table("Fig. 6 - put bandwidth vs packet size",
-                  ["packet [B]", "shared [MB/s]", "distributed [MB/s]",
-                   "shared lat [us]", "distributed lat [us]"])
-    for s, d in zip(shared, distributed):
-        table.add_row(s.packet_bytes, s.bandwidth / 1e6, d.bandwidth / 1e6,
-                      s.latency * 1e6, d.latency * 1e6)
-    return table
-
-
-def _overlap_table(mode: str, title: str, args) -> Table:
-    sweep = [0, 16, 64, 128, 256, 512]
-    nodes = args.nodes[0] if args.nodes else 8
-    ex = run_overlap(mode, 0, False, True, args.steps, nodes, 52).elapsed
-    table = Table(title, ["compute iters", "compute&exchange [ms]",
-                          "compute only [ms]", "halo exchange [ms]"])
-    for n in sweep:
-        both = run_overlap(mode, n, True, True, args.steps, nodes,
-                           52).elapsed
-        comp = (run_overlap(mode, n, True, False, args.steps, nodes,
-                            52).elapsed if n else 0.0)
-        table.add_row(n, both * 1e3, comp * 1e3, ex * 1e3)
-    return table
-
-
-def _fig7(args) -> Table:
-    return _overlap_table(
-        "newton", "Fig. 7 - overlap for square root (Newton-Raphson)",
-        args)
-
-
-def _fig8(args) -> Table:
-    return _overlap_table(
-        "copy", "Fig. 8 - overlap for memory-to-memory copy", args)
-
-
-def _fig9(args) -> Table:
-    return particles_weak_scaling(node_counts=args.nodes or (1, 2, 4, 8),
-                                  verify=not args.no_verify)
-
-
-def _fig10(args) -> Table:
-    return stencil_weak_scaling(node_counts=args.nodes or (1, 2, 4, 8),
-                                verify=not args.no_verify)
-
-
-def _fig11(args) -> Table:
-    return spmv_weak_scaling(node_counts=args.nodes or (1, 4, 9),
-                             verify=not args.no_verify)
-
-
-FIGURES: Dict[str, Callable[[argparse.Namespace], Table]] = {
-    "fig6": _fig6,
-    "fig7": _fig7,
-    "fig8": _fig8,
-    "fig9": _fig9,
-    "fig10": _fig10,
-    "fig11": _fig11,
-}
+#: The figure names this CLI accepts (the suite registry minus the
+#: non-figure sweeps).
+FIGURES = tuple(n for n in SUITE_NAMES if n.startswith("fig"))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -113,6 +54,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="iterations per overlap point (fig7/fig8)")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip reference-solution verification")
+    parser.add_argument("--workers", "-j", type=int, default=None,
+                        help="sweep engine worker processes (default: "
+                             "$REPRO_EXEC_WORKERS or 1 = serial)")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        metavar="DIR",
+                        help="content-addressed result cache directory "
+                             "(default: no caching)")
     parser.add_argument("-o", "--output", type=Path, default=None,
                         help="directory to also write the tables into")
     args = parser.parse_args(argv)
@@ -122,9 +70,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.output:
         args.output.mkdir(parents=True, exist_ok=True)
     for name in wanted:
-        table = FIGURES[name](args)
-        text = table.render()
+        suite = build_suite(
+            name, iterations=args.iterations, overlap_steps=args.steps,
+            overlap_nodes=args.nodes[0] if args.nodes else 8,
+            node_counts=tuple(args.nodes) if args.nodes else None,
+            verify=not args.no_verify)
+        report = run_specs(suite.specs, workers=args.workers,
+                           cache=args.cache_dir, shared=suite.shared)
+        text = suite.assemble(report.results)
         print(text)
+        print(f"engine: {report.summary()}")
         print()
         if args.output:
             (args.output / f"{name}.txt").write_text(text + "\n")

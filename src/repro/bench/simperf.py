@@ -22,18 +22,27 @@ The *events* count is the number of heap entries ever scheduled
 same workload schedule the identical entry sequence, so events/sec
 differences are purely host-speed effects.
 
+The probes run through the sweep engine (:mod:`repro.exec`) as
+**non-cacheable** specs — a wall-clock number served from a disk cache
+would measure the disk, not the simulator — and the CLI records the
+machine-readable perf trajectory to ``BENCH_simperf.json`` at the repo
+root, so the events/sec trend is trackable across PRs.
+
 Run from the command line::
 
     PYTHONPATH=src python -m repro.bench.simperf            # quick probe
     PYTHONPATH=src python -m repro.bench.simperf --full     # figure scale
+    PYTHONPATH=src python -m repro.bench.simperf --workers 2
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 from ..apps.diffusion import DiffusionWorkload, run_dcuda_diffusion
 from ..hw import Cluster, greina
@@ -44,7 +53,10 @@ __all__ = [
     "SimPerfResult",
     "synthetic_throughput",
     "diffusion_throughput",
+    "simperf_specs",
+    "simperf_table",
     "run_simperf",
+    "write_bench_json",
 ]
 
 
@@ -115,25 +127,33 @@ def diffusion_throughput(wl: Optional[DiffusionWorkload] = None,
                          wall_s=wall, sim_time_s=elapsed)
 
 
-def run_simperf(quick: bool = True) -> Table:
-    """Run both probes; returns a rendered-ready results table.
+def simperf_specs(quick: bool = True) -> list:
+    """The two probes as (non-cacheable) engine specs.
 
     *quick* keeps the runtime to a couple of seconds (the CI smoke
     setting); the full setting uses the figure-scale diffusion workload.
     """
+    from ..exec import RunSpec
+
     if quick:
-        results = [
-            synthetic_throughput(num_procs=32, hops=200),
-            diffusion_throughput(),
+        probes = [
+            dict(probe="synthetic", num_procs=32, hops=200),
+            dict(probe="diffusion"),
         ]
     else:
-        results = [
-            synthetic_throughput(num_procs=128, hops=2000),
-            diffusion_throughput(
-                wl=DiffusionWorkload(ni=128, nj_per_device=416, nk=26,
-                                     steps=10),
-                num_nodes=2, ranks_per_device=208),
+        probes = [
+            dict(probe="synthetic", num_procs=128, hops=2000),
+            dict(probe="diffusion",
+                 wl=DiffusionWorkload(ni=128, nj_per_device=416, nk=26,
+                                      steps=10),
+                 num_nodes=2, ranks_per_device=208),
         ]
+    return [RunSpec("simperf_probe", p, label=f"simperf:{p['probe']}",
+                    cacheable=False) for p in probes]
+
+
+def simperf_table(results: List[SimPerfResult]) -> Table:
+    """Render probe results into the throughput table."""
     table = Table("Simulator throughput",
                   ["probe", "events", "wall [s]", "events/s",
                    "simulated [ms]"])
@@ -145,15 +165,74 @@ def run_simperf(quick: bool = True) -> Table:
     return table
 
 
+def run_simperf(quick: bool = True,
+                workers: Optional[int] = None) -> Table:
+    """Run both probes through the engine; returns the results table."""
+    from ..exec import run_specs
+
+    report = run_specs(simperf_specs(quick=quick), workers=workers)
+    return simperf_table(report.results)
+
+
+def write_bench_json(results: List[SimPerfResult], workers: int,
+                     quick: bool, path=None) -> str:
+    """Write the machine-readable perf trajectory (``BENCH_simperf.json``).
+
+    Returns:
+        The path written to (repo root by default), as a string.
+    """
+    from ..exec.fingerprint import repo_root, source_fingerprint
+
+    path = path or (repo_root() / "BENCH_simperf.json")
+    payload = {
+        "bench": "simperf",
+        "mode": "quick" if quick else "full",
+        "workers": workers,
+        # Probes are never cacheable, so the hit rate is 0 by design.
+        "cache_hit_rate": 0.0,
+        "source_fingerprint": source_fingerprint()[:16],
+        "rows": [
+            {"probe": r.label, "events": r.events,
+             "wall_s": round(r.wall_s, 6),
+             "events_per_sec": round(r.events_per_sec, 1),
+             "sim_time_s": r.sim_time_s}
+            for r in results
+        ],
+    }
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return str(path)
+
+
 def main(argv=None) -> int:  # pragma: no cover - thin CLI
-    args = sys.argv[1:] if argv is None else argv
-    unknown = [a for a in args if a != "--full"]
-    if unknown:
-        print(f"unknown argument(s): {' '.join(unknown)}\n"
-              "usage: python -m repro.bench.simperf [--full]",
-              file=sys.stderr)
-        return 2
-    print(run_simperf(quick="--full" not in args).render())
+    from ..exec import default_workers, run_specs
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.simperf",
+        description="Simulator-throughput probes (events/sec).")
+    parser.add_argument("--full", action="store_true",
+                        help="figure-scale workload instead of the quick "
+                             "probe")
+    parser.add_argument("--workers", "-j", type=int, default=None,
+                        help="engine worker processes (default: "
+                             "$REPRO_EXEC_WORKERS or 1)")
+    parser.add_argument("--json", type=str, default=None, metavar="PATH",
+                        help="trajectory file path (default: "
+                             "BENCH_simperf.json at the repo root)")
+    parser.add_argument("--no-json", action="store_true",
+                        help="skip writing the trajectory file")
+    args = parser.parse_args(argv)
+
+    quick = not args.full
+    workers = args.workers if args.workers is not None else default_workers()
+    report = run_specs(simperf_specs(quick=quick), workers=workers)
+    print(simperf_table(report.results).render())
+    print(f"engine: {report.summary()}")
+    if not args.no_json:
+        path = write_bench_json(report.results, workers, quick,
+                                path=args.json)
+        print(f"trajectory: {path}")
     return 0
 
 

@@ -33,6 +33,7 @@ from .errors import (
     DCudaProtocolError,
     DCudaTimeoutError,
     DCudaUsageError,
+    DCudaWorkerError,
 )
 from .launch import LaunchResult, launch
 from .notifications import NotificationMatcher
@@ -43,7 +44,8 @@ __all__ = [
     "DCUDA_ANY_SOURCE", "DCUDA_ANY_TAG", "DCUDA_ANY_WINDOW",
     "DCUDA_COMM_DEVICE", "DCUDA_COMM_WORLD", "DRank",
     "DCudaError", "DCudaProtocolError", "DCudaUsageError",
-    "DCudaTimeoutError", "DCudaFaultError", "ERROR_TABLE",
+    "DCudaTimeoutError", "DCudaFaultError", "DCudaWorkerError",
+    "ERROR_TABLE",
     "LaunchResult", "launch",
     "NotificationMatcher",
     "Window", "same_memory",

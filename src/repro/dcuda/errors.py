@@ -14,6 +14,7 @@ from ..errors import (  # noqa: F401
     DCudaProtocolError,
     DCudaTimeoutError,
     DCudaUsageError,
+    DCudaWorkerError,
 )
 
 __all__ = [
@@ -22,5 +23,6 @@ __all__ = [
     "DCudaUsageError",
     "DCudaTimeoutError",
     "DCudaFaultError",
+    "DCudaWorkerError",
     "ERROR_TABLE",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "DCudaUsageError",
     "DCudaTimeoutError",
     "DCudaFaultError",
+    "DCudaWorkerError",
     "ERROR_TABLE",
 ]
 
@@ -134,10 +135,26 @@ class DCudaFaultError(DCudaError):
                    "the injected loss burst (FaultEvent.count).")
 
 
+class DCudaWorkerError(DCudaError):
+    """A sweep task failed outside the typed taxonomy, or its worker died.
+
+    Raised by the parallel execution engine (:mod:`repro.exec.engine`):
+    either a task raised an exception that is not a :class:`DCudaError`
+    (the message embeds the original traceback text), or the worker
+    process hosting it was killed outright.  The crash is isolated — the
+    parent sweep process survives and can report which spec failed.
+    """
+
+    code = "DCUDA_WORKER"
+    remediation = ("Re-run the sweep serially (workers=1) to reproduce "
+                   "the failure in-process with a full traceback; the "
+                   "message carries the failing task's label.")
+
+
 #: ``code -> (class name, remediation)`` — the documentation table
 #: (``docs/faults.md``) and the fault report render from this.
 ERROR_TABLE = {
     cls.code: (cls.__name__, cls.remediation)
     for cls in (DCudaError, DCudaProtocolError, DCudaUsageError,
-                DCudaTimeoutError, DCudaFaultError)
+                DCudaTimeoutError, DCudaFaultError, DCudaWorkerError)
 }

@@ -1,0 +1,48 @@
+"""Deterministic parallel sweep execution with content-addressed caching.
+
+The paper's evaluation is a fleet of *independent* simulations — figure
+points, ablation cells, chaos seeds, throughput probes.  This package
+turns each of them into a picklable :class:`~repro.exec.spec.RunSpec`,
+executes whole sweeps serially or on a spawn process pool with results
+**bit-identical to serial execution**
+(:func:`~repro.exec.engine.run_specs`), and memoizes results on disk
+keyed by content hash + source-tree fingerprint
+(:class:`~repro.exec.cache.ResultCache`), so unchanged sweeps replay
+near-instantly and interrupted sweeps resume.
+
+Command line::
+
+    python -m repro.exec run chaos --seeds 50 --workers 4
+    python -m repro.exec run fig6 --workers 2
+    python -m repro.exec status
+    python -m repro.exec cache gc
+
+See ``docs/performance.md`` for the architecture, the cache-key design,
+and the determinism argument.
+"""
+
+from .cache import DEFAULT_CACHE_DIR, CacheStats, ResultCache
+from .engine import SweepReport, default_workers, run_specs
+from .fingerprint import source_fingerprint
+from .spec import (
+    RunSpec,
+    canonical_digest,
+    entrypoint,
+    registered_entrypoints,
+    resolve_entrypoint,
+)
+
+__all__ = [
+    "RunSpec",
+    "canonical_digest",
+    "entrypoint",
+    "resolve_entrypoint",
+    "registered_entrypoints",
+    "run_specs",
+    "SweepReport",
+    "default_workers",
+    "ResultCache",
+    "CacheStats",
+    "DEFAULT_CACHE_DIR",
+    "source_fingerprint",
+]

@@ -1,0 +1,194 @@
+"""Command-line sweep runner: ``python -m repro.exec``.
+
+Subcommands::
+
+    run <suite>     execute a named sweep (chaos, fig6..fig11, simperf)
+    status          census the result cache
+    cache gc        delete entries from stale source fingerprints
+    cache clear     delete every cache entry
+
+``run`` prints the suite's table, an engine summary line, and writes the
+machine-readable sweep record to ``BENCH_sweep.json`` at the repo root:
+wall-clock, worker count, cache hit rate, and the canonical digest of the
+merged result list.  The digest is the bit-identity witness — it is a
+pure function of the spec list, so any two invocations of the same suite
+at the same source fingerprint must print the same digest regardless of
+worker count, completion order, or cache state.
+
+``--require-cached`` exits with status 3 unless *every* cacheable task
+was served from the cache — CI uses it to assert that a warm replay does
+zero simulation work.
+
+Examples::
+
+    PYTHONPATH=src python -m repro.exec run chaos --seeds 50 --workers 4
+    PYTHONPATH=src python -m repro.exec run fig6 --workers 2
+    PYTHONPATH=src python -m repro.exec run fig6 --require-cached
+    PYTHONPATH=src python -m repro.exec status
+    PYTHONPATH=src python -m repro.exec cache gc
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from ..errors import DCudaError
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .engine import default_workers, run_specs
+from .fingerprint import repo_root, source_fingerprint
+from .spec import canonical_digest
+from .suites import SUITE_NAMES, build_suite
+
+__all__ = ["main"]
+
+#: Exit status for ``--require-cached`` violations (2 is argparse's).
+EXIT_NOT_CACHED = 3
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec",
+        description="Deterministic parallel sweep runner with "
+                    "content-addressed caching.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute a named sweep")
+    run.add_argument("suite", choices=SUITE_NAMES,
+                     help="which sweep to run")
+    run.add_argument("--workers", "-j", type=int, default=None,
+                     help="worker processes (default: $REPRO_EXEC_WORKERS "
+                          "or 1 = serial)")
+    run.add_argument("--cache-dir", type=str, default=DEFAULT_CACHE_DIR,
+                     help=f"result cache directory (default: "
+                          f"{DEFAULT_CACHE_DIR})")
+    run.add_argument("--no-cache", action="store_true",
+                     help="execute everything; neither read nor write "
+                          "the cache")
+    run.add_argument("--timeout", type=float, default=None, metavar="S",
+                     help="per-task wall-clock budget in seconds "
+                          "(parallel mode)")
+    run.add_argument("--json", type=str, default=None, metavar="PATH",
+                     help="sweep record path (default: BENCH_sweep.json "
+                          "at the repo root)")
+    run.add_argument("--no-json", action="store_true",
+                     help="skip writing the sweep record")
+    run.add_argument("--require-cached", action="store_true",
+                     help=f"exit {EXIT_NOT_CACHED} unless every cacheable "
+                          "task was a cache hit")
+    # Suite shape knobs (each suite reads the subset it understands).
+    run.add_argument("--seeds", type=int, default=50,
+                     help="chaos: number of fault seeds (default 50)")
+    run.add_argument("--nodes", type=int, default=2,
+                     help="chaos: cluster size (default 2)")
+    run.add_argument("--ranks", type=int, default=2,
+                     help="chaos: ranks per device (default 2)")
+    run.add_argument("--steps", type=int, default=2,
+                     help="chaos: diffusion steps (default 2)")
+    run.add_argument("--iterations", type=int, default=30,
+                     help="fig6: ping-pong iterations (default 30)")
+    run.add_argument("--no-verify", action="store_true",
+                     help="fig9-11: skip reference verification")
+    run.add_argument("--full", action="store_true",
+                     help="simperf: figure-scale workload")
+
+    status = sub.add_parser("status", help="census the result cache")
+    status.add_argument("--cache-dir", type=str, default=DEFAULT_CACHE_DIR)
+
+    cache = sub.add_parser("cache", help="cache maintenance")
+    cache.add_argument("action", choices=("gc", "clear"),
+                       help="gc: drop stale generations; clear: drop "
+                            "everything")
+    cache.add_argument("--cache-dir", type=str, default=DEFAULT_CACHE_DIR)
+
+    return parser
+
+
+def _cmd_run(args) -> int:
+    suite = build_suite(args.suite, seeds=args.seeds, nodes=args.nodes,
+                        ranks=args.ranks, steps=args.steps,
+                        iterations=args.iterations,
+                        verify=not args.no_verify, full=args.full)
+    workers = (args.workers if args.workers is not None
+               else default_workers())
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    report = run_specs(suite.specs, workers=workers, cache=cache,
+                       shared=suite.shared, timeout=args.timeout)
+
+    print(suite.assemble(report.results))
+    print(f"engine: {report.summary()}")
+
+    digest = canonical_digest(report.results)
+    if not args.no_json:
+        path = args.json or str(repo_root() / "BENCH_sweep.json")
+        record = {
+            "bench": "sweep",
+            "suite": args.suite,
+            "tasks": report.tasks,
+            "executed": report.executed,
+            "cache_hits": report.cache_hits,
+            "cache_hit_rate": round(report.cache_hit_rate, 4),
+            "workers": report.workers,
+            "wall_s": round(report.wall_s, 6),
+            "results_digest": digest,
+            "source_fingerprint": source_fingerprint()[:16],
+        }
+        with open(path, "w") as f:
+            json.dump(record, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"record: {path}")
+    print(f"results digest: {digest[:16]}")
+
+    if args.require_cached:
+        cacheable = sum(1 for s in suite.specs if s.cacheable)
+        if cache is None or report.cache_hits < cacheable:
+            print(f"require-cached: FAILED — {report.cache_hits}/"
+                  f"{cacheable} cacheable task(s) served from cache",
+                  file=sys.stderr)
+            return EXIT_NOT_CACHED
+        print(f"require-cached: ok ({report.cache_hits}/{cacheable})")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    stats = ResultCache(args.cache_dir).stats()
+    print(f"cache root:     {stats.root}")
+    print(f"fingerprint:    {stats.fingerprint[:16]}")
+    print(f"generations:    {stats.generations}")
+    print(f"live entries:   {stats.entries} ({stats.bytes} bytes)")
+    print(f"stale entries:  {stats.stale_entries} ({stats.stale_bytes} "
+          "bytes, reclaimable via 'cache gc')")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "gc":
+        removed, freed = cache.gc()
+        print(f"gc: removed {removed} stale entr{'y' if removed == 1 else 'ies'}, "
+              f"freed {freed} bytes")
+    else:
+        removed, freed = cache.clear()
+        print(f"clear: removed {removed} entr{'y' if removed == 1 else 'ies'}, "
+              f"freed {freed} bytes")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "status":
+            return _cmd_status(args)
+        return _cmd_cache(args)
+    except DCudaError as exc:  # pragma: no cover - CLI error surface
+        print(f"error[{exc.code}]: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

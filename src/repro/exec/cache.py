@@ -1,0 +1,216 @@
+"""Content-addressed on-disk result cache (``.repro-cache/``).
+
+Layout: one directory per *source fingerprint generation* (first 16 hex
+chars of :func:`~repro.exec.fingerprint.source_fingerprint`), one file
+per result, named by the full task key — the sha256 of the spec's
+content hash concatenated with the shared-payload digest.  A key never
+changes meaning: same code + same spec + same shared inputs ⇒ same file.
+
+Entry format (self-verifying)::
+
+    repro-cache-v1\\n
+    <sha256 hex of payload>\\n
+    <pickled payload>
+
+Reads verify the magic line and the payload digest before unpickling;
+*any* deviation — truncation, bit rot, a partially written file, an
+unpicklable payload — classifies as a miss, best-effort deletes the bad
+file, and the engine simply re-runs the task.  Corruption can cost time,
+never correctness, and never crashes a sweep.  Writes go through a
+same-directory temp file + :func:`os.replace`, so a crashed writer
+leaves either the old entry or a (detectable) partial temp file, never a
+half-new entry under the real name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+from ..errors import DCudaUsageError
+from .fingerprint import source_fingerprint
+from .spec import RunSpec
+
+__all__ = ["ResultCache", "CacheStats", "DEFAULT_CACHE_DIR"]
+
+#: Default cache location, relative to the invoking working directory
+#: (the repo root in every documented workflow).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_MAGIC = b"repro-cache-v1"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time census of a cache directory."""
+
+    root: str
+    fingerprint: str
+    #: Entries/bytes under the *current* source fingerprint.
+    entries: int
+    bytes: int
+    #: Entries/bytes under stale fingerprints (reclaimable by ``gc``).
+    stale_entries: int
+    stale_bytes: int
+    #: Number of fingerprint generations present on disk.
+    generations: int
+
+
+class ResultCache:
+    """Content-addressed result store for the sweep engine.
+
+    Args:
+        root: Cache directory (created lazily on first write).
+        fingerprint: Source-tree fingerprint to namespace entries under;
+            defaults to the live fingerprint of the installed ``repro``
+            package.  Tests inject explicit values to model code changes.
+    """
+
+    def __init__(self, root: os.PathLike = DEFAULT_CACHE_DIR,
+                 fingerprint: Optional[str] = None):
+        self.root = Path(root)
+        self.fingerprint = fingerprint or source_fingerprint()
+        if not self.fingerprint:
+            raise DCudaUsageError("empty cache fingerprint")
+
+    # ---------------------------------------------------------- keys -----
+    def key_for(self, spec: RunSpec, shared_digest: str = "") -> str:
+        """Task key: spec content hash salted with the shared digest."""
+        h = hashlib.sha256()
+        h.update(spec.content_hash().encode())
+        h.update(shared_digest.encode())
+        return h.hexdigest()
+
+    def _generation_dir(self) -> Path:
+        return self.root / self.fingerprint[:16]
+
+    def _entry_path(self, key: str) -> Path:
+        return self._generation_dir() / f"{key}.pkl"
+
+    # ----------------------------------------------------------- I/O -----
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Look up *key*; returns ``(hit, result)``.
+
+        A corrupted, truncated, or unreadable entry is treated as a miss
+        and deleted best-effort — the caller re-runs the task and the
+        subsequent :meth:`put` repairs the entry.
+        """
+        path = self._entry_path(key)
+        try:
+            blob = path.read_bytes()
+            magic, digest, payload = blob.split(b"\n", 2)
+            if magic != _MAGIC:
+                raise ValueError("bad magic")
+            if hashlib.sha256(payload).hexdigest().encode() != digest:
+                raise ValueError("payload digest mismatch")
+            entry = pickle.loads(payload)
+            return True, entry["result"]
+        except FileNotFoundError:
+            return False, None
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+
+    def put(self, key: str, result: Any, label: str = "") -> None:
+        """Store *result* under *key*, atomically.
+
+        A result the pickle module cannot serialize is silently not
+        cached (the sweep already has the in-memory value; only replay
+        speed is lost).
+        """
+        try:
+            payload = pickle.dumps({"result": result, "label": label},
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return
+        gen = self._generation_dir()
+        gen.mkdir(parents=True, exist_ok=True)
+        blob = (_MAGIC + b"\n"
+                + hashlib.sha256(payload).hexdigest().encode() + b"\n"
+                + payload)
+        fd, tmp = tempfile.mkstemp(dir=gen, prefix=".tmp-", suffix=".pkl")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                f.write(blob)
+            os.replace(tmp, self._entry_path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # ----------------------------------------------------- maintenance -----
+    def _census(self):
+        current = self._generation_dir().name
+        live = stale = live_b = stale_b = 0
+        gens = set()
+        if self.root.is_dir():
+            for gen in self.root.iterdir():
+                if not gen.is_dir():
+                    continue
+                gens.add(gen.name)
+                for entry in gen.glob("*.pkl"):
+                    size = entry.stat().st_size
+                    if gen.name == current:
+                        live += 1
+                        live_b += size
+                    else:
+                        stale += 1
+                        stale_b += size
+        return current, live, live_b, stale, stale_b, gens
+
+    def stats(self) -> CacheStats:
+        """Census the cache directory (current vs. stale generations)."""
+        _, live, live_b, stale, stale_b, gens = self._census()
+        return CacheStats(root=str(self.root), fingerprint=self.fingerprint,
+                          entries=live, bytes=live_b, stale_entries=stale,
+                          stale_bytes=stale_b, generations=len(gens))
+
+    def gc(self) -> Tuple[int, int]:
+        """Delete every entry from stale fingerprint generations.
+
+        Returns:
+            ``(files_removed, bytes_freed)``.
+        """
+        current = self._generation_dir().name
+        removed = freed = 0
+        if not self.root.is_dir():
+            return 0, 0
+        for gen in list(self.root.iterdir()):
+            if not gen.is_dir() or gen.name == current:
+                continue
+            for entry in list(gen.iterdir()):
+                freed += entry.stat().st_size
+                entry.unlink()
+                removed += 1
+            try:
+                gen.rmdir()
+            except OSError:
+                pass
+        return removed, freed
+
+    def clear(self) -> Tuple[int, int]:
+        """Delete *every* entry, current generation included."""
+        removed = freed = 0
+        if not self.root.is_dir():
+            return 0, 0
+        for gen in list(self.root.iterdir()):
+            if not gen.is_dir():
+                continue
+            for entry in list(gen.iterdir()):
+                freed += entry.stat().st_size
+                entry.unlink()
+                removed += 1
+            try:
+                gen.rmdir()
+            except OSError:
+                pass
+        return removed, freed

@@ -1,0 +1,269 @@
+"""The deterministic parallel runner for simulation sweeps.
+
+Determinism argument (the proof sketch expanded in
+``docs/performance.md``): every entrypoint is a *pure function* of
+``(params, shared)`` — each task builds its own
+:class:`~repro.sim.Environment` and cluster from config data, the
+simulator is fully deterministic given its inputs, and workers share no
+mutable state (spawned fresh interpreters).  The engine assigns each
+spec an index at submission, executes tasks in whatever order and on
+however many workers, and merges results *by index*.  Therefore the
+merged result list is a pure function of the spec list alone —
+bit-identical for 1, 2, or N workers, regardless of completion order.
+The golden-timestamp fixture and the chaos contract replayed through the
+engine (``tests/exec/``) enforce this empirically.
+
+Failure surface (crash isolation, parallel mode): a task that raises a
+typed :class:`~repro.errors.DCudaError` propagates it unchanged; any
+other exception — including a worker process dying outright — is wrapped
+in :class:`~repro.errors.DCudaWorkerError` carrying the task label and
+the original traceback text, and a per-task ``timeout`` (a stuck worker
+is terminated) surfaces as :class:`~repro.errors.DCudaTimeoutError`.
+Serial execution runs in-process and lets exceptions propagate raw — the
+debugging-friendly behaviour of the historical inline loops, and the
+reason "re-run serially" is the remediation for worker failures.
+
+Caching: pass a :class:`~repro.exec.cache.ResultCache` (or a directory
+path) and every cacheable spec is first probed by content key; hits skip
+execution entirely, misses execute and are stored, so an unchanged sweep
+replays near-instantly and an interrupted sweep resumes from its
+completed prefix.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import pickle
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from ..errors import DCudaTimeoutError, DCudaUsageError, DCudaWorkerError
+from .cache import ResultCache
+from .spec import RunSpec, canonical_digest, resolve_entrypoint
+
+__all__ = ["SweepReport", "run_specs", "default_workers"]
+
+#: Environment knob consulted when ``workers`` is not given explicitly:
+#: tests and CI set ``REPRO_EXEC_WORKERS=2`` to exercise the pool without
+#: every call site growing a flag.
+WORKERS_ENV = "REPRO_EXEC_WORKERS"
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one :func:`run_specs` call.
+
+    ``results`` is in submission order — index ``i`` is the result of
+    ``specs[i]`` — independent of worker count and completion order.
+    """
+
+    results: List[Any]
+    tasks: int
+    executed: int
+    cache_hits: int
+    workers: int
+    wall_s: float
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of tasks served from the cache (0.0 for empty sweeps)."""
+        return self.cache_hits / self.tasks if self.tasks else 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable engine summary."""
+        return (f"{self.tasks} task(s), {self.workers} worker(s), "
+                f"{self.cache_hits} cache hit(s) "
+                f"({self.cache_hit_rate:.0%}), {self.executed} executed, "
+                f"{self.wall_s:.2f}s wall")
+
+
+def default_workers() -> int:
+    """Worker count when unspecified: ``$REPRO_EXEC_WORKERS`` or 1.
+
+    Serial is the deliberate default — library callers (tier-1 tests,
+    the golden capture) stay deterministic-cheap, and parallelism is an
+    explicit opt-in via flag or environment.
+    """
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise DCudaUsageError(
+            f"{WORKERS_ENV} must be an integer, got {raw!r}") from None
+
+
+# ------------------------------------------------------- worker side -----
+_SHARED: Dict[str, Any] = {}
+
+
+def _worker_init(shared_blob: bytes) -> None:
+    """Pool initializer: install the shared payload, load the registry."""
+    global _SHARED
+    _SHARED = pickle.loads(shared_blob)
+    from . import points  # noqa: F401  (registers all entrypoints)
+
+
+def _execute_in_worker(entrypoint_name: str, params: Mapping[str, Any],
+                       label: str) -> Any:
+    """Top-level task body run inside a spawned worker process.
+
+    Wraps untyped exceptions in :class:`DCudaWorkerError` (typed dCUDA
+    errors pass through) so the parent always sees the typed surface and
+    never an unpicklable or anonymous failure.
+    """
+    from ..errors import DCudaError
+
+    fn = resolve_entrypoint(entrypoint_name)
+    try:
+        return fn(dict(params), _SHARED)
+    except DCudaError:
+        raise
+    except Exception:
+        raise DCudaWorkerError(
+            f"task {label!r} ({entrypoint_name}) failed:\n"
+            + traceback.format_exc()) from None
+
+
+# ------------------------------------------------------- parent side -----
+def _ensure_child_import_path():
+    """Make sure spawned interpreters can ``import repro``.
+
+    Returns the previous ``PYTHONPATH`` value (or ``None``) so the
+    caller can restore it after the pool is done.
+    """
+    import repro
+
+    pkg_parent = str(os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__))))
+    prev = os.environ.get("PYTHONPATH")
+    parts = prev.split(os.pathsep) if prev else []
+    if pkg_parent not in parts:
+        os.environ["PYTHONPATH"] = (
+            pkg_parent + ((os.pathsep + prev) if prev else ""))
+    return prev
+
+
+def _restore_pythonpath(prev) -> None:
+    if prev is None:
+        os.environ.pop("PYTHONPATH", None)
+    else:
+        os.environ["PYTHONPATH"] = prev
+
+
+def _run_parallel(todo, shared_blob: bytes, workers: int,
+                  timeout: Optional[float]) -> Dict[int, Any]:
+    """Execute ``todo = [(index, spec)]`` on a spawn pool; map by index."""
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("spawn")
+    out: Dict[int, Any] = {}
+    prev_path = _ensure_child_import_path()
+    executor = concurrent.futures.ProcessPoolExecutor(
+        max_workers=min(workers, len(todo)), mp_context=ctx,
+        initializer=_worker_init, initargs=(shared_blob,))
+    try:
+        futures = [(idx, spec, executor.submit(
+            _execute_in_worker, spec.entrypoint, dict(spec.params),
+            spec.describe())) for idx, spec in todo]
+        for idx, spec, fut in futures:
+            try:
+                out[idx] = fut.result(timeout=timeout)
+            except concurrent.futures.TimeoutError:
+                for fut2 in (f for _, _, f in futures):
+                    fut2.cancel()
+                for proc in list(getattr(executor, "_processes",
+                                         {}).values()):
+                    proc.terminate()
+                raise DCudaTimeoutError(
+                    f"sweep task {spec.describe()!r} exceeded the "
+                    f"per-task timeout of {timeout}s") from None
+            except concurrent.futures.process.BrokenProcessPool:
+                raise DCudaWorkerError(
+                    f"worker process died while running "
+                    f"{spec.describe()!r} (crash isolation: the parent "
+                    "sweep survives; re-run serially to debug)") from None
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+        _restore_pythonpath(prev_path)
+    return out
+
+
+def run_specs(specs: Sequence[RunSpec], *,
+              workers: Optional[int] = None,
+              cache: Union[ResultCache, os.PathLike, str, None] = None,
+              shared: Optional[Mapping[str, Any]] = None,
+              timeout: Optional[float] = None) -> SweepReport:
+    """Execute a sweep of :class:`RunSpec` tasks; results in spec order.
+
+    Args:
+        specs: The tasks.  Each must reference a registered entrypoint.
+        workers: Process count; ``None`` consults ``$REPRO_EXEC_WORKERS``
+            (default 1 = serial in-process).  Values > 1 use a spawn
+            process pool for crash isolation and true parallelism.
+        cache: ``None`` (no caching), a :class:`ResultCache`, or a
+            directory path to open one at.
+        shared: Payload shipped to every worker once (pool initializer)
+            and passed to every entrypoint — e.g. the chaos baseline
+            field.  Its canonical digest salts every cache key, so a
+            changed shared input invalidates cached results.
+        timeout: Per-task wall-clock budget [s].  Enforced in parallel
+            mode (a stuck worker is terminated); serial execution cannot
+            preempt a running task and ignores it.
+
+    Returns:
+        A :class:`SweepReport`; ``.results[i]`` corresponds to
+        ``specs[i]`` regardless of worker count or completion order.
+
+    Raises:
+        DCudaUsageError: Unknown entrypoint or unhashable params.
+        DCudaTimeoutError: A task exceeded *timeout* (parallel mode).
+        DCudaWorkerError: A task raised an untyped exception or its
+            worker process died (parallel mode; serial execution
+            propagates task exceptions raw).
+    """
+    specs = list(specs)
+    if workers is None:
+        workers = default_workers()
+    workers = max(1, int(workers))
+    shared = dict(shared or {})
+    t0 = time.perf_counter()
+
+    if isinstance(cache, (str, os.PathLike)):
+        cache = ResultCache(cache)
+    shared_digest = canonical_digest(shared) if (cache and shared) else ""
+
+    results: List[Any] = [None] * len(specs)
+    hits = 0
+    todo = []
+    for idx, spec in enumerate(specs):
+        if cache is not None and spec.cacheable:
+            hit, value = cache.get(cache.key_for(spec, shared_digest))
+            if hit:
+                results[idx] = value
+                hits += 1
+                continue
+        todo.append((idx, spec))
+
+    if todo:
+        if workers > 1 and len(todo) > 1:
+            shared_blob = pickle.dumps(shared,
+                                       protocol=pickle.HIGHEST_PROTOCOL)
+            executed = _run_parallel(todo, shared_blob, workers, timeout)
+        else:
+            executed = {idx: resolve_entrypoint(spec.entrypoint)(
+                dict(spec.params), shared) for idx, spec in todo}
+        for idx, spec in todo:
+            results[idx] = executed[idx]
+            if cache is not None and spec.cacheable:
+                cache.put(cache.key_for(spec, shared_digest),
+                          executed[idx], label=spec.describe())
+
+    return SweepReport(results=results, tasks=len(specs),
+                       executed=len(todo), cache_hits=hits,
+                       workers=workers,
+                       wall_s=time.perf_counter() - t0)

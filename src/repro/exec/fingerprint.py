@@ -1,0 +1,72 @@
+"""Source-tree fingerprint: the cache's second key dimension.
+
+A cached result is only valid while the code that produced it is
+unchanged, so every cache entry lives under a *fingerprint* — a sha256
+digest over the relative path and content of every ``*.py`` file in the
+``repro`` package.  Editing any source file (a cost-model constant, a
+scheduler fast path, an entrypoint) moves the fingerprint, which silently
+invalidates the whole cache generation: stale entries are never *read*
+again and ``python -m repro.exec cache gc`` reclaims their disk space.
+
+The walk is cheap (~100 small files) but not free, so the result is
+memoized per process per root — a single CLI invocation or test session
+fingerprints the tree once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = ["source_fingerprint", "package_root", "repo_root"]
+
+_MEMO: Dict[str, str] = {}
+
+
+def package_root() -> Path:
+    """Directory of the installed ``repro`` package (``src/repro``)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def repo_root() -> Path:
+    """Repository root (where ``BENCH_*.json`` artifacts are written).
+
+    Found by walking up from the package directory to the first parent
+    containing ``pyproject.toml``; falls back to the current working
+    directory for installed (non-checkout) layouts.
+    """
+    for parent in package_root().parents:
+        if (parent / "pyproject.toml").exists():
+            return parent
+    return Path.cwd()
+
+
+def source_fingerprint(root: Optional[Path] = None,
+                       refresh: bool = False) -> str:
+    """Digest the source tree under *root* (default: the repro package).
+
+    Args:
+        root: Directory to walk; every ``*.py`` below it contributes its
+            relative path and content to the digest.
+        refresh: Drop the per-process memo and re-walk (tests that edit
+            source files on the fly need this; normal callers never do).
+
+    Returns:
+        A sha256 hex digest, stable for an unchanged tree and different
+        for any content, rename, addition, or deletion of a source file.
+    """
+    base = Path(root) if root is not None else package_root()
+    key = str(base)
+    if not refresh and key in _MEMO:
+        return _MEMO[key]
+    h = hashlib.sha256()
+    h.update(b"repro-src-v1")
+    for path in sorted(base.rglob("*.py")):
+        rel = path.relative_to(base).as_posix()
+        h.update(b"P%d:" % len(rel) + rel.encode())
+        h.update(hashlib.sha256(path.read_bytes()).digest())
+    _MEMO[key] = h.hexdigest()
+    return _MEMO[key]

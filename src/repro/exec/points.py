@@ -1,0 +1,262 @@
+"""Registered sweep entrypoints: every figure point as a pure function.
+
+Each entrypoint turns one ``(params, shared)`` pair into one picklable
+result object and builds *all* of its simulation state internally — a
+fresh cluster from config data, nothing captured from the parent process
+— which is what makes a :class:`~repro.exec.spec.RunSpec` executable in
+a spawned worker and its result cacheable by content.
+
+The model code stays where it lives (``repro.bench``, ``repro.faults``,
+``repro.apps``); this module is the thin, import-lazy adapter layer the
+worker processes load during pool initialization.  Two probes at the
+bottom (``sleep_probe``, ``crash_probe``) exist for the engine's own
+timeout/crash-isolation tests and do no simulation work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from .spec import entrypoint
+
+__all__ = [
+    "chaos_case",
+    "pingpong_point",
+    "overlap_point",
+    "weak_scaling_point",
+    "queue_burst_point",
+    "staging_point",
+    "simperf_probe",
+    "sleep_probe",
+    "crash_probe",
+]
+
+
+@entrypoint("chaos_case")
+def chaos_case(params: Mapping[str, Any], shared: Mapping[str, Any]):
+    """One seeded fault-injection run of the diffusion mini-app.
+
+    Params: ``seed``, ``num_nodes``, ``ranks_per_device``, optional
+    ``wl`` (:class:`~repro.apps.diffusion.DiffusionWorkload`) and ``cfg``
+    (:class:`~repro.faults.config.FaultsConfig`).  The fault-free
+    baseline field arrives via ``shared["baseline"]`` — computed once by
+    the sweep driver, not per worker — falling back to the per-process
+    baseline cache when absent.
+
+    Returns:
+        A :class:`~repro.faults.report.ChaosOutcome`.
+    """
+    from ..faults.report import run_chaos_case
+
+    return run_chaos_case(seed=params.get("seed"),
+                          num_nodes=params.get("num_nodes", 2),
+                          ranks_per_device=params.get("ranks_per_device", 2),
+                          wl=params.get("wl"), cfg=params.get("cfg"),
+                          baseline=shared.get("baseline"))
+
+
+@entrypoint("pingpong_point")
+def pingpong_point(params: Mapping[str, Any], shared: Mapping[str, Any]):
+    """One Fig. 6 ping-pong measurement.
+
+    Params: ``shared_mem`` (bool), ``packet_bytes``, ``iterations``,
+    optional ``cfg`` (:class:`~repro.hw.config.MachineConfig`).
+
+    Returns:
+        A :class:`~repro.bench.pingpong.PingPongResult`.
+    """
+    from ..bench.pingpong import run_pingpong
+
+    return run_pingpong(params["shared_mem"],
+                        params.get("packet_bytes", 0),
+                        params.get("iterations", 100),
+                        cfg=params.get("cfg"))
+
+
+@entrypoint("overlap_point")
+def overlap_point(params: Mapping[str, Any], shared: Mapping[str, Any]):
+    """One Fig. 7/8 overlap-benchmark configuration.
+
+    Params mirror :func:`~repro.bench.overlap.run_overlap`: ``mode``,
+    ``compute_iters``, ``do_compute``, ``do_exchange``, ``steps``,
+    ``num_nodes``, ``ranks_per_device``, ``halo_bytes``, optional
+    ``cfg``.
+
+    Returns:
+        An :class:`~repro.bench.overlap.OverlapPoint`.
+    """
+    from ..bench.overlap import run_overlap
+
+    return run_overlap(params["mode"], params["compute_iters"],
+                       params.get("do_compute", True),
+                       params.get("do_exchange", True),
+                       params.get("steps", 20),
+                       params.get("num_nodes", 8),
+                       params.get("ranks_per_device", 52),
+                       params.get("halo_bytes", 1024),
+                       cfg=params.get("cfg"))
+
+
+@entrypoint("weak_scaling_point")
+def weak_scaling_point(params: Mapping[str, Any],
+                       shared: Mapping[str, Any]):
+    """One node count of a Fig. 9/10/11 weak-scaling sweep.
+
+    Params: ``app`` (``"particles"`` | ``"stencil"`` | ``"spmv"``),
+    ``nodes``, optional ``wl``, ``ranks_per_device``, ``nblocks``,
+    ``verify``.
+
+    Returns:
+        A :class:`~repro.bench.weak_scaling.ScalingRow`.
+    """
+    from ..bench.weak_scaling import scaling_point
+
+    return scaling_point(params["app"], params["nodes"],
+                         wl=params.get("wl"),
+                         ranks_per_device=params.get("ranks_per_device"),
+                         nblocks=params.get("nblocks"),
+                         verify=params.get("verify", True))
+
+
+@entrypoint("queue_burst_point")
+def queue_burst_point(params: Mapping[str, Any],
+                      shared: Mapping[str, Any]):
+    """Queue-sizing ablation cell: a put burst at one queue size.
+
+    Rank 0 fires ``burst`` back-to-back puts at a circular queue of
+    ``queue_size`` entries and flushes; the credit-reload and full-stall
+    counters quantify the flow-control amortization of §III-C.
+
+    Params: ``queue_size``, ``burst``.
+
+    Returns:
+        ``{"time": seconds, "reloads": int, "stalls": int}``.
+    """
+    import dataclasses
+
+    import numpy as np
+
+    from ..dcuda import launch
+    from ..hw import Cluster, greina
+
+    qsize = params["queue_size"]
+    burst = params.get("burst", 192)
+    cfg = greina(1)
+    cfg = dataclasses.replace(
+        cfg, devicelib=dataclasses.replace(cfg.devicelib,
+                                           queue_size=qsize))
+    cluster = Cluster(cfg)
+    buffers = {r: np.zeros(8, dtype=np.uint8) for r in range(2)}
+    out: dict = {}
+
+    def kernel(rank):
+        r = rank.world_rank
+        win = yield from rank.win_create(buffers[r])
+        yield from rank.barrier()
+        if r == 0:
+            t0 = rank.now
+            for _ in range(burst):
+                yield from rank.put_notify(win, 1, 0, buffers[0][:8],
+                                           tag=1, notify=False)
+            yield from rank.flush(win)
+            out["time"] = rank.now - t0
+            q = rank.state.cmd_queue
+            out["reloads"] = q.stats.credit_reloads
+            out["stalls"] = q.stats.full_stalls
+        yield from rank.barrier()
+        yield from rank.finish()
+
+    launch(cluster, kernel, ranks_per_device=2)
+    return {"time": out["time"], "reloads": out["reloads"],
+            "stalls": out["stalls"]}
+
+
+@entrypoint("staging_point")
+def staging_point(params: Mapping[str, Any], shared: Mapping[str, Any]):
+    """Host-staging ablation cell: one device-buffer send, timed.
+
+    Params: ``nbytes`` (message size) and ``staging_threshold`` (bytes
+    above which the MPI substrate stages through host memory).
+
+    Returns:
+        One-way delivery time in seconds (float).
+    """
+    import dataclasses
+
+    from ..hw import Cluster, greina
+    from ..mpi import MPIWorld
+
+    nbytes = params["nbytes"]
+    cfg = greina(2)
+    cfg = dataclasses.replace(
+        cfg, fabric=dataclasses.replace(
+            cfg.fabric, staging_threshold=params["staging_threshold"]))
+    cluster = Cluster(cfg)
+    world = MPIWorld(cluster)
+    out: dict = {}
+
+    def sender(env):
+        yield from world.send(0, 1, None, nbytes=nbytes, device=True)
+
+    def receiver(env):
+        t0 = env.now
+        yield from world.recv(1)
+        out["dt"] = env.now - t0
+
+    cluster.env.process(sender(cluster.env))
+    cluster.env.process(receiver(cluster.env))
+    cluster.run()
+    return out["dt"]
+
+
+@entrypoint("simperf_probe")
+def simperf_probe(params: Mapping[str, Any], shared: Mapping[str, Any]):
+    """One simulator-throughput probe (wall-clock; never cacheable).
+
+    Params: ``probe`` = ``"synthetic"`` (``num_procs``, ``hops``) or
+    ``"diffusion"`` (optional ``wl``, ``num_nodes``,
+    ``ranks_per_device``).  Specs built from this entrypoint must set
+    ``cacheable=False`` — replaying a cached wall-clock measurement
+    would report the disk's speed, not the simulator's.
+
+    Returns:
+        A :class:`~repro.bench.simperf.SimPerfResult`.
+    """
+    from ..bench.simperf import diffusion_throughput, synthetic_throughput
+
+    if params["probe"] == "synthetic":
+        return synthetic_throughput(num_procs=params.get("num_procs", 64),
+                                    hops=params.get("hops", 500))
+    if params["probe"] == "diffusion":
+        return diffusion_throughput(
+            wl=params.get("wl"),
+            num_nodes=params.get("num_nodes", 2),
+            ranks_per_device=params.get("ranks_per_device", 16))
+    from ..errors import DCudaUsageError
+
+    raise DCudaUsageError(f"unknown simperf probe {params['probe']!r}")
+
+
+@entrypoint("sleep_probe")
+def sleep_probe(params: Mapping[str, Any], shared: Mapping[str, Any]):
+    """Engine-test probe: sleep ``seconds`` of host time, return it.
+
+    Exists so the timeout path (worker termination + typed
+    :class:`~repro.errors.DCudaTimeoutError`) is testable without a real
+    stuck simulation.
+    """
+    import time
+
+    time.sleep(params.get("seconds", 0.0))
+    return params.get("seconds", 0.0)
+
+
+@entrypoint("crash_probe")
+def crash_probe(params: Mapping[str, Any], shared: Mapping[str, Any]):
+    """Engine-test probe: raise an untyped exception on demand.
+
+    Exercises crash isolation — the engine must wrap this in
+    :class:`~repro.errors.DCudaWorkerError` instead of leaking a bare
+    ``RuntimeError`` (or taking down the sweep).
+    """
+    raise RuntimeError(params.get("message", "crash_probe"))

@@ -1,0 +1,213 @@
+"""The sweep task model: picklable :class:`RunSpec` + entrypoint registry.
+
+A *run spec* describes one independent simulation — a figure point, an
+ablation cell, a chaos seed, a throughput probe — as pure data: the name
+of a registered entrypoint function plus a mapping of picklable
+parameters.  Because the spec is data, the execution engine
+(:mod:`repro.exec.engine`) can ship it to a worker process spawned with a
+fresh interpreter, and because it has a *stable content hash*
+(:meth:`RunSpec.content_hash`), the result cache
+(:mod:`repro.exec.cache`) can address results by what was asked for
+rather than when it ran.
+
+The content hash is computed over a canonical byte serialization
+(:func:`canonical_digest`) that covers the value types sweeps actually
+use — primitives, tuples/lists, string-keyed dicts, (nested, frozen)
+dataclasses such as :class:`~repro.hw.config.MachineConfig`, and numpy
+arrays — and deliberately rejects everything else: an unhashable
+parameter would silently break cache addressing, so it raises
+:class:`~repro.errors.DCudaUsageError` instead.
+
+Entrypoints are plain functions ``fn(params, shared) -> result``
+registered by name via :func:`entrypoint`; the registry is populated by
+importing :mod:`repro.exec.points` (done lazily by
+:func:`resolve_entrypoint`, and by every worker during pool
+initialization), so a spec resolves identically in the parent and in a
+spawned worker.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping
+
+import numpy as np
+
+from ..errors import DCudaUsageError
+
+__all__ = [
+    "RunSpec",
+    "canonical_digest",
+    "entrypoint",
+    "resolve_entrypoint",
+    "registered_entrypoints",
+]
+
+#: Version tag mixed into every hash so a change to the canonical
+#: serialization itself invalidates all previously cached results.
+_HASH_VERSION = b"runspec-v1"
+
+
+def _feed(h, obj: Any) -> None:
+    """Feed *obj* into hash *h* as an unambiguous, type-tagged token stream.
+
+    Every token is tagged and length-prefixed, so distinct values can
+    never collide by concatenation (``("ab", "c")`` vs ``("a", "bc")``).
+
+    Raises:
+        DCudaUsageError: If *obj* (or anything nested in it) is not a
+            supported spec-parameter type.
+    """
+    if obj is None:
+        h.update(b"N")
+    elif isinstance(obj, bool):            # before int: bool is an int
+        h.update(b"B1" if obj else b"B0")
+    elif isinstance(obj, int):
+        t = str(obj).encode()
+        h.update(b"I%d:" % len(t) + t)
+    elif isinstance(obj, float):
+        t = repr(obj).encode()             # repr round-trips IEEE doubles
+        h.update(b"F%d:" % len(t) + t)
+    elif isinstance(obj, str):
+        t = obj.encode()
+        h.update(b"S%d:" % len(t) + t)
+    elif isinstance(obj, bytes):
+        h.update(b"Y%d:" % len(obj) + obj)
+    elif isinstance(obj, (tuple, list)):
+        h.update(b"T%d:" % len(obj))
+        for item in obj:
+            _feed(h, item)
+    elif isinstance(obj, Mapping):
+        keys = list(obj)
+        if not all(isinstance(k, str) for k in keys):
+            raise DCudaUsageError(
+                "spec parameter dicts must have string keys, got "
+                f"{sorted(type(k).__name__ for k in keys)}")
+        h.update(b"D%d:" % len(keys))
+        for k in sorted(keys):             # insertion order never matters
+            _feed(h, k)
+            _feed(h, obj[k])
+    elif isinstance(obj, np.ndarray):
+        data = np.ascontiguousarray(obj)
+        h.update(b"A")
+        _feed(h, data.dtype.str)
+        _feed(h, list(data.shape))
+        h.update(hashlib.sha256(data.tobytes()).digest())
+    elif isinstance(obj, np.generic):
+        h.update(b"G")
+        _feed(h, obj.dtype.str)
+        h.update(obj.tobytes())
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        h.update(b"C")
+        _feed(h, f"{cls.__module__}.{cls.__qualname__}")
+        _feed(h, {f.name: getattr(obj, f.name)
+                  for f in dataclasses.fields(obj)})
+    else:
+        raise DCudaUsageError(
+            f"unhashable spec parameter of type {type(obj).__name__!r}: "
+            f"{obj!r}; supported types are primitives, tuples/lists, "
+            "str-keyed dicts, dataclasses, and numpy arrays")
+
+
+def canonical_digest(obj: Any) -> str:
+    """Deterministic sha256 hex digest of a supported parameter value.
+
+    The digest is stable across processes, interpreter restarts, and dict
+    insertion orders — the property the result cache's content addressing
+    rests on.
+
+    Raises:
+        DCudaUsageError: For unsupported value types (see :func:`_feed`).
+    """
+    h = hashlib.sha256()
+    h.update(_HASH_VERSION)
+    _feed(h, obj)
+    return h.hexdigest()
+
+
+@dataclass(frozen=True, eq=False)
+class RunSpec:
+    """One independent simulation run, as pure picklable data.
+
+    Args:
+        entrypoint: Name of a function registered via :func:`entrypoint`
+            (the registry lives in :mod:`repro.exec.points`).
+        params: Picklable, canonically-hashable keyword parameters passed
+            to the entrypoint.  Large payloads shared by *every* spec of
+            a sweep (e.g. the chaos baseline field) belong in the
+            engine's ``shared`` mapping instead, so they are shipped to
+            each worker once rather than once per task.
+        label: Display name for progress/error messages; not hashed.
+        cacheable: Whether the result may be served from / stored into
+            the on-disk cache.  Wall-clock measurements (the simperf
+            probes) set this to ``False``: replaying a cached wall time
+            would be a lie.
+    """
+
+    entrypoint: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    label: str = ""
+    cacheable: bool = True
+
+    def content_hash(self) -> str:
+        """Stable content hash of ``(entrypoint, params)``.
+
+        ``label`` and ``cacheable`` are presentation/policy, not content,
+        and are deliberately excluded.
+        """
+        return canonical_digest((self.entrypoint, dict(self.params)))
+
+    def describe(self) -> str:
+        """Human-readable identity for logs and error messages."""
+        return self.label or f"{self.entrypoint}[{self.content_hash()[:10]}]"
+
+
+# ------------------------------------------------------------ registry -----
+_ENTRYPOINTS: Dict[str, Callable[[Mapping[str, Any], Mapping[str, Any]],
+                                 Any]] = {}
+
+
+def entrypoint(name: str):
+    """Decorator factory: register ``fn(params, shared)`` under *name*.
+
+    Raises:
+        DCudaUsageError: If *name* is already registered (a silent
+            overwrite would make spec hashes ambiguous).
+    """
+
+    def _register(fn):
+        if name in _ENTRYPOINTS and _ENTRYPOINTS[name] is not fn:
+            raise DCudaUsageError(
+                f"entrypoint {name!r} is already registered")
+        _ENTRYPOINTS[name] = fn
+        return fn
+
+    return _register
+
+
+def resolve_entrypoint(name: str):
+    """Look up a registered entrypoint, importing the registry if needed.
+
+    Returns:
+        The registered ``fn(params, shared)`` callable.
+
+    Raises:
+        DCudaUsageError: If no entrypoint of that name exists.
+    """
+    if name not in _ENTRYPOINTS:
+        from . import points  # noqa: F401  (import populates the registry)
+    try:
+        return _ENTRYPOINTS[name]
+    except KeyError:
+        known = ", ".join(sorted(_ENTRYPOINTS)) or "<none>"
+        raise DCudaUsageError(
+            f"unknown entrypoint {name!r}; registered: {known}") from None
+
+
+def registered_entrypoints() -> Dict[str, Callable]:
+    """Snapshot of the registry (importing it first), name → callable."""
+    from . import points  # noqa: F401
+    return dict(_ENTRYPOINTS)

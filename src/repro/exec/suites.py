@@ -1,0 +1,215 @@
+"""Named sweep suites: spec lists + table assembly for the CLIs.
+
+A *suite* bundles what ``python -m repro.exec run <name>`` and
+``python -m repro.bench <figure> --workers N`` both need: the list of
+:class:`~repro.exec.spec.RunSpec` tasks, the shared payload (if any),
+and a function that assembles the engine's result list back into the
+figure's :class:`~repro.bench.table.Table`.  Keeping the builders here —
+rather than in either CLI — means the pytest benchmarks, the figure
+runner, and the sweep runner all execute the *same* specs, so their
+cached results are interchangeable.
+
+The assembly functions are pure reshaping: all simulation work happens
+inside entrypoints (:mod:`repro.exec.points`), all scheduling inside the
+engine (:mod:`repro.exec.engine`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..errors import DCudaUsageError
+from .spec import RunSpec
+
+__all__ = ["Suite", "build_suite", "SUITE_NAMES"]
+
+#: Fig. 6 packet sizes (1 B .. 4 MB) — matches the benchmark module.
+_FIG6_SIZES = tuple(4 ** k for k in range(0, 12))
+#: Fig. 7/8 compute-iteration sweep — matches the benchmark modules.
+_OVERLAP_ITERS = (0, 16, 64, 128, 256, 512)
+
+
+@dataclass
+class Suite:
+    """One runnable sweep: specs in, rendered table out."""
+
+    name: str
+    specs: List[RunSpec]
+    #: Payload shipped once to every worker (e.g. the chaos baseline).
+    shared: Dict[str, Any] = field(default_factory=dict)
+    #: ``assemble(results) -> str`` — render the merged results.
+    assemble: Callable[[List[Any]], str] = lambda results: repr(results)
+
+
+def _chaos_suite(seeds: Sequence[int], nodes: int, ranks: int,
+                 steps: int) -> Suite:
+    from ..apps.diffusion import DiffusionWorkload
+    from ..faults.report import chaos_specs, sweep_table
+
+    wl = DiffusionWorkload(ni=8, nj_per_device=2 * ranks, nk=2,
+                           steps=steps)
+    specs, shared = chaos_specs(seeds, nodes, ranks, wl=wl)
+
+    def assemble(outcomes):
+        return sweep_table(outcomes).render()
+
+    return Suite("chaos", specs, shared=shared, assemble=assemble)
+
+
+def _fig6_suite(iterations: int) -> Suite:
+    from ..bench.table import Table
+
+    specs = [RunSpec("pingpong_point",
+                     dict(shared_mem=shared_mem, packet_bytes=size,
+                          iterations=iterations),
+                     label=f"fig6:{'shm' if shared_mem else 'dist'}:{size}B")
+             for shared_mem in (True, False) for size in _FIG6_SIZES]
+
+    def assemble(results):
+        half = len(_FIG6_SIZES)
+        shared, dist = results[:half], results[half:]
+        table = Table("Fig. 6 - put bandwidth vs packet size",
+                      ["packet [B]", "shared [MB/s]", "distributed [MB/s]",
+                       "shared lat [us]", "distributed lat [us]"])
+        for s, d in zip(shared, dist):
+            table.add_row(s.packet_bytes, s.bandwidth / 1e6,
+                          d.bandwidth / 1e6, s.latency * 1e6,
+                          d.latency * 1e6)
+        return table.render()
+
+    return Suite("fig6", specs, assemble=assemble)
+
+
+def overlap_sweep_specs(mode: str, steps: int, nodes: int,
+                        ranks_per_device: int,
+                        iters: Sequence[int] = _OVERLAP_ITERS):
+    """Spec list for one overlap figure + the row-reassembly recipe.
+
+    Returns:
+        ``(specs, reassemble)`` where ``reassemble(results)`` yields
+        ``[(n, both, comp, exchange_only), ...]`` in sweep order.
+    """
+    base = dict(mode=mode, steps=steps, num_nodes=nodes,
+                ranks_per_device=ranks_per_device)
+    specs = [RunSpec("overlap_point",
+                     dict(base, compute_iters=0, do_compute=False,
+                          do_exchange=True),
+                     label=f"{mode}:exchange-only")]
+    for n in iters:
+        specs.append(RunSpec("overlap_point",
+                             dict(base, compute_iters=n, do_compute=True,
+                                  do_exchange=True),
+                             label=f"{mode}:both:{n}"))
+        if n:
+            specs.append(RunSpec("overlap_point",
+                                 dict(base, compute_iters=n,
+                                      do_compute=True, do_exchange=False),
+                                 label=f"{mode}:compute-only:{n}"))
+
+    def reassemble(results):
+        ex = results[0].elapsed
+        rows, i = [], 1
+        for n in iters:
+            both = results[i].elapsed
+            i += 1
+            comp = 0.0
+            if n:
+                comp = results[i].elapsed
+                i += 1
+            rows.append((n, both, comp, ex))
+        return rows
+
+    return specs, reassemble
+
+
+def _overlap_suite(name: str, mode: str, title: str, col0: str,
+                   steps: int, nodes: int) -> Suite:
+    from ..bench.table import Table
+
+    specs, reassemble = overlap_sweep_specs(mode, steps, nodes, 52)
+
+    def assemble(results):
+        table = Table(title, [col0, "compute&exchange [ms]",
+                              "compute only [ms]", "halo exchange [ms]"])
+        for n, both, comp, ex in reassemble(results):
+            table.add_row(n, both * 1e3, comp * 1e3, ex * 1e3)
+        return table.render()
+
+    return Suite(name, specs, assemble=assemble)
+
+
+def _weak_scaling_suite(name: str, app: str, node_counts: Sequence[int],
+                        verify: bool) -> Suite:
+    from ..bench.weak_scaling import weak_scaling_specs, weak_scaling_table
+
+    specs, wl = weak_scaling_specs(app, node_counts, verify=verify)
+
+    def assemble(rows):
+        return weak_scaling_table(app, wl, rows).render()
+
+    return Suite(name, specs, assemble=assemble)
+
+
+def _simperf_suite(quick: bool) -> Suite:
+    from ..bench.simperf import simperf_specs, simperf_table
+
+    specs = simperf_specs(quick=quick)
+
+    def assemble(results):
+        return simperf_table(results).render()
+
+    return Suite("simperf", specs, assemble=assemble)
+
+
+SUITE_NAMES = ("chaos", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+               "simperf")
+
+
+def build_suite(name: str, *, seeds: int = 50, nodes: int = 2,
+                ranks: int = 2, steps: int = 2, iterations: int = 30,
+                overlap_steps: int = 20, overlap_nodes: int = 8,
+                node_counts: Optional[Sequence[int]] = None,
+                verify: bool = True, full: bool = False) -> Suite:
+    """Construct a named suite with the given knobs.
+
+    Args:
+        name: One of :data:`SUITE_NAMES`.
+        seeds: Chaos-sweep seed count (seeds ``0..N-1``).
+        nodes/ranks/steps: Chaos cluster size, over-subscription, and
+            diffusion iterations.
+        iterations: Fig. 6 ping-pong iterations per packet size.
+        overlap_steps/overlap_nodes: Fig. 7/8 sweep shape.
+        node_counts: Fig. 9-11 node counts (figure default when ``None``).
+        verify: Reference-verify the weak-scaling figures.
+        full: Figure-scale simperf workload instead of the quick probe.
+
+    Raises:
+        DCudaUsageError: Unknown suite name.
+    """
+    if name == "chaos":
+        return _chaos_suite(range(seeds), nodes, ranks, steps)
+    if name == "fig6":
+        return _fig6_suite(iterations)
+    if name == "fig7":
+        return _overlap_suite(
+            "fig7", "newton",
+            "Fig. 7 - overlap for square root calculation (Newton-Raphson)",
+            "newton iters/exchange", overlap_steps, overlap_nodes)
+    if name == "fig8":
+        return _overlap_suite(
+            "fig8", "copy", "Fig. 8 - overlap for memory-to-memory copy",
+            "copy iters/exchange", overlap_steps, overlap_nodes)
+    if name == "fig9":
+        return _weak_scaling_suite("fig9", "particles",
+                                   node_counts or (1, 2, 4, 8), verify)
+    if name == "fig10":
+        return _weak_scaling_suite("fig10", "stencil",
+                                   node_counts or (1, 2, 4, 8), verify)
+    if name == "fig11":
+        return _weak_scaling_suite("fig11", "spmv",
+                                   node_counts or (1, 4, 9), verify)
+    if name == "simperf":
+        return _simperf_suite(quick=not full)
+    raise DCudaUsageError(
+        f"unknown suite {name!r}; available: {', '.join(SUITE_NAMES)}")

@@ -36,11 +36,12 @@ __all__ = [
     "FaultEvent", "FaultsConfig", "FAULT_KINDS", "default_faults",
     "force_faults",
     "FaultPlane",
-    "ChaosOutcome", "run_chaos_case", "chaos_sweep", "fault_report",
+    "ChaosOutcome", "run_chaos_case", "chaos_specs", "chaos_sweep",
+    "fault_report",
 ]
 
-_REPORT_SYMBOLS = ("ChaosOutcome", "run_chaos_case", "chaos_sweep",
-                   "fault_report")
+_REPORT_SYMBOLS = ("ChaosOutcome", "run_chaos_case", "chaos_specs",
+                   "chaos_sweep", "fault_report")
 
 
 def __getattr__(name):

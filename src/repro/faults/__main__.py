@@ -5,6 +5,7 @@ Usage::
     python -m repro.faults report                  # one seeded run + report
     python -m repro.faults report --seed 7
     python -m repro.faults report --sweep 50       # chaos envelope
+    python -m repro.faults report --sweep 50 -j 4  # ... on 4 workers
     python -m repro.faults report --selftest       # CI smoke check
 
 ``report`` runs the diffusion mini-app under a deterministic seeded fault
@@ -87,7 +88,8 @@ def _run_report(args: argparse.Namespace) -> int:
 
 def _run_sweep(args: argparse.Namespace) -> int:
     outcomes = chaos_sweep(range(args.sweep), args.nodes, args.ranks,
-                           wl=_workload(args))
+                           wl=_workload(args), workers=args.workers,
+                           cache=args.cache_dir)
     print(sweep_table(outcomes).render())
     dirty = [o for o in outcomes if not o.clean]
     for o in dirty:
@@ -152,6 +154,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                      help="ranks per device (default: 2)")
     rep.add_argument("--steps", type=int, default=2,
                      help="diffusion iterations (default: 2)")
+    rep.add_argument("--workers", "-j", type=int, default=None,
+                     help="sweep engine worker processes (default: "
+                          "$REPRO_EXEC_WORKERS or 1; --sweep only)")
+    rep.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
+                     help="result-cache directory for --sweep (default: "
+                          "no caching)")
 
     args = parser.parse_args(argv)
     if args.selftest:

@@ -27,8 +27,9 @@ from ..errors import ERROR_TABLE, DCudaFaultError, DCudaTimeoutError
 from .config import FaultsConfig
 from .plane import FaultPlane
 
-__all__ = ["ChaosOutcome", "run_chaos_case", "chaos_sweep", "fault_report",
-           "injection_table", "hardening_table", "baseline_field"]
+__all__ = ["ChaosOutcome", "run_chaos_case", "chaos_specs", "chaos_sweep",
+           "fault_report", "injection_table", "hardening_table",
+           "baseline_field", "sweep_table"]
 
 #: CircularQueue hardening counters surfaced by the per-rank report.
 _QUEUE_STATS = ("retries", "dropped_writes", "recovered",
@@ -142,20 +143,61 @@ def run_chaos_case(seed: Optional[int] = None, num_nodes: int = 2,
         numerics_equal=bool(np.array_equal(field, baseline)))
 
 
-def chaos_sweep(seeds: Sequence[int], num_nodes: int = 2,
-                ranks_per_device: int = 2, wl=None) -> List[ChaosOutcome]:
-    """Run :func:`run_chaos_case` for every seed; returns all outcomes.
+def chaos_specs(seeds: Sequence[int], num_nodes: int = 2,
+                ranks_per_device: int = 2, wl=None):
+    """Build the engine specs + shared payload for a chaos sweep.
 
-    The baseline is computed once and shared across the sweep.
+    The fault-free baseline is computed *once* here (per process, cached)
+    and returned as the engine's shared payload — workers receive it via
+    the pool initializer instead of each recomputing it.  Both
+    :func:`chaos_sweep` and the ``chaos`` suite of ``python -m
+    repro.exec`` build specs through this helper, so their cached results
+    are interchangeable.
+
+    Returns:
+        ``(specs, shared)`` — one ``chaos_case``
+        :class:`~repro.exec.spec.RunSpec` per seed, plus
+        ``{"baseline": ndarray}``.
     """
     from ..apps.diffusion import DiffusionWorkload
+    from ..exec import RunSpec
 
     if wl is None:
         wl = DiffusionWorkload(ni=8, nj_per_device=2 * ranks_per_device,
                                nk=2, steps=2)
     _, baseline = baseline_field(wl, num_nodes, ranks_per_device)
-    return [run_chaos_case(seed, num_nodes, ranks_per_device, wl=wl,
-                           baseline=baseline) for seed in seeds]
+    specs = [RunSpec("chaos_case",
+                     dict(seed=seed, num_nodes=num_nodes,
+                          ranks_per_device=ranks_per_device, wl=wl),
+                     label=f"chaos:seed{seed}")
+             for seed in seeds]
+    return specs, {"baseline": baseline}
+
+
+def chaos_sweep(seeds: Sequence[int], num_nodes: int = 2,
+                ranks_per_device: int = 2, wl=None, workers=None,
+                cache=None) -> List[ChaosOutcome]:
+    """Run :func:`run_chaos_case` for every seed; returns all outcomes.
+
+    Fans the seeds out through the sweep engine: outcomes are returned in
+    seed order and are bit-identical for any *workers* count (see
+    :mod:`repro.exec.engine`).
+
+    Args:
+        seeds: Fault-plan seeds, one independent run each.
+        num_nodes/ranks_per_device/wl: Cluster and workload shape, as in
+            :func:`run_chaos_case`.
+        workers: Engine worker processes (``None`` = serial or
+            ``$REPRO_EXEC_WORKERS``).
+        cache: Optional :class:`~repro.exec.cache.ResultCache` or cache
+            directory path; the baseline digest salts every key, so a
+            changed baseline invalidates cached outcomes.
+    """
+    from ..exec import run_specs
+
+    specs, shared = chaos_specs(seeds, num_nodes, ranks_per_device, wl=wl)
+    return run_specs(specs, workers=workers, cache=cache,
+                     shared=shared).results
 
 
 def sweep_table(outcomes: Sequence[ChaosOutcome]) -> Table:

@@ -9,10 +9,11 @@ from repro.errors import (
     DCudaProtocolError,
     DCudaTimeoutError,
     DCudaUsageError,
+    DCudaWorkerError,
 )
 
 ALL_CLASSES = (DCudaError, DCudaProtocolError, DCudaUsageError,
-               DCudaTimeoutError, DCudaFaultError)
+               DCudaTimeoutError, DCudaFaultError, DCudaWorkerError)
 
 
 def test_hierarchy():
