@@ -48,6 +48,8 @@ jstride halo line on each side, exactly like the listing.
 Run:  python examples/fig2_listing.py
 """
 
+import os
+
 import numpy as np
 
 from repro.dcuda import launch
@@ -64,9 +66,13 @@ from repro.dcuda.capi import (
 )
 from repro.hw import Cluster, greina
 
-JSTRIDE = 32          # points per j-line
-LEN = 4 * JSTRIDE     # interior points per rank
-STEPS = 5
+# REPRO_TINY=1 shrinks every example to smoke-test scale (see
+# tests/integration/test_examples.py).
+TINY = os.environ.get("REPRO_TINY") == "1"
+
+JSTRIDE = 8 if TINY else 32   # points per j-line
+LEN = 4 * JSTRIDE             # interior points per rank
+STEPS = 2 if TINY else 5
 TAG = 0
 
 

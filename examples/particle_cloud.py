@@ -9,6 +9,8 @@ paper's Fig. 9 from scaling perfectly flat.
 Run:  python examples/particle_cloud.py
 """
 
+import os
+
 import numpy as np
 
 from repro.apps.particles import (
@@ -21,13 +23,22 @@ from repro.apps.particles import (
 from repro.bench import Table
 from repro.hw import Cluster, greina
 
+# REPRO_TINY=1 shrinks every example to smoke-test scale (see
+# tests/integration/test_examples.py).
+TINY = os.environ.get("REPRO_TINY") == "1"
+
 NODES = 2
-RANKS_PER_DEVICE = 13
+RANKS_PER_DEVICE = 2 if TINY else 13
+NBLOCKS = 16 if TINY else 104
 
 
 def main():
-    wl = ParticleWorkload(cells_per_node=52, particles_per_node=2600,
-                          steps=12)
+    if TINY:
+        wl = ParticleWorkload(cells_per_node=8, particles_per_node=80,
+                              steps=3)
+    else:
+        wl = ParticleWorkload(cells_per_node=52, particles_per_node=2600,
+                              steps=12)
     total = wl.particles_per_node * NODES
     print(f"{total} particles in {wl.cells_per_node * NODES} cells over "
           f"{NODES} devices, {wl.steps} integration steps\n")
@@ -35,7 +46,7 @@ def main():
     t_dcuda, state_d, _ = run_dcuda_particles(Cluster(greina(NODES)), wl,
                                               RANKS_PER_DEVICE)
     t_mpicuda, state_m, stats = run_mpicuda_particles(
-        Cluster(greina(NODES)), wl, nblocks=104)
+        Cluster(greina(NODES)), wl, nblocks=NBLOCKS)
     ref = reference(wl, NODES)
     np.testing.assert_allclose(state_d, ref, rtol=1e-9, atol=1e-9)
     np.testing.assert_allclose(state_m, ref, rtol=1e-9, atol=1e-9)

@@ -10,14 +10,20 @@ fabric, all through one uniform API.
 Run:  python examples/quickstart.py
 """
 
+import os
+
 import numpy as np
 
 from repro.dcuda import launch
 from repro.hw import Cluster, greina
 
+# REPRO_TINY=1 shrinks every example to smoke-test scale (see
+# tests/integration/test_examples.py).
+TINY = os.environ.get("REPRO_TINY") == "1"
+
 NODES = 2
 RANKS_PER_DEVICE = 2
-LAPS = 3
+LAPS = 2 if TINY else 3
 
 
 def ring_kernel(rank, buffers, log):

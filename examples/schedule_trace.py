@@ -12,6 +12,7 @@ Run:  python examples/schedule_trace.py
 """
 
 import dataclasses
+import os
 
 import numpy as np
 
@@ -19,9 +20,13 @@ from repro.dcuda import launch
 from repro.hw import Cluster, GPUConfig, greina
 from repro.mpicuda import run_mpicuda
 
-STEPS = 4
+# REPRO_TINY=1 shrinks every example to smoke-test scale (see
+# tests/integration/test_examples.py).
+TINY = os.environ.get("REPRO_TINY") == "1"
+
+STEPS = 2 if TINY else 4
 FLOPS = 4e6  # per block per phase
-HALO = 4096
+HALO = 512 if TINY else 4096
 
 
 def tiny_cluster():

@@ -12,6 +12,8 @@ dominant eigenvalue of a random sparse matrix.
 Run:  python examples/spmv_power_method.py
 """
 
+import os
+
 import numpy as np
 import scipy.sparse as sp
 
@@ -19,9 +21,13 @@ from repro.apps.decomp import square_grid
 from repro.apps.spmv import SpmvWorkload, make_block, run_dcuda_spmv
 from repro.hw import Cluster, greina
 
+# REPRO_TINY=1 shrinks every example to smoke-test scale (see
+# tests/integration/test_examples.py).
+TINY = os.environ.get("REPRO_TINY") == "1"
+
 NODES = 4
-RANKS_PER_DEVICE = 16
-POWER_ITERS = 8
+RANKS_PER_DEVICE = 4 if TINY else 16
+POWER_ITERS = 2 if TINY else 8
 
 
 def assemble_global(wl, num_nodes):
@@ -31,7 +37,8 @@ def assemble_global(wl, num_nodes):
 
 
 def main():
-    wl = SpmvWorkload(n_per_device=512, density=0.02, iters=1)
+    wl = SpmvWorkload(n_per_device=64 if TINY else 512, density=0.02,
+                      iters=1)
     a_global = assemble_global(wl, NODES)
     n = a_global.shape[0]
     print(f"matrix: {n} x {n}, {a_global.nnz} non-zeros over {NODES} "

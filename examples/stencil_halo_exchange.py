@@ -10,6 +10,8 @@ boundaries touch the network.
 Run:  python examples/stencil_halo_exchange.py
 """
 
+import os
+
 import numpy as np
 
 from repro.apps.stencil2d import (
@@ -21,12 +23,20 @@ from repro.apps.stencil2d import (
 from repro.bench import Table
 from repro.hw import Cluster, greina
 
+# REPRO_TINY=1 shrinks every example to smoke-test scale (see
+# tests/integration/test_examples.py).
+TINY = os.environ.get("REPRO_TINY") == "1"
+
 NODES = 4
-RANKS_PER_DEVICE = 26
+RANKS_PER_DEVICE = 2 if TINY else 26
+NBLOCKS = 16 if TINY else 208
 
 
 def main():
-    wl = Stencil2DWorkload(ni=128, nj_per_device=104, steps=20)
+    if TINY:
+        wl = Stencil2DWorkload(ni=16, nj_per_device=8, steps=3)
+    else:
+        wl = Stencil2DWorkload(ni=128, nj_per_device=104, steps=20)
     print(f"domain: {wl.ni} x {wl.nj_per_device * NODES} grid points over "
           f"{NODES} devices, {wl.steps} stencil sweeps\n")
 
@@ -37,7 +47,7 @@ def main():
     np.testing.assert_allclose(out_dcuda, ref, rtol=1e-12)
 
     t_mpicuda, out_mpicuda, stats = run_mpicuda_stencil2d(
-        Cluster(greina(NODES)), wl, nblocks=208)
+        Cluster(greina(NODES)), wl, nblocks=NBLOCKS)
     np.testing.assert_allclose(out_mpicuda, ref, rtol=1e-12)
 
     halo = max(s["halo_time"] for s in stats.values())

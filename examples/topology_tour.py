@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Tour of the platform layer: declarative topologies and placement.
+
+Builds the same logical machine — four nodes with two GPUs each — on
+three interconnects (flat crossbar, 2:1 oversubscribed fat tree, ring)
+and measures the 1 KiB put latency between three rank placements:
+
+* ``same-node``  — both ranks on node 0, different GPUs (intra-node link)
+* ``adjacent``   — nodes 0 and 1 (one or two wire hops)
+* ``far``        — nodes 0 and 2 (the ring diameter; via the spine on
+  the fat tree)
+
+The flat interconnect is distance-invariant; the fat tree charges the
+leaf-spine-leaf detour between leaves; the ring pays per hop.  All three
+keep the intra-node hop cheapest — exactly the ordering a placement
+policy wants to exploit.
+
+Run:  python examples/topology_tour.py
+"""
+
+import os
+
+from repro.bench import Table
+from repro.bench.pingpong import run_pingpong_pair
+from repro.hw import Cluster, greina
+from repro.platform import fat_tree, flat, ring
+
+# REPRO_TINY=1 shrinks every example to smoke-test scale (see
+# tests/integration/test_examples.py).
+TINY = os.environ.get("REPRO_TINY") == "1"
+
+NODES = 4
+GPUS = 2
+ITERATIONS = 5 if TINY else 50
+PAIRS = [("same-node", (0, 0), (0, 1)),
+         ("adjacent", (0, 0), (1, 0)),
+         ("far", (0, 0), (NODES // 2, 0))]
+
+
+def build(kind):
+    if kind == "fat_tree":
+        return fat_tree(num_nodes=NODES, gpus_per_node=GPUS,
+                        oversubscription=2.0)
+    if kind == "ring":
+        return ring(NODES, gpus_per_node=GPUS)
+    return flat(num_nodes=NODES, gpus_per_node=GPUS)
+
+
+def main():
+    table = Table(f"topology tour - 1 KiB put latency "
+                  f"({NODES} nodes x {GPUS} GPUs)",
+                  ["interconnect", "pair", "route", "latency [us]"])
+    for kind in ("flat", "fat_tree", "ring"):
+        cfg = greina(topology=build(kind))
+        for pair, a, b in PAIRS:
+            r = run_pingpong_pair(cfg, a=a, b=b, packet_bytes=1024,
+                                  iterations=ITERATIONS)
+            hops = Cluster(cfg).fabric.hops(a[0], b[0])
+            route = "intra-node" if a[0] == b[0] else f"{hops} hop(s)"
+            table.add_row(kind, pair, route, r.latency * 1e6)
+    print(table.render())
+    print("\nsame-node stays on the intra-node link on every "
+          "interconnect; only the wire hops change with topology")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,17 +7,18 @@ on the same device (shared memory) or on two nodes (distributed memory).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..dcuda import launch
 from ..hw import Cluster, greina
 from ..hw.config import MachineConfig
+from ..platform import PlacementSpec
 
-__all__ = ["PingPongResult", "run_pingpong", "pingpong_sweep",
-           "DEFAULT_PACKET_SIZES"]
+__all__ = ["PingPongResult", "run_pingpong", "run_pingpong_pair",
+           "pingpong_sweep", "DEFAULT_PACKET_SIZES"]
 
 DEFAULT_PACKET_SIZES = tuple(4 ** k for k in range(0, 12))  # 1 B .. 4 MB
 
@@ -46,7 +47,37 @@ def run_pingpong(shared: bool, packet_bytes: int = 0, iterations: int = 100,
         raise ValueError(f"negative packet size {packet_bytes}")
     nodes = 1 if shared else 2
     rpd = 2 if shared else 1
-    cluster = Cluster((cfg or greina()).with_nodes(nodes))
+    base = cfg if cfg is not None else greina()
+    cluster = Cluster(base.with_nodes(nodes))
+    latency = _timed_pingpong(cluster, rpd, packet_bytes, iterations)
+    return PingPongResult(shared=shared, packet_bytes=packet_bytes,
+                          iterations=iterations, latency=latency)
+
+
+def run_pingpong_pair(cfg: MachineConfig, a: Tuple[int, int] = (0, 0),
+                      b: Tuple[int, int] = (1, 0), packet_bytes: int = 0,
+                      iterations: int = 100) -> PingPongResult:
+    """Ping-pong between two explicitly placed ranks on any platform.
+
+    Pins rank 0 to device *a* and rank 1 to device *b* — ``(node, gpu)``
+    pairs of *cfg*'s topology — so the measured latency reflects exactly
+    the path between them: the shared-memory fast path when ``a == b``,
+    the node's intra-node link when the devices share a node, and the
+    (possibly multi-hop routed) interconnect otherwise.
+    """
+    if packet_bytes < 0:
+        raise ValueError(f"negative packet size {packet_bytes}")
+    a, b = tuple(a), tuple(b)
+    spec = PlacementSpec("explicit", explicit=(a, b))
+    cluster = Cluster(replace(cfg, placement=spec))
+    latency = _timed_pingpong(cluster, 1, packet_bytes, iterations)
+    return PingPongResult(shared=a == b, packet_bytes=packet_bytes,
+                          iterations=iterations, latency=latency)
+
+
+def _timed_pingpong(cluster: Cluster, ranks_per_device: int,
+                    packet_bytes: int, iterations: int) -> float:
+    """Launch the two-rank bounce kernel; returns the half-round-trip."""
     buffers = {r: np.zeros(max(packet_bytes, 1), dtype=np.uint8)
                for r in range(2)}
     loop_time: Dict[int, float] = {}
@@ -69,10 +100,8 @@ def run_pingpong(shared: bool, packet_bytes: int = 0, iterations: int = 100,
         loop_time[r] = rank.now - t0
         yield from rank.finish()
 
-    launch(cluster, kernel, ranks_per_device=rpd)
-    latency = loop_time[0] / iterations / 2.0
-    return PingPongResult(shared=shared, packet_bytes=packet_bytes,
-                          iterations=iterations, latency=latency)
+    launch(cluster, kernel, ranks_per_device=ranks_per_device)
+    return loop_time[0] / iterations / 2.0
 
 
 def pingpong_sweep(shared: bool,

@@ -198,20 +198,23 @@ def hierarchical_broadcast(rank: DRank, win: Window, buf: np.ndarray,
             notification never arrived within ``handshake_timeout``.
     """
     rt = rank.runtime
-    rpd = rt.ranks_per_device
-    world = list(range(rt.total_ranks))
-    root = world[0] if root is None else root
-    root_node = rt.node_of_rank(root)
-    # Stage 1: leaders = the root plus rank 0 of every other device.
-    leaders = [root] + [node * rpd for node in range(rt.cluster.num_nodes)
-                        if node != root_node]
-    my_node = rank.node.index
-    my_leader = root if my_node == root_node else my_node * rpd
+    placement = rt.placement
+    root = 0 if root is None else root
+    root_device = placement.device_of(root)
+    # Stage 1: leaders = the root plus the first rank of every other
+    # (populated) device, in canonical device order.
+    leaders = [root] + [
+        placement.ranks_on_device(*dev)[0]
+        for dev in placement.devices
+        if dev != root_device and placement.ranks_on_device(*dev)]
+    my_device = (rank.node.index, rank.gpu_index)
+    my_leader = (root if my_device == root_device
+                 else placement.ranks_on_device(*my_device)[0])
     if rank.world_rank == my_leader:
         yield from tree_broadcast(rank, win, leaders, buf, root=root,
                                   offset=offset, tag=tag)
         # Stage 2: one data movement, notifications to all local ranks.
-        locals_ = [r for r in range(my_node * rpd, (my_node + 1) * rpd)
+        locals_ = [r for r in placement.ranks_on_device(*my_device)
                    if r != rank.world_rank]
         if locals_:
             yield from put_notify_all(rank, win, locals_, offset, buf,

@@ -81,7 +81,9 @@ class DRank:
         self.env = runtime.env
         self.system = runtime.system_of(world_rank)
         self.node = self.system.node
-        self.device: Device = self.node.device
+        #: Local GPU ordinal hosting this rank (placement-resolved).
+        self.gpu_index = runtime.gpu_of_rank(world_rank)
+        self.device: Device = self.node.gpu(self.gpu_index)
         self.state = runtime.state_of(world_rank)
         self.block: Block = self.state.block
         self.cfg = runtime.cfg
@@ -96,7 +98,8 @@ class DRank:
         if comm == DCUDA_COMM_WORLD:
             return "world"
         if comm == DCUDA_COMM_DEVICE:
-            return f"device{self.node.index}"
+            return self.runtime.device_comm_name(self.node.index,
+                                                 self.gpu_index)
         raise ValueError(f"unknown communicator {comm!r}")
 
     def comm_size(self, comm: str = DCUDA_COMM_WORLD) -> int:
@@ -114,7 +117,8 @@ class DRank:
         self._comm_name(comm)
         if comm == DCUDA_COMM_WORLD:
             return self.runtime.total_ranks
-        return self.runtime.ranks_per_device
+        return len(self.runtime.placement.ranks_on_device(
+            self.node.index, self.gpu_index))
 
     def comm_rank(self, comm: str = DCUDA_COMM_WORLD) -> int:
         """This rank's id within *comm* (dcuda_comm_rank, paper §II-C).
@@ -152,9 +156,8 @@ class DRank:
         if comm == DCUDA_COMM_WORLD:
             result = tuple(range(self.runtime.total_ranks))
         else:
-            rpd = self.runtime.ranks_per_device
-            base = self.node.index * rpd
-            result = tuple(range(base, base + rpd))
+            result = self.runtime.placement.ranks_on_device(
+                self.node.index, self.gpu_index)
         self._participants_cache[comm] = result
         return result
 
@@ -551,8 +554,14 @@ class DRank:
         return fid
 
     def _is_shared(self, target_rank: int) -> bool:
-        """Shared-memory rank = resident on the same device (§II-B)."""
-        return self.runtime.node_of_rank(target_rank) == self.node.index
+        """Shared-memory rank = resident on the same *GPU* (§II-B).
+
+        A rank on a different GPU of the same node is distributed memory:
+        its puts ride the runtime's isend path, which the fabric resolves
+        to the node's intra-node (NVLink-class) link.
+        """
+        return (self.runtime.placement.device_of(target_rank)
+                == (self.node.index, self.gpu_index))
 
     def _shared_put(self, win: Window, target_rank: int, target_offset: int,
                     src: np.ndarray, tag: int, flush_id: int, notify: bool):

@@ -32,16 +32,17 @@ def put_notify_all(rank: DRank, win: Window, target_ranks: Sequence[int],
     targets = list(target_ranks)
     if not targets:
         raise ValueError("put_notify_all needs at least one target")
-    nodes = {rank.runtime.node_of_rank(t) for t in targets}
-    if len(nodes) != 1:
+    devices = {rank.runtime.placement.device_of(t) for t in targets}
+    if len(devices) != 1:
         raise DCudaError(
-            f"put_notify_all targets must share one device, got nodes "
-            f"{sorted(nodes)}")
+            f"put_notify_all targets must share one device, got devices "
+            f"{sorted(devices)}")
     if not rank._is_shared(targets[0]):
         raise DCudaError(
             "put_notify_all is a shared-memory optimization: the targets "
             f"must be on the caller's device (rank {rank.world_rank} is on "
-            f"node {rank.node.index}, targets on node {nodes.pop()})")
+            f"device {(rank.node.index, rank.gpu_index)}, targets on "
+            f"{devices.pop()})")
     # One data transfer, with the first target's notification.
     yield from rank.put_notify(win, targets[0], target_offset, src, tag=tag)
     # The data is already in the shared target memory: the remaining ranks

@@ -93,6 +93,14 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="fig9-11: skip reference verification")
     run.add_argument("--full", action="store_true",
                      help="simperf: figure-scale workload")
+    run.add_argument("--topology", type=str, default=None,
+                     metavar="KINDS",
+                     help="topo: comma-separated interconnect kinds "
+                          "(default: flat,fat_tree,ring)")
+    run.add_argument("--topo-nodes", type=int, default=4,
+                     help="topo: nodes per topology (default 4)")
+    run.add_argument("--topo-gpus", type=int, default=2,
+                     help="topo: GPUs per node (default 2)")
 
     status = sub.add_parser("status", help="census the result cache")
     status.add_argument("--cache-dir", type=str, default=DEFAULT_CACHE_DIR)
@@ -107,10 +115,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args) -> int:
+    kinds = (tuple(k.strip() for k in args.topology.split(",") if k.strip())
+             if args.topology else None)
     suite = build_suite(args.suite, seeds=args.seeds, nodes=args.nodes,
                         ranks=args.ranks, steps=args.steps,
                         iterations=args.iterations,
-                        verify=not args.no_verify, full=args.full)
+                        verify=not args.no_verify, full=args.full,
+                        topology=kinds, topo_nodes=args.topo_nodes,
+                        topo_gpus=args.topo_gpus)
     workers = (args.workers if args.workers is not None
                else default_workers())
     cache = None if args.no_cache else ResultCache(args.cache_dir)

@@ -22,6 +22,7 @@ from .spec import entrypoint
 __all__ = [
     "chaos_case",
     "pingpong_point",
+    "topology_point",
     "overlap_point",
     "weak_scaling_point",
     "queue_burst_point",
@@ -71,6 +72,43 @@ def pingpong_point(params: Mapping[str, Any], shared: Mapping[str, Any]):
                         params.get("packet_bytes", 0),
                         params.get("iterations", 100),
                         cfg=params.get("cfg"))
+
+
+@entrypoint("topology_point")
+def topology_point(params: Mapping[str, Any], shared: Mapping[str, Any]):
+    """One ping-pong measurement on a declaratively built platform.
+
+    Params: ``kind`` (``"flat"`` | ``"fat_tree"`` | ``"ring"``),
+    ``num_nodes``, ``gpus_per_node``, ``oversubscription`` (fat-tree),
+    ``a``/``b`` (the two ranks' ``(node, gpu)`` devices), and the usual
+    ``packet_bytes``/``iterations``.
+
+    Returns:
+        A :class:`~repro.bench.pingpong.PingPongResult`.
+    """
+    from ..bench.pingpong import run_pingpong_pair
+    from ..hw.config import greina
+    from ..platform import fat_tree, flat, ring
+
+    kind = params.get("kind", "flat")
+    num_nodes = params.get("num_nodes", 4)
+    gpus = params.get("gpus_per_node", 1)
+    if kind == "flat":
+        topo = flat(num_nodes=num_nodes, gpus_per_node=gpus)
+    elif kind == "fat_tree":
+        topo = fat_tree(num_nodes=num_nodes, gpus_per_node=gpus,
+                        oversubscription=params.get("oversubscription", 2.0))
+    elif kind == "ring":
+        topo = ring(num_nodes, gpus_per_node=gpus)
+    else:
+        from ..errors import DCudaUsageError
+
+        raise DCudaUsageError(f"unknown interconnect kind {kind!r}")
+    return run_pingpong_pair(greina(topology=topo),
+                             a=tuple(params.get("a", (0, 0))),
+                             b=tuple(params.get("b", (1, 0))),
+                             packet_bytes=params.get("packet_bytes", 1024),
+                             iterations=params.get("iterations", 30))
 
 
 @entrypoint("overlap_point")

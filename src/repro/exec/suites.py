@@ -151,6 +151,39 @@ def _weak_scaling_suite(name: str, app: str, node_counts: Sequence[int],
     return Suite(name, specs, assemble=assemble)
 
 
+def _topo_suite(kinds: Sequence[str], nodes: int, gpus: int,
+                iterations: int) -> Suite:
+    from ..bench.table import Table
+
+    # "far" is the ring diameter (nodes//2), which is also the last node
+    # of the other fat-tree leaf on larger machines.
+    pairs = [("same-node", (0, 0), (0, 1 if gpus > 1 else 0)),
+             ("adjacent", (0, 0), (1 if nodes > 1 else 0, 0)),
+             ("far", (0, 0), (nodes // 2, 0))]
+    specs = [RunSpec("topology_point",
+                     dict(kind=kind, num_nodes=nodes, gpus_per_node=gpus,
+                          a=a, b=b, packet_bytes=1024,
+                          iterations=iterations),
+                     label=f"topo:{kind}:{pair}")
+             for kind in kinds for pair, a, b in pairs]
+
+    def assemble(results):
+        table = Table(f"Topology matrix - 1 KiB put latency "
+                      f"({nodes} nodes x {gpus} GPU(s))",
+                      ["interconnect", "pair", "latency [us]",
+                       "bandwidth [MB/s]"])
+        i = 0
+        for kind in kinds:
+            for pair, _a, _b in pairs:
+                r = results[i]
+                i += 1
+                table.add_row(kind, pair, r.latency * 1e6,
+                              r.bandwidth / 1e6)
+        return table.render()
+
+    return Suite("topo", specs, assemble=assemble)
+
+
 def _simperf_suite(quick: bool) -> Suite:
     from ..bench.simperf import simperf_specs, simperf_table
 
@@ -163,14 +196,16 @@ def _simperf_suite(quick: bool) -> Suite:
 
 
 SUITE_NAMES = ("chaos", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-               "simperf")
+               "topo", "simperf")
 
 
 def build_suite(name: str, *, seeds: int = 50, nodes: int = 2,
                 ranks: int = 2, steps: int = 2, iterations: int = 30,
                 overlap_steps: int = 20, overlap_nodes: int = 8,
                 node_counts: Optional[Sequence[int]] = None,
-                verify: bool = True, full: bool = False) -> Suite:
+                verify: bool = True, full: bool = False,
+                topology: Optional[Sequence[str]] = None,
+                topo_nodes: int = 4, topo_gpus: int = 2) -> Suite:
     """Construct a named suite with the given knobs.
 
     Args:
@@ -183,6 +218,9 @@ def build_suite(name: str, *, seeds: int = 50, nodes: int = 2,
         node_counts: Fig. 9-11 node counts (figure default when ``None``).
         verify: Reference-verify the weak-scaling figures.
         full: Figure-scale simperf workload instead of the quick probe.
+        topology: topo: interconnect kinds to sweep (all three when
+            ``None``).
+        topo_nodes/topo_gpus: topo: machine shape per kind.
 
     Raises:
         DCudaUsageError: Unknown suite name.
@@ -209,6 +247,16 @@ def build_suite(name: str, *, seeds: int = 50, nodes: int = 2,
     if name == "fig11":
         return _weak_scaling_suite("fig11", "spmv",
                                    node_counts or (1, 4, 9), verify)
+    if name == "topo":
+        from ..platform import INTERCONNECT_KINDS
+
+        kinds = tuple(topology) if topology else INTERCONNECT_KINDS
+        for kind in kinds:
+            if kind not in INTERCONNECT_KINDS:
+                raise DCudaUsageError(
+                    f"unknown interconnect kind {kind!r}; available: "
+                    f"{', '.join(INTERCONNECT_KINDS)}")
+        return _topo_suite(kinds, topo_nodes, topo_gpus, iterations)
     if name == "simperf":
         return _simperf_suite(quick=not full)
     raise DCudaUsageError(

@@ -92,6 +92,20 @@ def _node_matches(target: Optional[Union[str, int]], src: int,
     return target in (f"node{src}", f"node{dst}", f"{src}->{dst}")
 
 
+def _route_matches(target: Optional[Union[str, int]],
+                   route: Tuple[str, ...]) -> bool:
+    """Does a string target name a topology link on ``route``?
+
+    Routed interconnects name their directed edges (``n0-leaf0``,
+    ``n2-n3``, …); a partition targeting such a name severs every route
+    that crosses the edge.  ``None``/int targets are the node-pair
+    matcher's job, not ours.
+    """
+    if not isinstance(target, str):
+        return False
+    return any(target == name or target in name for name in route)
+
+
 class FaultPlane:
     """Deterministic fault oracle + injection record for one cluster."""
 
@@ -219,6 +233,24 @@ class FaultPlane:
         hold = 0.0
         for w in self._by_kind.get("partition", ()):
             if w.active(now) and _node_matches(w.target, src, dst):
+                hold = max(hold, w.end - now)
+                self.note("partition", f"{src}->{dst}")
+        return hold
+
+    def partition_hold_route(self, src: int, dst: int,
+                             route: Tuple[str, ...], now: float) -> float:
+        """Hold time for a routed transfer whose path is ``route``.
+
+        A partition window applies when it selects the endpoint node pair
+        (the flat-fabric semantics, kept so existing fault schedules mean
+        the same thing on routed interconnects) *or* when it names any
+        topology link the route crosses — cutting one spine uplink stalls
+        every message routed over it.
+        """
+        hold = 0.0
+        for w in self._by_kind.get("partition", ()):
+            if w.active(now) and (_node_matches(w.target, src, dst)
+                                  or _route_matches(w.target, route)):
                 hold = max(hold, w.end - now)
                 self.note("partition", f"{src}->{dst}")
         return hold

@@ -26,8 +26,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from ..errors import DCudaUsageError
 from ..faults.config import FaultsConfig, default_faults
 from ..obs.config import ObsConfig, default_obs
+from ..platform.placement import PlacementSpec
+from ..platform.topology import Topology
 
 __all__ = [
     "GPUConfig",
@@ -39,6 +42,29 @@ __all__ = [
     "MachineConfig",
     "greina",
 ]
+
+
+def _require_positive(obj, **fields) -> None:
+    """Reject non-positive values at construction (typed, not downstream).
+
+    A zero bandwidth or count would otherwise surface later as a
+    ``ZeroDivisionError`` deep in the event loop — or worse, as a
+    simulation that silently never progresses.
+    """
+    for name, value in fields.items():
+        if not value > 0:
+            raise DCudaUsageError(
+                f"{type(obj).__name__}.{name} must be positive, "
+                f"got {value!r}")
+
+
+def _require_non_negative(obj, **fields) -> None:
+    """Reject negative latencies/overheads at construction (zero is fine)."""
+    for name, value in fields.items():
+        if value < 0:
+            raise DCudaUsageError(
+                f"{type(obj).__name__}.{name} must be non-negative, "
+                f"got {value!r}")
 
 
 @dataclass(frozen=True)
@@ -68,6 +94,16 @@ class GPUConfig:
     sm_lsu_bandwidth: float = 31.0e9
     #: Kernel-launch latency for the fork-join (MPI-CUDA) model [s].
     launch_latency: float = 8.0e-6
+
+    def __post_init__(self) -> None:
+        _require_positive(self, num_sms=self.num_sms,
+                          max_blocks_per_sm=self.max_blocks_per_sm,
+                          flops=self.flops,
+                          mem_bandwidth=self.mem_bandwidth,
+                          block_mem_bandwidth=self.block_mem_bandwidth,
+                          sm_lsu_bandwidth=self.sm_lsu_bandwidth)
+        _require_non_negative(self, mem_latency=self.mem_latency,
+                              launch_latency=self.launch_latency)
 
     @property
     def flops_per_sm(self) -> float:
@@ -105,6 +141,13 @@ class PCIeConfig:
     #: Link streaming bandwidth [B/s] (PCIe 3.0 x16 effective).
     bandwidth: float = 10.0e9
 
+    def __post_init__(self) -> None:
+        _require_positive(self, bandwidth=self.bandwidth)
+        _require_non_negative(
+            self, mapped_post_occupancy=self.mapped_post_occupancy,
+            mapped_write_latency=self.mapped_write_latency,
+            mapped_read=self.mapped_read, dma_startup=self.dma_startup)
+
 
 @dataclass(frozen=True)
 class FabricConfig:
@@ -125,6 +168,13 @@ class FabricConfig:
     #: through host memory (OpenMPI default, paper: 30 kB).
     staging_threshold: int = 30 * 1024
 
+    def __post_init__(self) -> None:
+        _require_positive(self, bandwidth=self.bandwidth,
+                          d2d_bandwidth=self.d2d_bandwidth)
+        _require_non_negative(self, latency=self.latency,
+                              injection_overhead=self.injection_overhead,
+                              staging_threshold=self.staging_threshold)
+
 
 @dataclass(frozen=True)
 class HostConfig:
@@ -144,6 +194,13 @@ class HostConfig:
     #: Host-side two-sided MPI per-message software overhead [s]
     #: (matching, protocol) — used by the MPI substrate itself.
     mpi_overhead: float = 0.7e-6
+
+    def __post_init__(self) -> None:
+        _require_non_negative(self, command_cost=self.command_cost,
+                              poll_latency=self.poll_latency,
+                              dispatch_cost=self.dispatch_cost,
+                              request_cost=self.request_cost,
+                              mpi_overhead=self.mpi_overhead)
 
 
 @dataclass(frozen=True)
@@ -168,6 +225,16 @@ class DeviceLibConfig:
     #: Entry payload size [B]; one queue entry = one PCIe vector write.
     queue_entry_bytes: int = 16
 
+    def __post_init__(self) -> None:
+        # poll_interval must be strictly positive: a zero-granularity
+        # poller would spin forever at one simulated instant.
+        _require_positive(self, poll_interval=self.poll_interval,
+                          queue_size=self.queue_size,
+                          queue_entry_bytes=self.queue_entry_bytes)
+        _require_non_negative(self, command_assembly=self.command_assembly,
+                              match_base=self.match_base,
+                              match_per_entry=self.match_per_entry)
+
 
 @dataclass(frozen=True)
 class MPICUDAConfig:
@@ -181,10 +248,24 @@ class MPICUDAConfig:
     #: Host-side per-iteration loop overhead [s].
     loop_overhead: float = 1.0e-6
 
+    def __post_init__(self) -> None:
+        _require_non_negative(self, memcpy_call=self.memcpy_call,
+                              sync_latency=self.sync_latency,
+                              loop_overhead=self.loop_overhead)
+
 
 @dataclass(frozen=True)
 class MachineConfig:
-    """A full cluster description: N identical nodes, one GPU each."""
+    """A full machine description.
+
+    Without a :attr:`topology`, this is the paper's shape —
+    :attr:`num_nodes` identical single-GPU nodes on a flat
+    full-bisection fabric.  With one, the topology declares the node
+    classes (GPU counts, per-class overrides, intra-node links) and the
+    interconnect (``flat`` / ``fat_tree`` / ``ring``), and the top-level
+    :attr:`gpu` / :attr:`pcie` / :attr:`fabric` values become the
+    defaults node classes inherit.
+    """
 
     num_nodes: int = 1
     gpu: GPUConfig = field(default_factory=GPUConfig)
@@ -202,18 +283,57 @@ class MachineConfig:
     #: means the plane is never built and the stack runs its unperturbed
     #: fast paths.  :func:`repro.faults.force_faults` flips the default.
     faults: Optional[FaultsConfig] = field(default_factory=default_faults)
+    #: Declarative machine shape (:mod:`repro.platform`); ``None`` means
+    #: ``num_nodes`` identical single-GPU nodes on a flat fabric — the
+    #: legacy model, bit-identical to the pre-platform simulator.
+    topology: Optional[Topology] = None
+    #: Rank → (node, GPU) policy; the default ``block`` policy over
+    #: single-GPU nodes reproduces the legacy ``rank // ranks_per_device``
+    #: numbering exactly.
+    placement: PlacementSpec = field(default_factory=PlacementSpec)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.num_nodes, int) or self.num_nodes < 1:
+            raise DCudaUsageError(
+                f"MachineConfig.num_nodes must be a positive int, got "
+                f"{self.num_nodes!r}")
+        if self.topology is not None and not isinstance(self.topology,
+                                                        Topology):
+            raise DCudaUsageError(
+                f"MachineConfig.topology must be a Topology or None, got "
+                f"{type(self.topology).__name__}")
+        if not isinstance(self.placement, PlacementSpec):
+            raise DCudaUsageError(
+                f"MachineConfig.placement must be a PlacementSpec, got "
+                f"{type(self.placement).__name__}")
 
     def with_nodes(self, num_nodes: int) -> "MachineConfig":
-        """Copy of this config with a different node count."""
+        """Copy of this config with a different node count.
+
+        On a topology config with a single node class, the class count is
+        rewritten; multi-class topologies are ambiguous and must be
+        rebuilt explicitly.
+        """
         if num_nodes < 1:
-            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
-        return replace(self, num_nodes=num_nodes)
+            raise DCudaUsageError(
+                f"num_nodes must be >= 1, got {num_nodes}")
+        if self.topology is None:
+            return replace(self, num_nodes=num_nodes)
+        if len(self.topology.node_classes) != 1:
+            raise DCudaUsageError(
+                "with_nodes is ambiguous on a multi-class topology; "
+                "rebuild the Topology with the desired class counts")
+        nc = self.topology.node_classes[0]
+        topo = replace(self.topology,
+                       node_classes=(replace(nc, count=num_nodes),))
+        return replace(self, num_nodes=1, topology=topo)
 
 
 def greina(num_nodes: int = 1, **overrides) -> MachineConfig:
     """The calibrated test-system preset (Greina @ CSCS, §IV-A).
 
     Keyword overrides replace top-level :class:`MachineConfig` fields,
-    e.g. ``greina(8, tracing=True)``.
+    e.g. ``greina(8, tracing=True)`` or
+    ``greina(topology=ring(8), placement=PlacementSpec("round_robin"))``.
     """
     return replace(MachineConfig(num_nodes=num_nodes), **overrides)

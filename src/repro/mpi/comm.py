@@ -127,8 +127,11 @@ class MPIWorld:
         if msg.device and msg.src != msg.dst:
             if msg.nbytes > fab.staging_threshold:
                 # Host staging: full link bandwidth, pipeline fill/drain of
-                # the two DMA engines added as latency.
-                return "host", 2.0 * self.cluster.cfg.pcie.dma_startup
+                # the two DMA engines added as latency.  Each end pays its
+                # own node's DMA setup (node classes may differ).
+                platform = self.cluster.platform
+                return "host", (platform.pcie_of(msg.src).dma_startup
+                                + platform.pcie_of(msg.dst).dma_startup)
             return "d2d", 0.0
         return "host", 0.0
 

@@ -1,11 +1,23 @@
-"""Inter-node interconnect model (4x EDR InfiniBand on Greina).
+"""Inter-node interconnect model.
 
 A LogGP-flavoured cost model: each message pays a sender-side injection
 overhead *o*, occupies the sender's NIC for its serialization time
 ``nbytes / bandwidth``, then arrives after the one-way latency *L*.
 Concurrent messages from the same node serialize at the NIC, which yields
-bandwidth sharing; messages from different nodes are independent (full
-bisection, as on a small fat-tree).
+bandwidth sharing; on the default **flat** interconnect (full bisection,
+as on a small fat-tree — the paper's 4x EDR InfiniBand on Greina),
+messages from different nodes are independent.
+
+Routed interconnects (``fat_tree`` / ``ring`` topologies, see
+:mod:`repro.platform`) extend the model: after NIC injection the message
+traverses **every hop link** on its shortest-path route.  Each directed
+link is a virtual-time fluid-flow
+:class:`~repro.sim.link.FairShareLink` — concurrent messages crossing
+the same link share its bandwidth max-min fairly — and charges its own
+per-hop latency, so fat-tree oversubscription and ring neighbor
+congestion emerge from routing instead of being scripted.  Hop links are
+labeled ``fabric.<edge>`` in the observability registry and can be cut
+by ``faults.partition`` events targeting the edge name.
 
 Two bandwidth classes model the CUDA-aware transfer paths the paper
 discusses:
@@ -15,20 +27,27 @@ discusses:
 * ``mode="d2d"``  — direct GPUDirect device-to-device RDMA at the
   (much lower) PCIe-read-limited bandwidth.
 
-Intra-node transmissions (src == dst) take a cheap loopback path.
+Intra-node transmissions (src == dst) take the node's intra-node link —
+the legacy loopback constants by default, or the node class's
+NVLink-class ``intra_link`` on dense nodes.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional
 
 from ..sim import Environment, Event, Semaphore
+from ..sim.link import FairShareLink
 from ..hw.config import FabricConfig
 
 __all__ = ["Fabric", "TRANSFER_MODES"]
 
 TRANSFER_MODES = ("host", "d2d")
 
+#: Legacy same-node loopback path; kept as module constants so a Fabric
+#: built without a platform (unit tests, ad-hoc harnesses) behaves
+#: exactly as before the platform layer existed.  With a platform these
+#: come from each node's resolved ``intra_link``.
 _LOOPBACK_LATENCY = 0.3e-6
 _LOOPBACK_BANDWIDTH = 12.0e9
 
@@ -51,11 +70,26 @@ class _Nic:
             f"fabric.nic{index}.messages") if obs else None
 
 
+class _HopLink:
+    """One directed topology edge: a fluid-shared link + hop latency."""
+
+    __slots__ = ("name", "flow", "latency")
+
+    def __init__(self, env: Environment, name: str, bandwidth: float,
+                 latency: float, obs: Any, faults: Any):
+        self.name = name
+        # The FairShareLink registers `link.fabric.<edge>.*` metrics and
+        # honours link_degrade fault windows targeting `fabric.<edge>`.
+        self.flow = FairShareLink(env, bandwidth, name=f"fabric.{name}",
+                                  obs=obs, faults=faults)
+        self.latency = latency
+
+
 class Fabric:
     """The cluster interconnect."""
 
     def __init__(self, env: Environment, cfg: FabricConfig, num_nodes: int,
-                 obs: Any = None, faults: Any = None):
+                 obs: Any = None, faults: Any = None, platform: Any = None):
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
         self.env = env
@@ -68,6 +102,19 @@ class Fabric:
         # message is never silently lost; reliability is re-established by
         # retransmission, the arrival is just late), and NIC degradation.
         self._faults = faults
+        # Platform wiring: per-node intra-node (loopback) link specs and
+        # the routed-interconnect table (None = flat full bisection).
+        self._routing = platform.routing if platform is not None else None
+        if platform is not None:
+            self._intra = [platform.intra_link_of(i)
+                           for i in range(num_nodes)]
+        else:
+            self._intra = None
+        self._links: Dict[str, _HopLink] = {}
+        if self._routing is not None:
+            for name, link in sorted(self._routing.links.items()):
+                self._links[name] = _HopLink(env, name, link.bandwidth,
+                                             link.latency, obs, faults)
 
     # -- cost helpers ------------------------------------------------------
     def bandwidth_for(self, mode: str) -> float:
@@ -80,6 +127,12 @@ class Fabric:
 
     def serialization_time(self, nbytes: float, mode: str) -> float:
         return nbytes / self.bandwidth_for(mode)
+
+    def hops(self, src: int, dst: int) -> int:
+        """Route length in links (0 = same node or flat single hop)."""
+        if self._routing is None or src == dst:
+            return 0
+        return self._routing.hops(src, dst)
 
     # -- transmission ------------------------------------------------------
     def transmit(self, src: int, dst: int, nbytes: float,
@@ -101,14 +154,20 @@ class Fabric:
             raise ValueError(f"negative extra latency {extra_latency!r}")
         done = self.env.event(name=f"msg:{src}->{dst}")
         if src == dst:
-            self.env.process(self._loopback(nbytes, done, injected),
+            self.env.process(self._loopback(src, nbytes, done, injected),
                              name=f"loopback:{src}")
-        else:
+        elif self._routing is None:
             self.bandwidth_for(mode)  # validate early
             self.env.process(
                 self._wire(src, dst, nbytes, mode, done, injected,
                            extra_latency),
                 name=f"wire:{src}->{dst}")
+        else:
+            self.bandwidth_for(mode)  # validate early
+            self.env.process(
+                self._routed_wire(src, dst, nbytes, mode, done, injected,
+                                  extra_latency),
+                name=f"route:{src}->{dst}")
         return done
 
     def send(self, src: int, dst: int, nbytes: float,
@@ -117,22 +176,29 @@ class Fabric:
         yield self.transmit(src, dst, nbytes, mode)
 
     # -- internals ------------------------------------------------------------
-    def _loopback(self, nbytes: float, done: Event,
+    def _loopback(self, node: int, nbytes: float, done: Event,
                   injected: Optional[Event]):
-        yield _LOOPBACK_LATENCY + nbytes / _LOOPBACK_BANDWIDTH
+        if self._intra is None:
+            yield _LOOPBACK_LATENCY + nbytes / _LOOPBACK_BANDWIDTH
+        else:
+            spec = self._intra[node]
+            yield spec.latency + nbytes / spec.bandwidth
         if injected is not None:
             injected.succeed()
         done.succeed()
 
-    def _wire(self, src: int, dst: int, nbytes: float, mode: str, done: Event,
-              injected: Optional[Event], extra_latency: float):
+    def _inject(self, src: int, dst: int, nbytes: float, mode: str,
+                rtt_latency: float) -> Generator[Event, Any, float]:
+        """NIC phase shared by the flat and routed wires.
+
+        Serializes on the sender's NIC for the injection overhead plus the
+        message's serialization time (scaled by degradation windows), and
+        returns the extra arrival delay bought by burst-loss retransmits
+        (*rtt_latency* is one round trip of pure wire latency).
+        """
         nic = self._nics[src]
         faults = self._faults
-        if faults is not None:
-            # Partition window: the wire holds until the partition heals.
-            hold = faults.partition_hold(src, dst, self.env.now)
-            if hold > 0.0:
-                yield hold
+        extra = 0.0
         if nic.inflight_series is not None:
             nic.inflight += 1
             nic.inflight_series.sample(self.env.now, nic.inflight)
@@ -148,8 +214,7 @@ class Fabric:
                     f"fabric.nic{src}", self.env.now)
                 retries = faults.loss_retries(src, dst, self.env.now)
                 if retries:
-                    extra_latency += retries * (serialization
-                                                + 2.0 * self.cfg.latency)
+                    extra = retries * (serialization + rtt_latency)
             yield self.cfg.injection_overhead + serialization
         finally:
             nic.lock.release()
@@ -160,12 +225,62 @@ class Fabric:
             nic.inflight_series.sample(self.env.now, nic.inflight)
             nic.byte_counter.inc(nbytes)
             nic.msg_counter.inc()
+        return extra
+
+    def _wire(self, src: int, dst: int, nbytes: float, mode: str, done: Event,
+              injected: Optional[Event], extra_latency: float):
+        """Flat interconnect: single-hop LogGP wire (the calibrated path)."""
+        faults = self._faults
+        if faults is not None:
+            # Partition window: the wire holds until the partition heals.
+            hold = faults.partition_hold(src, dst, self.env.now)
+            if hold > 0.0:
+                yield hold
+        extra_latency += yield from self._inject(src, dst, nbytes, mode,
+                                                 2.0 * self.cfg.latency)
         if injected is not None:
             injected.succeed()
         yield self.cfg.latency + extra_latency
+        done.succeed()
+
+    def _routed_wire(self, src: int, dst: int, nbytes: float, mode: str,
+                     done: Event, injected: Optional[Event],
+                     extra_latency: float):
+        """Routed interconnect: NIC injection, then every hop on the route.
+
+        Each hop is a fluid-shared link (concurrent messages split its
+        bandwidth max-min fairly) followed by the hop's wire latency —
+        a store-and-forward pipeline whose bottleneck link governs
+        sustained bandwidth while latencies accumulate per hop.
+        """
+        route = self._routing.route(src, dst)
+        faults = self._faults
+        if faults is not None:
+            # A partition cutting ANY link on the route (or targeting the
+            # node pair) holds the message until it heals.
+            hold = faults.partition_hold_route(src, dst, route, self.env.now)
+            if hold > 0.0:
+                yield hold
+        rtt = 2.0 * self._routing.path_latency(src, dst)
+        extra_latency += yield from self._inject(src, dst, nbytes, mode, rtt)
+        if injected is not None:
+            injected.succeed()
+        for name in route:
+            hop = self._links[name]
+            yield hop.flow.transfer(nbytes)
+            if hop.latency > 0.0:
+                yield hop.latency
+        if extra_latency > 0.0:
+            yield extra_latency
         done.succeed()
 
     # -- statistics ------------------------------------------------------------
     def nic_stats(self, node: int) -> dict:
         nic = self._nics[node]
         return {"messages": nic.messages, "bytes": nic.bytes_injected}
+
+    def link_stats(self) -> Dict[str, dict]:
+        """Per-topology-edge byte totals (routed interconnects only)."""
+        return {name: {"bytes": hop.flow.bytes_transferred,
+                       "active_flows": hop.flow.active_flows}
+                for name, hop in self._links.items()}

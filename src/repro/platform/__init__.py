@@ -1,0 +1,59 @@
+"""The platform layer: declarative machine shapes behind one abstraction.
+
+This package makes the hardware model *data* instead of code:
+
+* :mod:`repro.platform.topology` — the declarative schema
+  (:class:`LinkSpec`, :class:`NodeClass`, :class:`Interconnect`,
+  :class:`Topology`) plus the :func:`flat` / :func:`fat_tree` /
+  :func:`ring` builders;
+* :mod:`repro.platform.routing` — deterministic shortest-path routing
+  tables over the interconnect graph;
+* :mod:`repro.platform.placement` — rank → (node, GPU) policies
+  (``block``, ``round_robin``, ``explicit``);
+* :mod:`repro.platform.resolve` — :class:`Platform`, the resolved
+  hardware abstraction every other layer consumes.
+
+Attach a topology and placement to a
+:class:`~repro.hw.config.MachineConfig`::
+
+    from repro.hw import greina
+    from repro.platform import LinkSpec, fat_tree
+
+    cfg = greina(topology=fat_tree(num_nodes=8, gpus_per_node=4,
+                                   oversubscription=2.0,
+                                   intra_link=LinkSpec(50e9, 0.1e-6)))
+
+A config without a topology is the paper's machine: ``num_nodes``
+identical single-GPU nodes on a flat full-bisection fabric, replayed
+bit-identically against the golden-timestamp fixtures.
+"""
+
+from .placement import (
+    PLACEMENT_POLICIES,
+    Placement,
+    PlacementSpec,
+    resolve_placement,
+)
+from .routing import RouteLink, RoutingTable, build_routing
+from .topology import (
+    DEFAULT_INTRA_LINK,
+    INTERCONNECT_KINDS,
+    Interconnect,
+    LinkSpec,
+    NodeClass,
+    Topology,
+    fat_tree,
+    flat,
+    ring,
+)
+from .resolve import NodeSpec, Platform
+
+__all__ = [
+    "LinkSpec", "NodeClass", "Interconnect", "Topology",
+    "INTERCONNECT_KINDS", "DEFAULT_INTRA_LINK",
+    "flat", "fat_tree", "ring",
+    "RouteLink", "RoutingTable", "build_routing",
+    "PlacementSpec", "Placement", "PLACEMENT_POLICIES",
+    "resolve_placement",
+    "NodeSpec", "Platform",
+]

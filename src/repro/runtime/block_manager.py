@@ -255,8 +255,8 @@ class BlockManager:
         advanced = self.state.flush_tracker.complete(flush_id)
         if not advanced:
             return
-        yield from self.node.pcie.mapped_post()
-        yield self.node.pcie.write_visibility_delay
+        yield from self.state.pcie.mapped_post()
+        yield self.state.pcie.write_visibility_delay
         # The tracker only grows, so later writes never regress the value.
         self.state.flush_counter = max(self.state.flush_counter,
                                        self.state.flush_tracker.counter)

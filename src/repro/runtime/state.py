@@ -51,13 +51,19 @@ class RankState:
     """Queues, counters, and identity of one rank."""
 
     def __init__(self, env: Environment, node: Node, world_rank: int,
-                 device_rank: int, block: Block, queue_size: int):
+                 device_rank: int, block: Block, queue_size: int,
+                 gpu_index: int = 0):
         self.env = env
         self.node = node
         self.world_rank = world_rank
         self.device_rank = device_rank
         self.block = block
-        pcie = node.pcie
+        #: Local GPU ordinal hosting this rank (0 on single-GPU nodes).
+        self.gpu_index = gpu_index
+        #: The PCIe port of this rank's GPU — all of the rank's queue
+        #: traffic and flush-counter writes cross this port.
+        self.pcie = node.pcie_port(gpu_index)
+        pcie = self.pcie
         obs = node.obs
         faults = getattr(node, "faults", None)
         self.cmd_queue = CircularQueue(env, queue_size, pcie,

@@ -4,11 +4,19 @@ Each node runs one :class:`RuntimeSystem` — an event handler plus one block
 manager per local rank — and the :class:`DCudaRuntime` ties the per-node
 instances together (rank↔node mapping, transfer-id allocation, logging).
 
+Where each rank lives is the platform's decision: the runtime consumes the
+resolved :class:`~repro.platform.placement.Placement` (world rank →
+``(node, GPU)``), allocates blocks per GPU, and numbers device
+communicators per GPU.  The default ``block`` policy over single-GPU
+nodes reproduces the legacy ``rank // ranks_per_device`` numbering — and
+the legacy event schedule — exactly.
+
 Global synchronization (barrier, window creation, finish) uses a flat tree
 over the runtime instances: when all of a node's local participants arrived,
-the node reports to node 0; node 0 releases everyone once every node
-reported.  At the paper's scale (≤ 10 nodes) this matches the cost shape of
-the real implementation's MPI coordination.
+the node reports to the coordinator (the first rank-hosting node); the
+coordinator releases everyone once every participating node reported.  At
+the paper's scale (≤ 10 nodes) this matches the cost shape of the real
+implementation's MPI coordination.
 """
 
 from __future__ import annotations
@@ -54,24 +62,43 @@ class RuntimeSystem:
         self.env: Environment = runtime.env
         self.node = runtime.cluster.node(node_index)
         self.cfg = runtime.cfg
-        rpd = runtime.ranks_per_device
-        blocks = self.node.device.allocate_blocks(rpd)
+        placement = runtime.placement
         self.states: List[RankState] = []
         self.block_managers: List[BlockManager] = []
-        for local in range(rpd):
-            world_rank = node_index * rpd + local
-            state = RankState(self.env, self.node, world_rank, local,
-                              blocks[local],
-                              queue_size=self.cfg.devicelib.queue_size)
-            self.states.append(state)
-            self.block_managers.append(BlockManager(self, state))
+        # Local communicator sizes: "world" counts every rank this node
+        # hosts; each populated GPU contributes its device communicator.
+        self._local_counts: Dict[str, int] = {}
+        for g in range(self.node.gpus_per_node):
+            ranks = placement.ranks_on_device(node_index, g)
+            if not ranks:
+                continue
+            self._local_counts[runtime.device_comm_name(node_index, g)] = \
+                len(ranks)
+            blocks = self.node.gpu(g).allocate_blocks(len(ranks))
+            for local, world_rank in enumerate(ranks):
+                state = RankState(self.env, self.node, world_rank, local,
+                                  blocks[local],
+                                  queue_size=self.cfg.devicelib.queue_size,
+                                  gpu_index=g)
+                self.states.append(state)
+                self.block_managers.append(BlockManager(self, state))
+        self._local_counts["world"] = len(self.states)
+        self._index_of = {state.world_rank: i
+                          for i, state in enumerate(self.states)}
         # Host-side window registry: global id -> {world rank: buffer}.
         self.windows: Dict[WindowId, Dict[int, np.ndarray]] = {}
         self._coll: Dict[Tuple[str, str], _CollectiveState] = {}
-        # Flat-tree synchronization state (coordinator side, node 0 only).
+        # Flat-tree synchronization state (coordinator side only).
         self._sync_counts: Dict[Any, int] = {}
         self._sync_events: Dict[Any, Event] = {}
         self._started = False
+
+    # -- local rank lookup ----------------------------------------------
+    def state_of(self, world_rank: int) -> RankState:
+        return self.states[self._index_of[world_rank]]
+
+    def bm_of(self, world_rank: int) -> BlockManager:
+        return self.block_managers[self._index_of[world_rank]]
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> None:
@@ -118,40 +145,49 @@ class RuntimeSystem:
 
     # -- flat-tree global synchronization ------------------------------------
     def _note_arrival(self, key: Any) -> None:
-        """Coordinator (node 0): count node arrivals, release when full."""
-        assert self.node.index == 0
+        """Coordinator: count node arrivals, release when full.
+
+        The coordinator is the first *participating* node — a node the
+        placement left empty never coordinates (nor arrives).
+        """
+        participating = self.runtime.participating_nodes
+        assert self.node.index == participating[0]
         count = self._sync_counts.get(key, 0) + 1
-        if count < self.runtime.cluster.num_nodes:
+        if count < len(participating):
             self._sync_counts[key] = count
             return
         self._sync_counts.pop(key, None)
         world = self.runtime.world
-        for node in range(1, self.runtime.cluster.num_nodes):
-            world.isend(0, node, CtrlRelease(key), tag=RT_TAG_META,
-                        nbytes=CTRL_BYTES)
+        for node in participating:
+            if node == self.node.index:
+                continue
+            world.isend(self.node.index, node, CtrlRelease(key),
+                        tag=RT_TAG_META, nbytes=CTRL_BYTES)
         self._sync_events.pop(key).succeed()
 
     def _global_sync(self, key: Any) -> Generator[Event, Any, None]:
-        """Block until every node reached synchronization point *key*."""
-        if self.runtime.cluster.num_nodes == 1:
+        """Block until every participating node reached sync point *key*."""
+        participating = self.runtime.participating_nodes
+        if len(participating) == 1:
             return
         ev = self.env.event(name=f"sync:{key}")
         self._sync_events[key] = ev
-        if self.node.index == 0:
+        if self.node.index == participating[0]:
             self._note_arrival(key)
         else:
-            self.runtime.world.isend(self.node.index, 0,
+            self.runtime.world.isend(self.node.index, participating[0],
                                      CtrlArrive(key, self.node.index),
                                      tag=RT_TAG_META, nbytes=CTRL_BYTES)
         yield ev
 
     # -- node-local collective gating ------------------------------------------
     def _participants(self, comm_name: str) -> int:
-        """Local participants of a communicator (world or this device)."""
-        if comm_name == "world" or comm_name == f"device{self.node.index}":
-            return self.runtime.ranks_per_device
-        raise ValueError(f"unknown communicator {comm_name!r} on node "
-                         f"{self.node.index}")
+        """Local participants of a communicator (world or a local device)."""
+        count = self._local_counts.get(comm_name)
+        if count is None:
+            raise ValueError(f"unknown communicator {comm_name!r} on node "
+                             f"{self.node.index}")
+        return count
 
     def collective_arrive(self, family: str,
                           comm_name: str) -> Generator[Event, Any, int]:
@@ -244,9 +280,15 @@ class DCudaRuntime:
         self.cluster = cluster
         self.env = cluster.env
         self.cfg = cluster.cfg
-        self.world = world or MPIWorld(cluster)
+        self.world = world if world is not None else MPIWorld(cluster)
         self.ranks_per_device = ranks_per_device
-        self.total_ranks = ranks_per_device * cluster.num_nodes
+        #: World rank → (node, GPU), resolved by the platform from the
+        #: config's placement policy (block/round_robin/explicit).
+        self.placement = cluster.platform.place(ranks_per_device)
+        self.total_ranks = self.placement.total_ranks
+        #: Nodes hosting at least one rank; collectives coordinate over
+        #: these, with the first as the flat-tree coordinator.
+        self.participating_nodes = self.placement.participating_nodes
         self.log_records: List[Tuple[float, int, str]] = []
         self._xfer_counter = 0
         self.systems = [RuntimeSystem(self, i)
@@ -260,17 +302,32 @@ class DCudaRuntime:
 
     def node_of_rank(self, rank: int) -> int:
         self.check_rank(rank)
-        return rank // self.ranks_per_device
+        return self.placement.node_of(rank)
+
+    def gpu_of_rank(self, rank: int) -> int:
+        """Local GPU ordinal hosting *rank* (0 on single-GPU nodes)."""
+        self.check_rank(rank)
+        return self.placement.gpu_of(rank)
+
+    def device_comm_name(self, node: int, gpu: int) -> str:
+        """Name of GPU *gpu*-of-*node*'s device communicator.
+
+        Single-GPU nodes keep the legacy ``device<n>`` name (stable
+        communicator keys across the platform refactor); dense nodes
+        qualify it per GPU: ``device<n>.g<g>``.
+        """
+        if self.cluster.platform.node_spec(node).gpus_per_node == 1:
+            return f"device{node}"
+        return f"device{node}.g{gpu}"
 
     def system_of(self, rank: int) -> RuntimeSystem:
         return self.systems[self.node_of_rank(rank)]
 
     def state_of(self, rank: int) -> RankState:
-        return self.system_of(rank).states[rank % self.ranks_per_device]
+        return self.system_of(rank).state_of(rank)
 
     def bm_of(self, rank: int) -> BlockManager:
-        return self.system_of(rank).block_managers[
-            rank % self.ranks_per_device]
+        return self.system_of(rank).bm_of(rank)
 
     def next_xfer_id(self) -> int:
         self._xfer_counter += 1

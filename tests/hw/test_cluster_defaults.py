@@ -1,0 +1,37 @@
+"""Regression: caller-supplied objects must never be replaced for being
+falsy.
+
+``Cluster.__init__`` used ``env or Environment()``, which silently
+discards any environment whose ``__bool__``/``__len__`` makes it falsy —
+e.g. a subclass exposing ``len(env)`` as its pending-event count.  The
+contract is identity (``is not None``), not truthiness.
+"""
+
+from repro.hw import Cluster, greina
+from repro.sim import Environment
+
+
+class CountingEnvironment(Environment):
+    """An Environment that is falsy while its queue is empty."""
+
+    def __len__(self):
+        return 0
+
+
+def test_falsy_environment_is_kept():
+    env = CountingEnvironment()
+    assert not env  # precondition: the regression trigger
+    cluster = Cluster(greina(), env=env)
+    assert cluster.env is env
+
+
+def test_supplied_config_is_kept():
+    cfg = greina(2, tracing=True)
+    cluster = Cluster(cfg)
+    assert cluster.cfg is cfg
+
+
+def test_defaults_still_apply():
+    cluster = Cluster()
+    assert cluster.num_nodes == 1
+    assert isinstance(cluster.env, Environment)

@@ -1,5 +1,13 @@
-"""Smoke tests: every example script must run to completion."""
+"""Smoke tests: every example script must run to completion.
 
+Every script honours ``REPRO_TINY=1`` — a shrunk workload (fewer steps,
+smaller grids, less over-subscription) that exercises the same code path
+in a few seconds, which is what keeps this file inside the tier-1 budget.
+The scripts' default (paper-scale) configurations are covered by the
+figure benchmarks, not here.
+"""
+
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -10,8 +18,9 @@ EXAMPLES = sorted((Path(__file__).parents[2] / "examples").glob("*.py"))
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
-def test_example_runs(script):
-    proc = subprocess.run([sys.executable, str(script)],
+def test_example_runs_tiny(script):
+    env = dict(os.environ, REPRO_TINY="1")
+    proc = subprocess.run([sys.executable, str(script)], env=env,
                           capture_output=True, text=True, timeout=300)
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert proc.stdout.strip(), "example produced no output"
@@ -20,5 +29,11 @@ def test_example_runs(script):
 def test_examples_exist():
     names = {p.stem for p in EXAMPLES}
     assert {"quickstart", "stencil_halo_exchange", "particle_cloud",
-            "spmv_power_method", "schedule_trace",
-            "fig2_listing"} <= names
+            "spmv_power_method", "schedule_trace", "fig2_listing",
+            "topology_tour"} <= names
+
+
+def test_examples_declare_tiny_knob():
+    """Every example must honour the REPRO_TINY smoke-test contract."""
+    for script in EXAMPLES:
+        assert "REPRO_TINY" in script.read_text(), script.name

@@ -1,0 +1,70 @@
+"""Acceptance: placement decides the path, and the paths are ordered.
+
+The same two-rank notified-put ping-pong, pinned to four different
+device pairs, must get slower as the pair moves further apart in the
+topology: same GPU (device-local copy) < same node, different GPUs
+(intra-node link) < different nodes on a flat fabric (one wire hop)
+< antipodal nodes on a ring (multi-hop routed wire).
+"""
+
+import pytest
+
+from repro.bench.pingpong import run_pingpong_pair
+from repro.hw import greina
+from repro.platform import flat, ring
+
+PACKET = 1024
+ITERS = 20
+
+
+@pytest.fixture(scope="module")
+def latencies():
+    dual = greina(topology=flat(num_nodes=2, gpus_per_node=2))
+    ring4 = greina(topology=ring(4))
+    return {
+        "same_gpu": run_pingpong_pair(dual, a=(0, 0), b=(0, 0),
+                                      packet_bytes=PACKET,
+                                      iterations=ITERS).latency,
+        "same_node": run_pingpong_pair(dual, a=(0, 0), b=(0, 1),
+                                       packet_bytes=PACKET,
+                                       iterations=ITERS).latency,
+        "cross_node": run_pingpong_pair(dual, a=(0, 0), b=(1, 0),
+                                        packet_bytes=PACKET,
+                                        iterations=ITERS).latency,
+        "ring_far": run_pingpong_pair(ring4, a=(0, 0), b=(2, 0),
+                                      packet_bytes=PACKET,
+                                      iterations=ITERS).latency,
+    }
+
+
+def test_all_paths_complete(latencies):
+    assert all(lat > 0 for lat in latencies.values())
+
+
+def test_intra_gpu_beats_intra_node(latencies):
+    assert latencies["same_gpu"] < latencies["same_node"]
+
+
+def test_intra_node_beats_inter_node(latencies):
+    assert latencies["same_node"] < latencies["cross_node"]
+
+
+def test_single_hop_beats_multi_hop(latencies):
+    assert latencies["cross_node"] < latencies["ring_far"]
+
+
+def test_ring_distance_ordering():
+    """On a ring, latency grows with hop count; flat is distance-invariant."""
+    ring6 = greina(topology=ring(6))
+    near = run_pingpong_pair(ring6, a=(0, 0), b=(1, 0),
+                             packet_bytes=PACKET, iterations=ITERS)
+    far = run_pingpong_pair(ring6, a=(0, 0), b=(3, 0),
+                            packet_bytes=PACKET, iterations=ITERS)
+    assert near.latency < far.latency
+
+    flat6 = greina(topology=flat(num_nodes=6))
+    a = run_pingpong_pair(flat6, a=(0, 0), b=(1, 0),
+                          packet_bytes=PACKET, iterations=ITERS)
+    b = run_pingpong_pair(flat6, a=(0, 0), b=(5, 0),
+                          packet_bytes=PACKET, iterations=ITERS)
+    assert a.latency == b.latency

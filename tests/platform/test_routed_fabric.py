@@ -1,0 +1,120 @@
+"""Route-aware fabric: per-hop charging, link stats, and link faults."""
+
+import pytest
+
+from repro.bench.pingpong import run_pingpong_pair
+from repro.faults import FaultEvent, FaultsConfig
+from repro.hw import Cluster, greina
+from repro.mpi import MPIWorld
+from repro.platform import fat_tree, flat, ring
+
+
+def transfer_time(cfg, src, dst, nbytes=1024):
+    """One two-sided message ``src -> dst``; returns the arrival time."""
+    cluster = Cluster(cfg)
+    world = MPIWorld(cluster)
+    out = {}
+
+    def sender(env):
+        yield from world.send(src, dst, None, nbytes=nbytes)
+
+    def receiver(env):
+        yield from world.recv(dst)
+        out["t"] = env.now
+
+    cluster.env.process(sender(cluster.env))
+    cluster.env.process(receiver(cluster.env))
+    cluster.run()
+    return out["t"]
+
+
+class TestHops:
+    def test_flat_is_single_hop(self):
+        assert Cluster(greina(4)).fabric.hops(0, 3) == 0
+
+    def test_ring_and_fat_tree(self):
+        assert Cluster(greina(topology=ring(6))).fabric.hops(0, 3) == 3
+        fabric = Cluster(greina(topology=fat_tree(num_nodes=8,
+                                                  radix=4))).fabric
+        assert fabric.hops(0, 3) == 2
+        assert fabric.hops(0, 7) == 4
+
+
+class TestLinkStats:
+    def test_traffic_lands_on_route_edges_only(self):
+        cluster = Cluster(greina(topology=ring(4)))
+        world = MPIWorld(cluster)
+
+        def sender(env):
+            yield from world.send(0, 1, None, nbytes=4096)
+
+        def receiver(env):
+            yield from world.recv(1)
+
+        cluster.env.process(sender(cluster.env))
+        cluster.env.process(receiver(cluster.env))
+        cluster.run()
+        stats = cluster.fabric.link_stats()
+        assert stats["n0-n1"]["bytes"] == pytest.approx(4096)
+        assert stats["n2-n3"]["bytes"] == 0
+        assert stats["n1-n0"]["bytes"] == 0  # directed edges
+
+    def test_flat_fabric_has_no_link_stats(self):
+        assert Cluster(greina(2)).fabric.link_stats() == {}
+
+
+class TestLinkPartition:
+    def test_named_link_cut_stalls_its_route(self):
+        hold = 2e-3
+        faults = FaultsConfig(enabled=True, events=(
+            FaultEvent(kind="partition", target="n0-n1", start=0.0,
+                       duration=hold),))
+        cfg = greina(topology=ring(4), faults=faults)
+        assert transfer_time(cfg, 0, 1) >= hold
+        # The reverse direction is a different directed edge.
+        assert transfer_time(cfg, 1, 0) < hold
+        # An untouched edge on the far side of the ring is unaffected.
+        assert transfer_time(cfg, 3, 2) < hold
+
+    def test_spine_cut_stalls_cross_leaf_only(self):
+        hold = 2e-3
+        faults = FaultsConfig(enabled=True, events=(
+            FaultEvent(kind="partition", target="leaf0-spine", start=0.0,
+                       duration=hold),))
+        cfg = greina(topology=fat_tree(num_nodes=8, radix=4),
+                     faults=faults)
+        assert transfer_time(cfg, 0, 7) >= hold   # via the cut uplink
+        assert transfer_time(cfg, 0, 3) < hold    # stays on leaf0
+
+    def test_endpoint_partition_still_applies_when_routed(self):
+        # Flat-fabric fault schedules keep their meaning on routed
+        # interconnects: an int target selects the endpoint node.
+        hold = 2e-3
+        faults = FaultsConfig(enabled=True, events=(
+            FaultEvent(kind="partition", target=1, start=0.0,
+                       duration=hold),))
+        cfg = greina(topology=ring(4), faults=faults)
+        assert transfer_time(cfg, 0, 1) >= hold
+        assert transfer_time(cfg, 2, 3) < hold
+
+
+def test_oversubscription_slows_cross_leaf_puts():
+    """An 8:1 oversubscribed spine is measurably slower than 1:1."""
+    kwargs = dict(a=(0, 0), b=(7, 0), packet_bytes=256 * 1024,
+                  iterations=3)
+    full = run_pingpong_pair(
+        greina(topology=fat_tree(num_nodes=8, radix=4,
+                                 oversubscription=1.0)), **kwargs)
+    thin = run_pingpong_pair(
+        greina(topology=fat_tree(num_nodes=8, radix=4,
+                                 oversubscription=8.0)), **kwargs)
+    assert thin.latency > full.latency
+    # Same-leaf traffic never crosses the spine, so it is immune.
+    same_leaf = dict(kwargs, b=(3, 0))
+    full_leaf = run_pingpong_pair(
+        greina(topology=fat_tree(num_nodes=8, radix=4,
+                                 oversubscription=1.0)), **same_leaf)
+    thin_leaf = run_pingpong_pair(
+        greina(topology=fat_tree(num_nodes=8, radix=4,
+                                 oversubscription=8.0)), **same_leaf)
+    assert thin_leaf.latency == full_leaf.latency
