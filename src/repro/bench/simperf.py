@@ -127,14 +127,40 @@ def diffusion_throughput(wl: Optional[DiffusionWorkload] = None,
                          wall_s=wall, sim_time_s=elapsed)
 
 
-def simperf_specs(quick: bool = True) -> list:
+def best_of(fn, repeats: int) -> SimPerfResult:
+    """Steady-state measurement: run *fn* ``repeats`` times, keep the
+    fastest run.
+
+    A single-shot probe folds one-time costs — import warm-up, allocator
+    arena growth, cold interpreter inline caches, the per-process field
+    cache — into its wall time, so its events/s is dominated by process
+    start-up, not the scheduler.  The event count is identical across
+    repeats (the schedule is deterministic), so taking the minimum wall
+    time measures the simulator's sustained rate, which is the quantity
+    the throughput trajectory tracks.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    results = [fn() for _ in range(repeats)]
+    return max(results, key=lambda r: r.events_per_sec)
+
+
+#: Steady-state repeats recorded for quick-mode rows (best-of-N).
+QUICK_REPEATS = 3
+
+
+def simperf_specs(quick: bool = True, repeats: Optional[int] = None) -> list:
     """The two probes as (non-cacheable) engine specs.
 
     *quick* keeps the runtime to a couple of seconds (the CI smoke
     setting); the full setting uses the figure-scale diffusion workload.
+    *repeats* overrides the steady-state best-of-N policy (default:
+    ``QUICK_REPEATS`` for quick mode, a single run at figure scale).
     """
     from ..exec import RunSpec
 
+    if repeats is None:
+        repeats = QUICK_REPEATS if quick else 1
     if quick:
         probes = [
             dict(probe="synthetic", num_procs=32, hops=200),
@@ -148,6 +174,8 @@ def simperf_specs(quick: bool = True) -> list:
                                       steps=10),
                  num_nodes=2, ranks_per_device=208),
         ]
+    for p in probes:
+        p["repeats"] = repeats
     return [RunSpec("simperf_probe", p, label=f"simperf:{p['probe']}",
                     cacheable=False) for p in probes]
 
@@ -175,7 +203,8 @@ def run_simperf(quick: bool = True,
 
 
 def write_bench_json(results: List[SimPerfResult], workers: int,
-                     quick: bool, path=None) -> str:
+                     quick: bool, path=None,
+                     repeats: Optional[int] = None) -> str:
     """Write the machine-readable perf trajectory (``BENCH_simperf.json``).
 
     Returns:
@@ -183,11 +212,18 @@ def write_bench_json(results: List[SimPerfResult], workers: int,
     """
     from ..exec.fingerprint import repo_root, source_fingerprint
 
+    if repeats is None:
+        repeats = QUICK_REPEATS if quick else 1
     path = path or (repo_root() / "BENCH_simperf.json")
     payload = {
         "bench": "simperf",
         "mode": "quick" if quick else "full",
         "workers": workers,
+        # Steady-state policy: each row is the best of `repeats` runs
+        # (see best_of) so the trajectory tracks the sustained rate, not
+        # process start-up.  Rows recorded before this field existed were
+        # single cold-start shots.
+        "measurement": {"policy": "best-of", "repeats": repeats},
         # Probes are never cacheable, so the hit rate is 0 by design.
         "cache_hit_rate": 0.0,
         "source_fingerprint": source_fingerprint()[:16],
@@ -203,6 +239,63 @@ def write_bench_json(results: List[SimPerfResult], workers: int,
         json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")
     return str(path)
+
+
+def profile_probes(quick: bool = True, top: int = 25) -> str:
+    """Run each probe under cProfile; return the top-*top* cumulative
+    tables as text (the ``--profile`` CLI mode).
+
+    Profiling overhead inflates wall times several-fold, so the tables
+    are for *attribution* — never record their events/s.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from ..exec.spec import resolve_entrypoint
+
+    sections = []
+    for spec in simperf_specs(quick=quick, repeats=1):
+        fn = resolve_entrypoint(spec.entrypoint)
+        prof = cProfile.Profile()
+        result = prof.runcall(fn, spec.params, {})
+        buf = io.StringIO()
+        stats = pstats.Stats(prof, stream=buf)
+        stats.sort_stats("cumulative").print_stats(top)
+        sections.append(
+            f"=== {spec.label}: {result.events} events, "
+            f"{result.wall_s:.3f}s under profiler ===\n{buf.getvalue()}")
+    return "\n".join(sections)
+
+
+def check_regression(results: List[SimPerfResult], baseline_path,
+                     threshold: float = 0.8) -> List[str]:
+    """Compare measured rows against a committed trajectory file.
+
+    The blocking CI gate: a failure message is returned when the
+    diffusion probe's events/s falls below ``threshold`` (default 80%)
+    of the committed row — i.e. a >20% throughput regression.  The
+    synthetic probe is reported but never blocks (it is a microbenchmark
+    with higher run-to-run variance).
+    """
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    committed = {row["probe"]: row["events_per_sec"]
+                 for row in baseline.get("rows", [])}
+    failures = []
+    for r in results:
+        base = committed.get(r.label)
+        if base is None or base <= 0:
+            continue
+        ratio = r.events_per_sec / base
+        line = (f"{r.label}: {r.events_per_sec:,.0f} ev/s vs committed "
+                f"{base:,.0f} ev/s ({ratio:.2f}x)")
+        if r.label == "diffusion" and ratio < threshold:
+            failures.append(
+                f"REGRESSION {line} — below the {threshold:.0%} gate")
+        else:
+            print(f"gate: {line}")
+    return failures
 
 
 def main(argv=None) -> int:  # pragma: no cover - thin CLI
@@ -222,16 +315,45 @@ def main(argv=None) -> int:  # pragma: no cover - thin CLI
                              "BENCH_simperf.json at the repo root)")
     parser.add_argument("--no-json", action="store_true",
                         help="skip writing the trajectory file")
+    parser.add_argument("--repeats", type=int, default=None, metavar="N",
+                        help="best-of-N steady-state measurement "
+                             "(default: 3 quick, 1 full)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each probe under cProfile and print the "
+                             "top-25 cumulative table instead of measuring")
+    parser.add_argument("--gate", type=str, nargs="?", metavar="PATH",
+                        const="", default=None,
+                        help="regression gate: compare against the "
+                             "committed trajectory (default "
+                             "BENCH_simperf.json) and exit 1 if the "
+                             "diffusion probe regressed >20%%; does not "
+                             "overwrite the trajectory file")
+    parser.add_argument("--gate-threshold", type=float, default=0.8,
+                        help="allowed fraction of the committed diffusion "
+                             "events/s (default 0.8)")
     args = parser.parse_args(argv)
 
     quick = not args.full
+    if args.profile:
+        print(profile_probes(quick=quick))
+        return 0
     workers = args.workers if args.workers is not None else default_workers()
-    report = run_specs(simperf_specs(quick=quick), workers=workers)
+    report = run_specs(simperf_specs(quick=quick, repeats=args.repeats),
+                       workers=workers)
     print(simperf_table(report.results).render())
     print(f"engine: {report.summary()}")
+    if args.gate is not None:
+        from ..exec.fingerprint import repo_root
+
+        baseline = args.gate or str(repo_root() / "BENCH_simperf.json")
+        failures = check_regression(report.results, baseline,
+                                    threshold=args.gate_threshold)
+        for msg in failures:
+            print(msg, file=sys.stderr)
+        return 1 if failures else 0
     if not args.no_json:
         path = write_bench_json(report.results, workers, quick,
-                                path=args.json)
+                                path=args.json, repeats=args.repeats)
         print(f"trajectory: {path}")
     return 0
 

@@ -164,7 +164,7 @@ class DRank:
     @property
     def now(self) -> float:
         """Current simulated time (device-side clock)."""
-        return self.env.now
+        return self.env._now
 
     # ------------------------------------------------------------- windows --
     def win_create(self, buffer: np.ndarray,
@@ -415,15 +415,15 @@ class DRank:
             while self.state.flush_counter < target:
                 yield self.state.flush_signal.wait()
             return
-        deadline = self.env.now + faults.cfg.handshake_timeout
+        deadline = self.env._now + faults.cfg.handshake_timeout
         while self.state.flush_counter < target:
-            remaining = deadline - self.env.now
+            remaining = deadline - self.env._now
             advanced = self.state.flush_signal.wait()
             if remaining <= 0:
                 raise DCudaTimeoutError(
                     f"flush: counter stuck at {self.state.flush_counter} "
                     f"of {target}", rank=self.world_rank,
-                    sim_time=self.env.now)
+                    sim_time=self.env._now)
             timer = self.env.timeout(remaining)
             which = yield AnyOf(self.env, [advanced, timer])
             if which[0] == 0 or advanced.triggered:
@@ -434,7 +434,7 @@ class DRank:
                 raise DCudaTimeoutError(
                     f"flush: counter stuck at {self.state.flush_counter} "
                     f"of {target}", rank=self.world_rank,
-                    sim_time=self.env.now)
+                    sim_time=self.env._now)
 
     def barrier(self, comm: str = DCUDA_COMM_WORLD
                 ) -> Generator[Event, Any, None]:
@@ -452,12 +452,12 @@ class DRank:
                 timeout (fault plane attached only).
         """
         comm_name = self._comm_name(comm)
-        t0 = self.env.now
+        t0 = self.env._now
         yield from self._assemble()
         yield from self.state.cmd_queue.enqueue(BarrierCommand(
             origin_rank=self.world_rank, comm_name=comm_name))
         yield from self._await_ack("barrier")
-        self.device.tracer.record(self.block.name, "wait", t0, self.env.now,
+        self.device.tracer.record(self.block.name, "wait", t0, self.env._now,
                                   f"barrier:{comm_name}")
 
     # -------------------------------------------------------------- compute --
@@ -539,7 +539,7 @@ class DRank:
         if ack.kind != kind:  # pragma: no cover - protocol guard
             raise DCudaProtocolError(
                 f"expected {kind} ack, got {ack.kind}",
-                rank=self.world_rank, sim_time=self.env.now)
+                rank=self.world_rank, sim_time=self.env._now)
         return ack
 
     def _assemble(self) -> Generator[Event, Any, None]:
@@ -572,8 +572,20 @@ class DRank:
             raise IndexError(
                 f"put [{target_offset}:{target_offset + src.size}] out of "
                 f"bounds for window {win.global_id} of rank {target_rank}")
-        dst_view = dst_buf[target_offset:target_offset + src.size]
-        if not same_memory(src, dst_view):
+        # Zero-copy aliasing test against the cached buffer layout: the
+        # slice ``dst_buf[target_offset:...]`` has base ``base + off*stride``
+        # and strides ``(stride,)``, so this is ``same_memory(src, view)``
+        # without constructing the view (or its ctypes pointer).
+        base, stride, itemsize = self.system.window_layout(
+            win.global_id, target_rank)
+        if stride:
+            aliased = (src.itemsize == itemsize
+                       and src.strides == (stride,)
+                       and src.ctypes.data == base + target_offset * stride)
+        else:
+            aliased = same_memory(
+                src, dst_buf[target_offset:target_offset + src.size])
+        if not aliased:
             if src.dtype != dst_buf.dtype:
                 raise TypeError(
                     f"put dtype {src.dtype} does not match window "
@@ -582,7 +594,7 @@ class DRank:
             # and target addresses are identical (overlapping windows).
             yield from self.device.copy(self.block, float(src.nbytes),
                                         detail="shared-put")
-            dst_view[:] = src
+            dst_buf[target_offset:target_offset + src.size] = src
         yield from self._assemble()
         yield from self.state.cmd_queue.enqueue(NotifyCommand(
             origin_rank=self.world_rank, global_win_id=win.global_id,
@@ -597,11 +609,19 @@ class DRank:
             raise IndexError(
                 f"get [{target_offset}:{target_offset + dst.size}] out of "
                 f"bounds for window {win.global_id} of rank {target_rank}")
-        src_view = src_buf[target_offset:target_offset + dst.size]
-        if not same_memory(dst, src_view):
+        base, stride, itemsize = self.system.window_layout(
+            win.global_id, target_rank)
+        if stride:
+            aliased = (dst.itemsize == itemsize
+                       and dst.strides == (stride,)
+                       and dst.ctypes.data == base + target_offset * stride)
+        else:
+            aliased = same_memory(
+                dst, src_buf[target_offset:target_offset + dst.size])
+        if not aliased:
             yield from self.device.copy(self.block, float(dst.nbytes),
                                         detail="shared-get")
-            dst[:] = src_view
+            dst[:] = src_buf[target_offset:target_offset + dst.size]
         yield from self._assemble()
         yield from self.state.cmd_queue.enqueue(NotifyCommand(
             origin_rank=target_rank, global_win_id=win.global_id,

@@ -72,7 +72,7 @@ def launch(cluster: Union[Cluster, MachineConfig], kernel: Callable[..., Any],
     runtime = DCudaRuntime(cluster, ranks_per_device)
     runtime.start()
     args = kernel_args or {}
-    t0 = cluster.env.now
+    t0 = cluster.env._now
     procs = []
     for world_rank in range(runtime.total_ranks):
         drank = DRank(runtime, world_rank)
@@ -87,23 +87,23 @@ def launch(cluster: Union[Cluster, MachineConfig], kernel: Callable[..., Any],
                 f"{faults.cfg.watchdog:.3e}s with "
                 f"{len(unfinished)} rank(s) unfinished "
                 f"({', '.join(unfinished) or 'runtime only'})",
-                sim_time=cluster.env.now)
+                sim_time=cluster.env._now)
     else:
         cluster.run()
     for p in procs:
         if not p.triggered:
             message = f"deadlock: rank process {p.name} never completed"
             if faults is not None:
-                raise DCudaFaultError(message, sim_time=cluster.env.now)
+                raise DCudaFaultError(message, sim_time=cluster.env._now)
             raise RuntimeError(message)
     problems = runtime.check_quiescent()
     if problems:
         message = ("runtime not quiescent after launch: "
                    + "; ".join(problems))
         if faults is not None:
-            raise DCudaFaultError(message, sim_time=cluster.env.now)
+            raise DCudaFaultError(message, sim_time=cluster.env._now)
         raise RuntimeError(message)
-    return LaunchResult(elapsed=cluster.env.now - t0,
+    return LaunchResult(elapsed=cluster.env._now - t0,
                         results=[p.value for p in procs],
                         runtime=runtime, tracer=cluster.tracer,
                         log_records=runtime.log_records)

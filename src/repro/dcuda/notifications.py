@@ -241,7 +241,7 @@ class NotificationMatcher:
         """
         if count < 0:
             raise ValueError(f"negative notification count {count!r}")
-        t0 = self.env.now
+        t0 = self.env._now
         faults = getattr(self.state.node, "faults", None)
         deadline = (t0 + faults.cfg.handshake_timeout
                     if faults is not None else None)
@@ -262,13 +262,13 @@ class NotificationMatcher:
             if deadline is None:
                 yield self.state.notif_queue.arrived.wait()
             else:
-                remaining = deadline - self.env.now
+                remaining = deadline - self.env._now
                 if remaining <= 0:
                     raise DCudaTimeoutError(
                         f"wait_notifications(win={win_id}, source={source}, "
                         f"tag={tag}): {matched}/{count} matched within "
                         f"{faults.cfg.handshake_timeout:.3e}s simulated",
-                        rank=self.state.world_rank, sim_time=self.env.now)
+                        rank=self.state.world_rank, sim_time=self.env._now)
                 arrival = self.state.notif_queue.arrived.wait()
                 timer = self.env.timeout(remaining)
                 which = yield AnyOf(self.env, [arrival, timer])
@@ -280,9 +280,9 @@ class NotificationMatcher:
                         f"wait_notifications(win={win_id}, source={source}, "
                         f"tag={tag}): {matched}/{count} matched within "
                         f"{faults.cfg.handshake_timeout:.3e}s simulated",
-                        rank=self.state.world_rank, sim_time=self.env.now)
+                        rank=self.state.world_rank, sim_time=self.env._now)
             yield self.cfg.poll_interval
         if self._wait_hist is not None:
-            self._wait_hist.observe(self.env.now - t0)
-        self.device.tracer.record(self.block.name, "wait", t0, self.env.now,
+            self._wait_hist.observe(self.env._now - t0)
+        self.device.tracer.record(self.block.name, "wait", t0, self.env._now,
                                   detail or "notifications")

@@ -253,23 +253,34 @@ def simperf_probe(params: Mapping[str, Any], shared: Mapping[str, Any]):
 
     Params: ``probe`` = ``"synthetic"`` (``num_procs``, ``hops``) or
     ``"diffusion"`` (optional ``wl``, ``num_nodes``,
-    ``ranks_per_device``).  Specs built from this entrypoint must set
-    ``cacheable=False`` — replaying a cached wall-clock measurement
-    would report the disk's speed, not the simulator's.
+    ``ranks_per_device``); both accept ``repeats`` (best-of-N
+    steady-state measurement, default 1).  Specs built from this
+    entrypoint must set ``cacheable=False`` — replaying a cached
+    wall-clock measurement would report the disk's speed, not the
+    simulator's.
 
     Returns:
         A :class:`~repro.bench.simperf.SimPerfResult`.
     """
-    from ..bench.simperf import diffusion_throughput, synthetic_throughput
+    from ..bench.simperf import (
+        best_of,
+        diffusion_throughput,
+        synthetic_throughput,
+    )
 
+    repeats = params.get("repeats", 1)
     if params["probe"] == "synthetic":
-        return synthetic_throughput(num_procs=params.get("num_procs", 64),
-                                    hops=params.get("hops", 500))
+        return best_of(
+            lambda: synthetic_throughput(num_procs=params.get("num_procs", 64),
+                                         hops=params.get("hops", 500)),
+            repeats)
     if params["probe"] == "diffusion":
-        return diffusion_throughput(
-            wl=params.get("wl"),
-            num_nodes=params.get("num_nodes", 2),
-            ranks_per_device=params.get("ranks_per_device", 16))
+        return best_of(
+            lambda: diffusion_throughput(
+                wl=params.get("wl"),
+                num_nodes=params.get("num_nodes", 2),
+                ranks_per_device=params.get("ranks_per_device", 16)),
+            repeats)
     from ..errors import DCudaUsageError
 
     raise DCudaUsageError(f"unknown simperf probe {params['probe']!r}")

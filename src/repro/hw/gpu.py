@@ -137,7 +137,7 @@ class Device:
         """
         if flops < 0 or mem_bytes < 0:
             raise ValueError("flops and mem_bytes must be non-negative")
-        t0 = self.env.now
+        t0 = self.env._now
         yield from block.sm.issue.acquire()
         try:
             mem_ev = None
@@ -160,7 +160,7 @@ class Device:
             block.sm.issue.release()
         if mem_ev is not None:
             yield mem_ev
-        self.tracer.record(block.name, "compute", t0, self.env.now, detail)
+        self.tracer.record(block.name, "compute", t0, self.env._now, detail)
 
     def copy(self, block: Block, nbytes: float,
              detail: str = "copy") -> Generator[Event, Any, None]:
@@ -171,9 +171,9 @@ class Device:
         """
         if nbytes < 0:
             raise ValueError(f"negative copy size {nbytes!r}")
-        t0 = self.env.now
+        t0 = self.env._now
         yield self.memory.access_event(2.0 * nbytes, block_limited=True)
-        self.tracer.record(block.name, "comm", t0, self.env.now, detail)
+        self.tracer.record(block.name, "comm", t0, self.env._now, detail)
 
     def issue_use(self, block: Block, duration: float,
                   kind: str = "match",
@@ -187,16 +187,16 @@ class Device:
     def _issue_use_traced(self, block: Block, duration: float,
                           kind: str, detail: str
                           ) -> Generator[Event, Any, None]:
-        t0 = self.env.now
+        t0 = self.env._now
         yield from block.sm.issue.use(duration)
-        self.tracer.record(block.name, kind, t0, self.env.now, detail)
+        self.tracer.record(block.name, kind, t0, self.env._now, detail)
 
     def wait(self, block: Block, event: Event,
              detail: str = "") -> Generator[Event, Any, Any]:
         """Wait on *event* holding no resources; traced as 'wait'."""
-        t0 = self.env.now
+        t0 = self.env._now
         value = yield event
-        self.tracer.record(block.name, "wait", t0, self.env.now, detail)
+        self.tracer.record(block.name, "wait", t0, self.env._now, detail)
         return value
 
     def activity_rollup(self) -> dict:
@@ -246,7 +246,7 @@ class Device:
             raise ValueError("kernel needs at least one block")
         if any(f < 0 or m < 0 for f, m in works):
             raise ValueError("per-block work must be non-negative")
-        t0 = self.env.now
+        t0 = self.env._now
         # Round-robin block-to-SM assignment, as the hardware does.
         shares: List[List[tuple]] = [[] for _ in self.sms]
         for i, work in enumerate(works):
@@ -275,4 +275,4 @@ class Device:
         from ..sim import AllOf
         yield AllOf(self.env, procs)
         self.tracer.record(f"{self.name}.kernel", "compute", t0,
-                           self.env.now, detail)
+                           self.env._now, detail)

@@ -201,7 +201,7 @@ class Fabric:
         extra = 0.0
         if nic.inflight_series is not None:
             nic.inflight += 1
-            nic.inflight_series.sample(self.env.now, nic.inflight)
+            nic.inflight_series.sample(self.env._now, nic.inflight)
         yield from nic.lock.acquire()
         try:
             serialization = self.serialization_time(nbytes, mode)
@@ -211,8 +211,8 @@ class Fabric:
                 # message itself is never dropped — link-level reliability
                 # re-establishes delivery, only later.
                 serialization *= faults.degrade_factor(
-                    f"fabric.nic{src}", self.env.now)
-                retries = faults.loss_retries(src, dst, self.env.now)
+                    f"fabric.nic{src}", self.env._now)
+                retries = faults.loss_retries(src, dst, self.env._now)
                 if retries:
                     extra = retries * (serialization + rtt_latency)
             yield self.cfg.injection_overhead + serialization
@@ -222,7 +222,7 @@ class Fabric:
         nic.bytes_injected += nbytes
         if nic.inflight_series is not None:
             nic.inflight -= 1
-            nic.inflight_series.sample(self.env.now, nic.inflight)
+            nic.inflight_series.sample(self.env._now, nic.inflight)
             nic.byte_counter.inc(nbytes)
             nic.msg_counter.inc()
         return extra
@@ -233,7 +233,7 @@ class Fabric:
         faults = self._faults
         if faults is not None:
             # Partition window: the wire holds until the partition heals.
-            hold = faults.partition_hold(src, dst, self.env.now)
+            hold = faults.partition_hold(src, dst, self.env._now)
             if hold > 0.0:
                 yield hold
         extra_latency += yield from self._inject(src, dst, nbytes, mode,
@@ -258,7 +258,7 @@ class Fabric:
         if faults is not None:
             # A partition cutting ANY link on the route (or targeting the
             # node pair) holds the message until it heals.
-            hold = faults.partition_hold_route(src, dst, route, self.env.now)
+            hold = faults.partition_hold_route(src, dst, route, self.env._now)
             if hold > 0.0:
                 yield hold
         rtt = 2.0 * self._routing.path_latency(src, dst)

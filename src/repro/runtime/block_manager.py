@@ -73,7 +73,7 @@ class BlockManager:
         if hist is None:
             hist = self._cmd_hists[name] = self._obs.latency_histogram(
                 f"bm.cmd.{name}.latency")
-        hist.observe(self.env.now - t0)
+        hist.observe(self.env._now - t0)
 
     # ------------------------------------------------------------------ loop --
     def run(self) -> Generator[Event, Any, None]:
@@ -81,7 +81,7 @@ class BlockManager:
         while True:
             was_idle = self.state.cmd_queue.occupancy == 0
             cmd = yield from self.state.cmd_queue.dequeue()
-            t0 = self.env.now
+            t0 = self.env._now
             if was_idle:
                 # Expected delay until the polling worker thread notices
                 # the new entry; a busy manager drains its queue without

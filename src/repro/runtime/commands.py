@@ -22,7 +22,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class WinCreateCommand:
     """Collective window creation: the rank registers a local memory range."""
 
@@ -33,13 +33,13 @@ class WinCreateCommand:
     participants: Tuple[int, ...]
 
 
-@dataclass
+@dataclass(slots=True)
 class WinFreeCommand:
     origin_rank: int
     global_win_id: int
 
 
-@dataclass
+@dataclass(slots=True)
 class PutCommand:
     """Notified put to a *distributed-memory* rank (Fig. 5 control flow).
 
@@ -59,7 +59,7 @@ class PutCommand:
     notify: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class GetCommand:
     """Notified get from a remote window into origin device memory."""
 
@@ -74,7 +74,7 @@ class GetCommand:
     notify: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class NotifyCommand:
     """Shared-memory RMA already performed on-device; deliver the target
     notification (and the flush update) through the host."""
@@ -87,7 +87,7 @@ class NotifyCommand:
     notify: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class BarrierCommand:
     origin_rank: int
     comm_name: str
@@ -97,7 +97,7 @@ class BarrierCommand:
 COLLECTIVE_WIN = -2
 
 
-@dataclass
+@dataclass(slots=True)
 class NonblockingBarrierCommand:
     """§V extension: a barrier that completes in the background and posts a
     notification (win id ``COLLECTIVE_WIN``) instead of an ack."""
@@ -107,18 +107,18 @@ class NonblockingBarrierCommand:
     tag: int
 
 
-@dataclass
+@dataclass(slots=True)
 class FinishCommand:
     origin_rank: int
 
 
-@dataclass
+@dataclass(slots=True)
 class LogCommand:
     origin_rank: int
     message: str
 
 
-@dataclass
+@dataclass(slots=True)
 class Ack:
     """Host→device acknowledgement for a completed command."""
 
@@ -126,7 +126,7 @@ class Ack:
     value: Any = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Notification:
     """One notification-queue entry: (window, source rank, tag)."""
 

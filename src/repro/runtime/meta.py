@@ -34,7 +34,7 @@ def data_tag(xfer_id: int) -> int:
     return RT_TAG_DATA_BASE + (xfer_id % _DATA_TAG_MOD)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PutMeta:
     """Announces an incoming notified put (origin → target event handler)."""
 
@@ -49,7 +49,7 @@ class PutMeta:
     notify: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GetMeta:
     """Requests window data (origin → target event handler)."""
 
@@ -62,7 +62,7 @@ class GetMeta:
     tag: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CtrlArrive:
     """Node-level arrival at a global synchronization point."""
 
@@ -70,13 +70,13 @@ class CtrlArrive:
     node: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CtrlRelease:
     """Coordinator's release of a global synchronization point."""
 
     key: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GetReply:
     """Marker payload class (the actual array rides in the envelope)."""

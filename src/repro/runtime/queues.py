@@ -132,13 +132,13 @@ class CircularQueue:
         self._known_tail = self._tail
         self._credits = self.size - (self._head - self._known_tail)
         if self._faults is not None and \
-                self._faults.credit_starved(self.name, self.env.now):
+                self._faults.credit_starved(self.name, self.env._now):
             # An injected starvation window: the reloaded tail reads as if
             # the receiver made no progress, so the sender sees no space.
             self._credits = 0
             self.stats.starved_reloads += 1
         if self._credit_series is not None:
-            self._credit_series.sample(self.env.now, self._credits)
+            self._credit_series.sample(self.env._now, self._credits)
 
     def enqueue(self, entry: Any) -> Generator[Event, Any, None]:
         """Append *entry*; amortized one posted PCIe write per call.
@@ -161,7 +161,7 @@ class CircularQueue:
         self._credits -= 1
         self._head += 1
         if self._credit_series is not None:
-            self._credit_series.sample(self.env.now, self._credits)
+            self._credit_series.sample(self.env._now, self._credits)
         delay = 0.0
         if self.link is not None:
             # One transaction writes the entry together with its sequence
@@ -202,7 +202,7 @@ class CircularQueue:
                     raise DCudaTimeoutError(
                         f"queue {self.name}: no credits after "
                         f"{cfg.max_retries} backed-off handshake retries",
-                        sim_time=self.env.now)
+                        sim_time=self.env._now)
                 backoff = cfg.backoff_base * (2 ** (attempt - 1))
                 freed = self._space_freed.wait()
                 timer = self.env.timeout(backoff)
@@ -215,7 +215,7 @@ class CircularQueue:
         self._credits -= 1
         self._head += 1
         if self._credit_series is not None:
-            self._credit_series.sample(self.env.now, self._credits)
+            self._credit_series.sample(self.env._now, self._credits)
         delay = 0.0
         if self.link is not None:
             yield from self.link.mapped_post()
@@ -231,7 +231,7 @@ class CircularQueue:
         self._entries.try_put((seq, entry))
         self.stats.enqueues += 1
         if self._depth_series is not None:
-            self._depth_series.sample(self.env.now, len(self._entries))
+            self._depth_series.sample(self.env._now, len(self._entries))
             self._enq_counter.inc()
         self.arrived.fire()
 
@@ -246,7 +246,7 @@ class CircularQueue:
             DCudaFaultError: a slot was dropped more than ``max_retries``
                 times (via :meth:`_redeliver`).
         """
-        now = self.env.now
+        now = self.env._now
         if seq < self._next_deliver:
             # Sequence-number validity check (§III-C): the slot was already
             # delivered — this is a stale duplicate; discard it.
@@ -279,7 +279,7 @@ class CircularQueue:
             raise DCudaFaultError(
                 f"queue {self.name}: slot seq={seq} lost {attempt} times; "
                 f"redelivery budget ({cfg.max_retries}) exhausted",
-                sim_time=self.env.now)
+                sim_time=self.env._now)
         delay = cfg.redelivery_delay * (2 ** (attempt - 1))
         self.env.call_at(delay, self._commit_faulty, seq, entry, attempt)
 
@@ -294,7 +294,7 @@ class CircularQueue:
         self._tail += 1
         self.stats.dequeues += 1
         if self._depth_series is not None:
-            self._depth_series.sample(self.env.now, len(self._entries))
+            self._depth_series.sample(self.env._now, len(self._entries))
         # Waking a starved sender models the sender's polling loop
         # observing the advanced tail pointer; the sender still pays the
         # PCIe read in _reload_credits.
@@ -331,14 +331,14 @@ class CircularQueue:
                 raise DCudaTimeoutError(
                     f"queue {self.name}: timed out after {timeout:.3e}s "
                     f"simulated waiting for {what}",
-                    rank=rank, sim_time=self.env.now)
+                    rank=rank, sim_time=self.env._now)
             # Either the get won, or both fired in the same step — the
             # entry was removed from the buffer either way, so consume it.
         seq, entry = get_ev.value
         self._tail += 1
         self.stats.dequeues += 1
         if self._depth_series is not None:
-            self._depth_series.sample(self.env.now, len(self._entries))
+            self._depth_series.sample(self.env._now, len(self._entries))
         self._space_freed.fire()
         return entry
 
@@ -350,6 +350,6 @@ class CircularQueue:
         self._tail += 1
         self.stats.dequeues += 1
         if self._depth_series is not None:
-            self._depth_series.sample(self.env.now, len(self._entries))
+            self._depth_series.sample(self.env._now, len(self._entries))
         self._space_freed.fire()
         return item[1]

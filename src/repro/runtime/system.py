@@ -87,6 +87,11 @@ class RuntimeSystem:
                           for i, state in enumerate(self.states)}
         # Host-side window registry: global id -> {world rank: buffer}.
         self.windows: Dict[WindowId, Dict[int, np.ndarray]] = {}
+        # Lazy cache of (base pointer, element stride, itemsize) per
+        # registration — the registry holds a reference to each buffer, so
+        # its base address is stable for the registration's lifetime.
+        self._win_layout: Dict[Tuple[WindowId, int],
+                               Tuple[int, int, int]] = {}
         self._coll: Dict[Tuple[str, str], _CollectiveState] = {}
         # Flat-tree synchronization state (coordinator side only).
         self._sync_counts: Dict[Any, int] = {}
@@ -247,7 +252,10 @@ class RuntimeSystem:
                           ) -> Generator[Event, Any, None]:
         """Collective window free."""
         yield from self.collective_arrive("winfree", cmd.global_win_id[0])
-        self.windows.pop(cmd.global_win_id, None)
+        if self.windows.pop(cmd.global_win_id, None) is not None:
+            for key in [k for k in self._win_layout
+                        if k[0] == cmd.global_win_id]:
+                del self._win_layout[key]
 
     def window_buffer(self, gid: WindowId, world_rank: int) -> np.ndarray:
         try:
@@ -256,6 +264,24 @@ class RuntimeSystem:
             raise KeyError(
                 f"window {gid} has no registration for rank {world_rank} on "
                 f"node {self.node.index}") from None
+
+    def window_layout(self, gid: WindowId,
+                      world_rank: int) -> Tuple[int, int, int]:
+        """``(base pointer, element stride in bytes, itemsize)`` of a
+        registration — cached, so the RMA hot path's aliasing test costs
+        one pointer construction instead of two plus a slice.
+
+        A stride of 0 means the buffer is not a 1-D strided array and the
+        caller must fall back to the generic :func:`same_memory` test.
+        """
+        key = (gid, world_rank)
+        layout = self._win_layout.get(key)
+        if layout is None:
+            buf = self.window_buffer(gid, world_rank)
+            stride = buf.strides[0] if buf.ndim == 1 else 0
+            layout = (buf.ctypes.data, stride, buf.itemsize)
+            self._win_layout[key] = layout
+        return layout
 
 
 class DCudaRuntime:

@@ -9,9 +9,10 @@ notification queue).
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
-from .core import Environment, Event
+from .core import PENDING, Environment, Event
 
 __all__ = ["Store", "Channel"]
 
@@ -35,7 +36,7 @@ class Store:
         self.capacity = capacity
         self._items: List[Any] = []
         self._getters: List[Tuple[Event, Optional[Callable[[Any], bool]]]] = []
-        self._putters: List[Tuple[Event, Any]] = []
+        self._putters: deque = deque()
 
     # -- introspection ------------------------------------------------------
     def __len__(self) -> int:
@@ -49,7 +50,16 @@ class Store:
     # -- producing -----------------------------------------------------------
     def put(self, item: Any) -> Event:
         """Insert *item*; the returned event fires once the item is stored."""
-        ev = Event(self.env, self._put_name)
+        # Inlined Event construction (hot path: every simulated hardware
+        # queue insert comes through here).
+        ev = Event.__new__(Event)
+        ev.env = self.env
+        ev.callbacks = []
+        ev._value = PENDING
+        ev._exception = None
+        ev._scheduled = False
+        ev.name = self._put_name
+        ev.abandoned = False
         if self.capacity is not None and len(self._items) >= self.capacity:
             self._putters.append((ev, item))
         else:
@@ -78,7 +88,14 @@ class Store:
     # -- consuming -----------------------------------------------------------
     def get(self, filt: Optional[Callable[[Any], bool]] = None) -> Event:
         """Remove and return the oldest item matching *filt* (or any item)."""
-        ev = Event(self.env, self._get_name)
+        ev = Event.__new__(Event)
+        ev.env = self.env
+        ev.callbacks = []
+        ev._value = PENDING
+        ev._exception = None
+        ev._scheduled = False
+        ev.name = self._get_name
+        ev.abandoned = False
         if not self._getters:
             # Fast path: nobody queued ahead, so this getter takes the
             # oldest matching item directly — the same item, succeeded at
@@ -131,8 +148,8 @@ class Store:
                              if not ev.abandoned]
         putters = self._putters
         if putters and any(ev.abandoned for ev, _ in putters):
-            self._putters = [(ev, item) for ev, item in putters
-                             if not ev.abandoned]
+            self._putters = deque((ev, item) for ev, item in putters
+                                  if not ev.abandoned)
 
     def _dispatch(self) -> None:
         # Serve waiting getters in order; each takes the oldest matching item.
@@ -158,7 +175,7 @@ class Store:
     def _admit_putters(self) -> None:
         while self._putters and (self.capacity is None
                                  or len(self._items) < self.capacity):
-            ev, item = self._putters.pop(0)
+            ev, item = self._putters.popleft()
             if ev.abandoned:
                 continue
             self._items.append(item)

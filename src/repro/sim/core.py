@@ -5,8 +5,8 @@ GPU-cluster model runs on.  The design follows the classic process-based DES
 style (as popularized by SimPy) but is hand-rolled so that the scheduler is
 fully deterministic and has no external dependencies:
 
-* :class:`Environment` owns simulated time and a priority queue of pending
-  events keyed by ``(time, priority, sequence)`` — the sequence number breaks
+* :class:`Environment` owns simulated time and a pending-entry schedule
+  ordered by ``(time, priority, sequence)`` — the sequence number breaks
   ties so that two runs of the same program produce identical schedules.
 * :class:`Event` is a one-shot occurrence that processes can wait on.
 * :class:`Process` wraps a Python generator.  The generator *yields* events;
@@ -15,15 +15,49 @@ fully deterministic and has no external dependencies:
   is itself an event that succeeds with the generator's return value, so
   processes can be joined (``yield child``) and composed (``yield from``).
 
+Scheduler structure (the batched calendar-queue core)
+-----------------------------------------------------
+The schedule is *logically* one priority queue keyed by ``(time, priority,
+sequence)``; it is *physically* three tiers, chosen so the overwhelmingly
+common scheduling patterns never touch a heap:
+
+1. **The due lane** — a plain FIFO of entries scheduled at *exactly* the
+   current simulated time with the default priority.  Sequence numbers are
+   handed out monotonically, so appending keeps the lane sorted by
+   construction; a triggered event (``succeed``/``fail``), a zero-delay
+   timeout, and a zero-delay deferred call are all O(1) appends, and the
+   run loop drains the lane in a tight batch without re-checking the clock
+   — the clock advances once per distinct timestamp, not once per entry.
+2. **The near-future ring** — a calendar queue of ``_RING_SIZE`` time
+   buckets, each ``bucket_width`` of simulated time wide.  An entry with
+   ``when`` within the ring horizon lands in bucket ``int(when / width)
+   mod _RING_SIZE``; each bucket is a small binary heap ordered by the full
+   ``(time, priority, sequence)`` key, so intra-bucket order is exactly the
+   global order restricted to that bucket.  Because ``int(when / width)``
+   is monotone in ``when`` and the horizon spans exactly one lap of the
+   ring, draining buckets in slot order and each bucket in key order
+   reproduces the global key order bit-for-bit.
+3. **The far-future overflow heap** — entries beyond the ring horizon
+   (long fault windows, watchdogs, anything ``>= _RING_SIZE`` buckets
+   ahead).  As the clock advances, due overflow entries migrate into the
+   ring; each entry migrates at most once.
+
 Hot-path notes: the event loop processes hundreds of thousands of entries
 per simulated run, so the kernel offers a second, lighter scheduling lane
 next to full events: :meth:`Environment.call_at` enqueues a bare
 ``(callable, args)`` pair — no callback list, no value slot, no one-shot
 bookkeeping — which fire-and-forget machinery (bandwidth-link wakeups,
 posted-write commits, process starts) uses instead of sentinel events.
-Both lanes share the same ``(time, priority, sequence)`` heap, so a
+Both lanes share the same ``(time, priority, sequence)`` keys, so a
 deferred call occupies exactly the queue position the equivalent sentinel
-event would have — the schedule is unchanged, only cheaper.
+event would have — the schedule is unchanged, only cheaper.  Retired
+:class:`_Deferred` carriers are recycled through a freelist
+(``Environment._dfree``): the deferred/timeout lane is roughly half the
+queue on big runs, and slot reuse removes that allocation churn entirely.
+(Full :class:`Event` objects are deliberately *not* pooled: user code may
+legally hold a reference to a fired event — the losing arm of a bounded
+wait, a stored put-acknowledgement — and observe ``.value``/``.ok`` long
+after dispatch, so recycling them would corrupt observable state.)
 
 Only the simulation kernel lives here; synchronization primitives built on
 top of it (timeouts, signals, resources, stores, bandwidth links) live in the
@@ -32,6 +66,7 @@ sibling modules of :mod:`repro.sim`.
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
@@ -44,6 +79,27 @@ __all__ = [
     "SimulationError",
     "PENDING",
 ]
+
+#: Number of calendar buckets in the near-future ring (power of two).
+_RING_SIZE = 256
+_RING_MASK = _RING_SIZE - 1
+#: Default bucket width [simulated seconds].  The hardware model's event
+#: spacing is nanoseconds-to-microseconds (memory latencies, PCIe
+#: transactions, NIC serialization), so 100 ns buckets put typical delays a
+#: handful of slots ahead and the ring horizon (_RING_SIZE * width ≈ 25.6 µs)
+#: comfortably beyond the common case; millisecond-scale fault windows and
+#: watchdogs overflow to the far heap.
+_DEFAULT_BUCKET_WIDTH = 1e-7
+#: Slot numbers stay below 2**52 so ``float(slot + _RING_SIZE)`` is exact
+#: and the ring-eligibility boundary is bit-stable; beyond it (≈ 14 sim
+#: years at the default width) the core degrades to the far heap alone,
+#: which is simply the classic single-heap scheduler.
+_SLOT_LIMIT = float(2 ** 52)
+#: Sentinel for "no timed entry pending": compares greater than every real
+#: schedule entry (real priorities are 0–2, the sentinel's is 3), so the
+#: hot loops test ``entry < _NO_ENTRY`` / ``ne[0] > now`` without a
+#: ``None`` branch.  Identity (``is _NO_ENTRY``) is the emptiness test.
+_NO_ENTRY = (float("inf"), 3, 0, None)
 
 
 class EnvStats:
@@ -71,7 +127,7 @@ class EnvStats:
         self.callbacks = 0
         #: Entries that advanced the simulated clock.
         self.time_advances = 0
-        #: High-water mark of the pending-entry heap.
+        #: High-water mark of pending schedule entries (all three tiers).
         self.max_queue_len = 0
 
 
@@ -107,7 +163,8 @@ class _Deferred:
 
     Carries only the callable and its arguments; the event loop invokes it
     directly instead of running an event's callback list.  Never exposed to
-    user code: processes cannot wait on it.
+    user code: processes cannot wait on it.  Instances are recycled through
+    the environment's freelist once dispatched.
     """
 
     __slots__ = ("fn", "args")
@@ -178,11 +235,12 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._value = value
         # Inlined Environment._schedule (hot path): a freshly triggered
-        # event can never already sit on the queue.
+        # event fires at the current time with default priority, which is
+        # exactly the due lane — an O(1) append, no heap.
         env = self.env
         self._scheduled = True
         env._seq += 1
-        heappush(env._queue, (env._now, 1, env._seq, self))
+        env._due.append((env._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -240,6 +298,19 @@ class _Sleeping:
 
 
 _SLEEPING = _Sleeping()
+#: Shared argument tuple for sleep wakeups: every bare-delay wakeup resumes
+#: its process with the start sentinel, so one module-level tuple serves
+#: all of them (no per-sleep allocation).
+_START_ARGS = (_START,)
+
+
+def _drop_wake(_event: Any) -> None:
+    """Replacement target for an invalidated sleep wakeup.
+
+    Interrupting a sleeping process cannot remove its pending wakeup from
+    the schedule, so the wakeup's deferred carrier is retargeted here and
+    fires as a no-op at its original queue position.
+    """
 
 
 class Process(Event):
@@ -251,7 +322,7 @@ class Process(Event):
         result = yield env.process(worker(env))
     """
 
-    __slots__ = ("_generator", "_waiting_on", "_sleep_id")
+    __slots__ = ("_generator", "_waiting_on", "_pending_wake")
 
     def __init__(self, env: "Environment",
                  generator: Generator[Event, Any, Any], name: str = ""):
@@ -260,10 +331,10 @@ class Process(Event):
             raise TypeError(f"process requires a generator, got {generator!r}")
         self._generator = generator
         self._waiting_on: Optional[Event] = None
-        #: Wakeup-generation counter for bare-delay sleeps; a stale deferred
-        #: wakeup (the sleep was interrupted away) compares unequal and is
-        #: dropped.
-        self._sleep_id = 0
+        #: The deferred carrier of the pending bare-delay wakeup while
+        #: ``_waiting_on is _SLEEPING``; interrupting the sleep retargets
+        #: it at :func:`_drop_wake` so the stale wakeup fires as a no-op.
+        self._pending_wake: Optional[_Deferred] = None
         # Kick off the process as soon as the loop runs: a deferred call in
         # place of the old sentinel start event (same queue slot, no Event).
         env.call_at(0.0, self._step, _START)
@@ -290,8 +361,10 @@ class Process(Event):
             return  # finished in the meantime; drop the interrupt
         target = self._waiting_on
         if target is _SLEEPING:
-            # Invalidate the pending deferred wakeup for the sleep.
-            self._sleep_id += 1
+            # Invalidate the pending deferred wakeup for the sleep: it
+            # stays in the schedule but now fires as a no-op.
+            self._pending_wake.fn = _drop_wake
+            self._pending_wake = None
         elif target is not None and target.callbacks is not None:
             try:
                 target.callbacks.remove(self._step)
@@ -302,10 +375,42 @@ class Process(Event):
         self._waiting_on = None
         self._step(event)
 
-    def _wake_sleep(self, sleep_id: int) -> None:
-        """Deferred wakeup for a bare-delay sleep (``yield <float>``)."""
-        if sleep_id == self._sleep_id and self._waiting_on is _SLEEPING:
-            self._step(_START)
+    def _sleep(self, delay: float) -> None:
+        """Enter a bare-delay sleep: the wakeup occupies the exact queue
+        slot the equivalent ``yield env.timeout(delay)`` would have taken
+        (same time, priority, and sequence number) without building an
+        Event.  The wakeup's deferred carrier calls :meth:`_step` directly
+        — no trampoline frame.  Hot sim-internal delays use this lane (the
+        common float case is inlined in :meth:`_step`; this method serves
+        the float-subclass slow path)."""
+        env = self.env
+        self._waiting_on = _SLEEPING
+        env._seq += 1
+        free = env._dfree
+        if free:
+            d = free.pop()
+            d.fn = self._step
+            d.args = _START_ARGS
+        else:
+            d = _Deferred(self._step, _START_ARGS)
+        self._pending_wake = d
+        if delay == 0.0:
+            env._due.append((env._seq, d))
+            return
+        # Inlined Environment timed push (see _push_timed).
+        when = env._now + delay
+        entry = (when, 1, env._seq, d)
+        t = when * env._inv
+        if t < env._ring_limit:
+            b = env._ring[int(t) & _RING_MASK]
+            heappush(b, entry)
+            env._ring_count += 1
+        else:
+            b = env._far
+            heappush(b, entry)
+        if entry < env._next_entry:
+            env._next_entry = entry
+            env._next_src = b
 
     def _step(self, event: Event) -> None:
         self._waiting_on = None
@@ -335,18 +440,37 @@ class Process(Event):
         env._active_process = None
         cls = target.__class__
         if cls is float:
-            # Bare-delay sleep: occupies the exact queue slot the
-            # equivalent ``yield env.timeout(delay)`` would have taken
-            # (same time, priority, and sequence number) without building
-            # an Event.  Hot sim-internal delays use this lane.
+            # Inlined _sleep — the bare-delay lane is the hottest single
+            # scheduling path in the whole model (every compute/latency
+            # cost is a float yield).
             if target < 0:
                 gen.throw(ValueError(f"negative delay {target!r}"))
             self._waiting_on = _SLEEPING
-            self._sleep_id += 1
             env._seq += 1
-            heappush(env._queue,
-                     (env._now + target, 1, env._seq,
-                      _Deferred(self._wake_sleep, (self._sleep_id,))))
+            free = env._dfree
+            if free:
+                d = free.pop()
+                d.fn = self._step
+                d.args = _START_ARGS
+            else:
+                d = _Deferred(self._step, _START_ARGS)
+            self._pending_wake = d
+            if target == 0.0:
+                env._due.append((env._seq, d))
+                return
+            when = env._now + target
+            entry = (when, 1, env._seq, d)
+            t = when * env._inv
+            if t < env._ring_limit:
+                b = env._ring[int(t) & _RING_MASK]
+                heappush(b, entry)
+                env._ring_count += 1
+            else:
+                b = env._far
+                heappush(b, entry)
+            if entry < env._next_entry:
+                env._next_entry = entry
+                env._next_src = b
             return
         if cls is not Event and not isinstance(target, Event):
             if isinstance(target, float):
@@ -354,12 +478,7 @@ class Process(Event):
                 delay = float(target)
                 if delay < 0:
                     gen.throw(ValueError(f"negative delay {target!r}"))
-                self._waiting_on = _SLEEPING
-                self._sleep_id += 1
-                env._seq += 1
-                heappush(env._queue,
-                         (env._now + delay, 1, env._seq,
-                          _Deferred(self._wake_sleep, (self._sleep_id,))))
+                self._sleep(delay)
                 return
             gen.throw(TypeError(
                 f"process {self.name!r} yielded non-event {target!r}"))
@@ -382,13 +501,46 @@ class Environment:
     Events are executed in order of ``(time, priority, sequence)``.  Lower
     priority values run first at equal times; the default priority is 1 and
     "urgent" kernel-internal events use 0.
+
+    *bucket_width* is the calendar-queue bucket granularity in simulated
+    seconds (see the module docstring); it is a pure performance knob — the
+    dispatch order is identical for any positive width.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0,
+                 bucket_width: float = _DEFAULT_BUCKET_WIDTH):
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be positive, "
+                             f"got {bucket_width!r}")
         self._now = float(initial_time)
-        self._queue: List[Any] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        # -- the three schedule tiers (see module docstring) -------------
+        #: Due lane: ``(seq, obj)`` entries at exactly the current time
+        #: with default priority, FIFO == seq order by construction.
+        self._due: deque = deque()
+        #: Near-future calendar ring: per-bucket heaps of full
+        #: ``(when, priority, seq, obj)`` entries.
+        self._ring: List[List[Any]] = [[] for _ in range(_RING_SIZE)]
+        self._ring_count = 0
+        #: Far-future overflow heap (beyond the ring horizon).
+        self._far: List[Any] = []
+        self._inv = 1.0 / bucket_width
+        t = self._now * self._inv
+        self._slot = int(t) if -_SLOT_LIMIT < t < _SLOT_LIMIT else 0
+        #: Ring-eligibility boundary in slot units: an entry is ring-bound
+        #: iff ``when * _inv < _ring_limit``.  Kept as an exact float
+        #: (slots stay below 2**52) so pushes and far→ring migration agree
+        #: bit-for-bit on the boundary.
+        self._ring_limit = float(self._slot + _RING_SIZE)
+        #: Cached minimum pending *timed* entry (ring or far) and the list
+        #: that holds it at index 0; ``_NO_ENTRY`` when both tiers are
+        #: empty.  Maintained on every push, recomputed after every timed
+        #: pop.
+        self._next_entry: tuple = _NO_ENTRY
+        self._next_src: Optional[List[Any]] = None
+        #: Freelist of retired _Deferred carriers (slot reuse).
+        self._dfree: List[_Deferred] = []
         #: Event-loop counters (observability); ``None`` keeps the
         #: uninstrumented hot loop.
         self.stats: Optional[EnvStats] = None
@@ -430,7 +582,23 @@ class Environment:
         ev.name = name or "timeout"
         ev.abandoned = False
         self._seq += 1
-        heappush(self._queue, (self._now + delay, 1, self._seq, ev))
+        if delay == 0.0:
+            self._due.append((self._seq, ev))
+            return ev
+        # Inlined timed push (see _push_timed).
+        when = self._now + delay
+        entry = (when, 1, self._seq, ev)
+        t = when * self._inv
+        if t < self._ring_limit:
+            b = self._ring[int(t) & _RING_MASK]
+            heappush(b, entry)
+            self._ring_count += 1
+        else:
+            b = self._far
+            heappush(b, entry)
+        if entry < self._next_entry:
+            self._next_entry = entry
+            self._next_src = b
         return ev
 
     def call_at(self, delay: float, fn: Callable[..., None],
@@ -441,13 +609,36 @@ class Environment:
         observes it — it simply runs at its queue position.  Used for link
         wakeups, posted-write commits, and process starts; prefer it over a
         sentinel ``timeout().add_callback`` pair whenever no process will
-        ever yield on the occurrence.
+        ever yield on the occurrence.  The carrier object comes from the
+        freelist when one is available.
         """
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         self._seq += 1
-        heappush(self._queue,
-                 (self._now + delay, 1, self._seq, _Deferred(fn, args)))
+        free = self._dfree
+        if free:
+            d = free.pop()
+            d.fn = fn
+            d.args = args
+        else:
+            d = _Deferred(fn, args)
+        if delay == 0.0:
+            self._due.append((self._seq, d))
+            return
+        # Inlined timed push (see _push_timed).
+        when = self._now + delay
+        entry = (when, 1, self._seq, d)
+        t = when * self._inv
+        if t < self._ring_limit:
+            b = self._ring[int(t) & _RING_MASK]
+            heappush(b, entry)
+            self._ring_count += 1
+        else:
+            b = self._far
+            heappush(b, entry)
+        if entry < self._next_entry:
+            self._next_entry = entry
+            self._next_src = b
 
     def process(self, generator: Generator[Event, Any, Any],
                 name: str = "") -> Process:
@@ -461,45 +652,161 @@ class Environment:
         return [p.value for p in procs]
 
     # -- scheduling --------------------------------------------------------
+    def _push_timed(self, when: float, priority: int, seq: int,
+                    obj: Any) -> None:
+        """Insert a timed entry into the ring or the far heap.
+
+        This is the canonical form of the push that the hot call sites
+        (:meth:`timeout`, :meth:`call_at`, ``Process._sleep``) inline:
+        bucket selection is ``int(when / width) mod _RING_SIZE``, and the
+        cached minimum is min-updated so peeks never rescan.
+        """
+        entry = (when, priority, seq, obj)
+        t = when * self._inv
+        if t < self._ring_limit:
+            b = self._ring[int(t) & _RING_MASK]
+            heappush(b, entry)
+            self._ring_count += 1
+        else:
+            b = self._far
+            heappush(b, entry)
+        if entry < self._next_entry:
+            self._next_entry = entry
+            self._next_src = b
+
     def _schedule(self, event: Event, delay: float = 0.0,
                   priority: int = 1) -> None:
         if event._scheduled:
             raise SimulationError(f"{event!r} is already scheduled")
         event._scheduled = True
         self._seq += 1
-        heappush(self._queue,
-                 (self._now + delay, priority, self._seq, event))
+        if delay == 0.0 and priority == 1:
+            self._due.append((self._seq, event))
+        else:
+            self._push_timed(self._now + delay, priority, self._seq, event)
+
+    def _advance_clock(self, when: float) -> None:
+        """Advance the clock to *when*; slide the ring window forward and
+        migrate newly ring-eligible far-heap entries into their buckets."""
+        self._now = when
+        t = when * self._inv
+        if t < _SLOT_LIMIT:
+            ns = int(t)
+            if ns > self._slot:
+                self._slot = ns
+                limit = float(ns + _RING_SIZE)
+                self._ring_limit = limit
+                far = self._far
+                if far and far[0][0] * self._inv < limit:
+                    ring = self._ring
+                    inv = self._inv
+                    while far and far[0][0] * inv < limit:
+                        e = heappop(far)
+                        heappush(ring[int(e[0] * inv) & _RING_MASK], e)
+                        self._ring_count += 1
+
+    def _rescan(self) -> None:
+        """Recompute the cached minimum timed entry after a timed pop.
+
+        Ring entries all lie within one ring lap of the current slot, so
+        scanning slots upward from the clock's slot visits buckets in
+        time order and the first non-empty bucket's top is the ring
+        minimum; with the ring empty the far-heap top is the minimum.
+        """
+        if self._ring_count:
+            s = self._slot
+            ring = self._ring
+            while True:
+                b = ring[s & _RING_MASK]
+                if b:
+                    self._next_entry = b[0]
+                    self._next_src = b
+                    return
+                s += 1
+        far = self._far
+        if far:
+            self._next_entry = far[0]
+            self._next_src = far
+        else:
+            self._next_entry = _NO_ENTRY
+            self._next_src = None
+
+    def _pop_timed(self) -> Any:
+        """Pop the minimum timed entry; advance the clock; return its
+        payload object — or ``None`` when the entry was an abandoned timer
+        (dropped without advancing the clock, so a dangling timeout cannot
+        stretch the simulated run)."""
+        entry = self._next_entry
+        src = self._next_src
+        heappop(src)
+        if src is not self._far:
+            self._ring_count -= 1
+        obj = entry[3]
+        if obj.__class__ is not _Deferred and obj.abandoned:
+            self._rescan()
+            return None
+        when = entry[0]
+        if when > self._now:
+            self._advance_clock(when)
+        self._rescan()
+        return obj
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._now if self._due else self._next_entry[0]
 
     def step(self) -> None:
-        """Process exactly one queue entry."""
-        if not self._queue:
+        """Process exactly one schedule entry.
+
+        Abandoned timers (e.g. the losing arm of a bounded wait whose
+        winner already resumed the process) are *not* entries: they are
+        consumed and dropped without dispatching and without advancing the
+        clock — the same guard the batch loops apply — and the step
+        processes the next live entry instead.
+        """
+        if not self._due and self._next_entry is _NO_ENTRY:
             raise SimulationError("step() on an empty schedule")
         stats = self.stats
-        if stats is not None:
-            stats.entries += 1
-            if len(self._queue) > stats.max_queue_len:
-                stats.max_queue_len = len(self._queue)
-        when, _prio, _seq, event = heappop(self._queue)
-        if when > self._now:
-            self._now = when
+        due = self._due
+        while due or self._next_entry is not _NO_ENTRY:
             if stats is not None:
-                stats.time_advances += 1
-        if event.__class__ is _Deferred:
+                stats.entries += 1
+                pending = len(due) + self._ring_count + len(self._far)
+                if pending > stats.max_queue_len:
+                    stats.max_queue_len = pending
+            # Entry selection: due lane vs cached timed minimum, full
+            # (when, priority, seq) order (identical in all loops).
+            ne = self._next_entry
+            if due and (ne[0] > self._now or ne[1] > 1
+                        or (ne[1] == 1 and ne[2] > due[0][0])):
+                obj = due.popleft()[1]
+                if obj.__class__ is not _Deferred and obj.abandoned:
+                    continue
+            else:
+                before = self._now
+                obj = self._pop_timed()
+                if obj is None:
+                    continue
+                if stats is not None and self._now > before:
+                    stats.time_advances += 1
+            if obj.__class__ is _Deferred:
+                if stats is not None:
+                    stats.deferred_calls += 1
+                obj.fn(*obj.args)
+                self._dfree.append(obj)
+                return
+            callbacks = obj.callbacks
+            obj.callbacks = None
             if stats is not None:
-                stats.deferred_calls += 1
-            event.fn(*event.args)
+                stats.events += 1
+                stats.callbacks += len(callbacks)
+            for callback in callbacks:
+                callback(obj)
             return
-        callbacks = event.callbacks
-        event.callbacks = None
-        if stats is not None:
-            stats.events += 1
-            stats.callbacks += len(callbacks)
-        for callback in callbacks:
-            callback(event)
+        # Every remaining entry was abandoned: the schedule is effectively
+        # empty, and a silent no-op would strand ``while True: step()``
+        # drivers.
+        raise SimulationError("step() on an empty schedule")
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or simulated time reaches *until*.
@@ -509,59 +816,116 @@ class Environment:
         """
         if self.stats is not None:
             return self._run_counting(until)
-        queue = self._queue
-        if until is None:
-            # Hot loop: local aliases, no bound checks, single-callback
-            # dispatch without iterator setup.
-            while queue:
-                when, _prio, _seq, event = heappop(queue)
-                if event.__class__ is _Deferred:
-                    if when > self._now:
-                        self._now = when
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until!r} lies in the past")
+        # Hot loop: the pop/rescan/clock-advance machinery of _pop_timed is
+        # inlined (a Python-level call per entry would cost more than the
+        # heap work it wraps), stable containers and module globals are
+        # local aliases, the clock is mirrored in a local (write-through to
+        # ``_now`` so pushes from callbacks see it), and the due lane
+        # drains in a tight batch — the clock only moves on timed pops,
+        # i.e. once per distinct timestamp.
+        due = self._due
+        dfree = self._dfree
+        ring = self._ring
+        far = self._far
+        inv = self._inv
+        now = self._now
+        no_entry = _NO_ENTRY
+        deferred = _Deferred
+        pop = heappop
+        push = heappush
+        slot_limit = _SLOT_LIMIT
+        while True:
+            ne = self._next_entry
+            # Timed entries at the current timestamp carry smaller sequence
+            # numbers than anything appended since the clock reached it, so
+            # they interleave ahead of the due lane; the common case (next
+            # timed entry in the future) is a single float compare.
+            if due and (ne[0] > now or ne[1] > 1
+                        or (ne[1] == 1 and ne[2] > due[0][0])):
+                event = due.popleft()[1]
+                if event.__class__ is deferred:
                     event.fn(*event.args)
+                    dfree.append(event)
                     continue
                 if event.abandoned:
-                    # An orphaned timer (e.g. the losing arm of a bounded
-                    # wait): dropped without advancing the clock, so a
-                    # dangling timeout cannot stretch the simulated run.
+                    # An orphaned timer (abandoned after being scheduled):
+                    # dropped like its timed twin below.
                     continue
-                if when > self._now:
+            else:
+                if ne is no_entry:
+                    if until is not None:
+                        self._now = until
+                    return
+                when = ne[0]
+                if until is not None and when > until:
+                    self._now = until
+                    return
+                # -- inlined _pop_timed ----------------------------------
+                src = self._next_src
+                pop(src)
+                if src is not far:
+                    self._ring_count -= 1
+                event = ne[3]
+                is_def = event.__class__ is deferred
+                if not is_def and event.abandoned:
+                    event = None  # dropped; no clock advance
+                elif when > now:
+                    # Inlined _advance_clock: slide the ring window and
+                    # migrate newly eligible far-heap entries.
+                    now = when
                     self._now = when
-                callbacks = event.callbacks
-                event.callbacks = None
-                if len(callbacks) == 1:
-                    callbacks[0](event)
+                    t = when * inv
+                    if t < slot_limit:
+                        ns = int(t)
+                        if ns > self._slot:
+                            self._slot = ns
+                            limit = float(ns + _RING_SIZE)
+                            self._ring_limit = limit
+                            while far and far[0][0] * inv < limit:
+                                e = pop(far)
+                                push(ring[int(e[0] * inv) & _RING_MASK], e)
+                                self._ring_count += 1
+                # Inlined _rescan.  Fast path: a non-empty just-popped ring
+                # bucket still holds the timed minimum — every other ring
+                # entry lives in a strictly later slot (slot selection is
+                # monotone in time), and the far-heap top is beyond the
+                # ring horizon entirely.
+                if src and src is not far:
+                    self._next_entry = src[0]
+                elif self._ring_count:
+                    s = self._slot
+                    while True:
+                        b = ring[s & _RING_MASK]
+                        if b:
+                            self._next_entry = b[0]
+                            self._next_src = b
+                            break
+                        s += 1
+                elif far:
+                    self._next_entry = far[0]
+                    self._next_src = far
                 else:
-                    for callback in callbacks:
-                        callback(event)
-                if (not callbacks and event._exception is not None
-                        and isinstance(event, Process)):
-                    raise event._exception
-            return
-        if until < self._now:
-            raise ValueError(f"until={until!r} lies in the past")
-        while queue:
-            if queue[0][0] > until:
-                self._now = until
-                return
-            when, _prio, _seq, event = heappop(queue)
-            if event.__class__ is _Deferred:
-                if when > self._now:
-                    self._now = when
-                event.fn(*event.args)
-                continue
-            if event.abandoned:
-                continue
-            if when > self._now:
-                self._now = when
+                    self._next_entry = no_entry
+                    self._next_src = None
+                # --------------------------------------------------------
+                if event is None:
+                    continue
+                if is_def:
+                    event.fn(*event.args)
+                    dfree.append(event)
+                    continue
             callbacks = event.callbacks
             event.callbacks = None
-            for callback in callbacks:
-                callback(event)
+            if len(callbacks) == 1:
+                callbacks[0](event)
+            else:
+                for callback in callbacks:
+                    callback(event)
             if (not callbacks and event._exception is not None
                     and isinstance(event, Process)):
                 raise event._exception
-        self._now = until
 
     def run_watchdog(self, deadline: float) -> bool:
         """Run like :meth:`run`, but stop *before* crossing ``deadline``.
@@ -574,37 +938,49 @@ class Environment:
         meaningful elapsed time for the work that did happen.  Unhandled
         process failures propagate exactly as in :meth:`run`.
         """
-        queue = self._queue
+        due = self._due
+        dfree = self._dfree
         stats = self.stats
-        while queue:
-            if queue[0][0] > deadline:
-                head = queue[0][3]
-                if head.__class__ is not _Deferred and head.abandoned:
-                    # An orphaned timer beyond the deadline is not pending
-                    # work — drop it instead of declaring a timeout.
-                    heappop(queue)
-                    continue
-                return False
+        while True:
+            ne = self._next_entry
+            if due:
+                take_due = (ne[0] > self._now or ne[1] > 1
+                            or (ne[1] == 1 and ne[2] > due[0][0]))
+            elif ne is not _NO_ENTRY:
+                if ne[0] > deadline:
+                    head = ne[3]
+                    if head.__class__ is not _Deferred and head.abandoned:
+                        # An orphaned timer beyond the deadline is not
+                        # pending work — drop it instead of declaring a
+                        # timeout.
+                        self._pop_timed()
+                        continue
+                    return False
+                take_due = False
+            else:
+                return True
             if stats is not None:
                 stats.entries += 1
-                if len(queue) > stats.max_queue_len:
-                    stats.max_queue_len = len(queue)
-            when, _prio, _seq, event = heappop(queue)
+                pending = len(due) + self._ring_count + len(self._far)
+                if pending > stats.max_queue_len:
+                    stats.max_queue_len = pending
+            if take_due:
+                event = due.popleft()[1]
+            else:
+                before = self._now
+                event = self._pop_timed()
+                if event is None:
+                    continue
+                if stats is not None and self._now > before:
+                    stats.time_advances += 1
             if event.__class__ is _Deferred:
-                if when > self._now:
-                    self._now = when
-                    if stats is not None:
-                        stats.time_advances += 1
                 if stats is not None:
                     stats.deferred_calls += 1
                 event.fn(*event.args)
+                dfree.append(event)
                 continue
             if event.abandoned:
                 continue
-            if when > self._now:
-                self._now = when
-                if stats is not None:
-                    stats.time_advances += 1
             callbacks = event.callbacks
             event.callbacks = None
             if stats is not None:
@@ -615,7 +991,6 @@ class Environment:
             if (not callbacks and event._exception is not None
                     and isinstance(event, Process)):
                 raise event._exception
-        return True
 
     def _run_counting(self, until: Optional[float] = None) -> None:
         """Twin of :meth:`run` that also bumps :class:`EnvStats` counters.
@@ -625,30 +1000,43 @@ class Environment:
         observation, so the schedule (and every simulated timestamp) is
         identical with stats attached.
         """
-        queue = self._queue
+        due = self._due
+        dfree = self._dfree
         stats = self.stats
         if until is not None and until < self._now:
             raise ValueError(f"until={until!r} lies in the past")
-        while queue:
-            if until is not None and queue[0][0] > until:
-                self._now = until
-                return
+        while True:
+            ne = self._next_entry
+            if due:
+                take_due = (ne[0] > self._now or ne[1] > 1
+                            or (ne[1] == 1 and ne[2] > due[0][0]))
+            elif ne is not _NO_ENTRY:
+                if until is not None and ne[0] > until:
+                    self._now = until
+                    return
+                take_due = False
+            else:
+                break
             stats.entries += 1
-            if len(queue) > stats.max_queue_len:
-                stats.max_queue_len = len(queue)
-            when, _prio, _seq, event = heappop(queue)
-            if event.__class__ is _Deferred:
-                if when > self._now:
-                    self._now = when
+            pending = len(due) + self._ring_count + len(self._far)
+            if pending > stats.max_queue_len:
+                stats.max_queue_len = pending
+            if take_due:
+                event = due.popleft()[1]
+            else:
+                before = self._now
+                event = self._pop_timed()
+                if event is None:
+                    continue
+                if self._now > before:
                     stats.time_advances += 1
+            if event.__class__ is _Deferred:
                 stats.deferred_calls += 1
                 event.fn(*event.args)
+                dfree.append(event)
                 continue
             if event.abandoned:
                 continue
-            if when > self._now:
-                self._now = when
-                stats.time_advances += 1
             callbacks = event.callbacks
             event.callbacks = None
             stats.events += 1

@@ -12,7 +12,8 @@ These are the building blocks the hardware and runtime models use:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Sequence
+from collections import deque
+from typing import Any, Generator, List, Sequence
 
 from .core import Environment, Event
 
@@ -105,7 +106,7 @@ class Semaphore:
         self._req_name = "req:" + name
         self.capacity = capacity
         self._available = capacity
-        self._queue: List[Event] = []
+        self._queue: deque = deque()
 
     @property
     def available(self) -> int:
@@ -142,9 +143,9 @@ class Semaphore:
         # Skip waiters whose process was interrupted away from the request
         # — granting them a token would leak it forever.
         while self._queue and self._queue[0].abandoned:
-            self._queue.pop(0)
+            self._queue.popleft()
         if self._queue:
-            self._queue.pop(0).succeed()
+            self._queue.popleft().succeed()
         else:
             if self._available >= self.capacity:
                 raise RuntimeError(f"semaphore {self.name!r} over-released")
@@ -158,32 +159,32 @@ class AllOf(Event):
     constituent fails, this condition fails with the first failure.
     """
 
-    __slots__ = ("_events", "_pending_count", "_results")
+    __slots__ = ("_events", "_pending_count")
 
     def __init__(self, env: Environment, events: Sequence[Event]):
         super().__init__(env, name="all_of")
         self._events = list(events)
-        self._results: Dict[int, Any] = {}
         self._pending_count = len(self._events)
         if self._pending_count == 0:
             self.succeed([])
             return
-        for idx, ev in enumerate(self._events):
-            ev.add_callback(self._make_cb(idx))
+        # One shared bound-method callback for every constituent (closures
+        # per event are pure allocation churn): constituent values are
+        # read back from the events themselves at completion, which gives
+        # the identical input-order list.
+        on_child = self._on_child
+        for ev in self._events:
+            ev.add_callback(on_child)
 
-    def _make_cb(self, idx: int):
-        def _cb(ev: Event) -> None:
-            if self.triggered:
-                return
-            if ev.exception is not None:
-                self.fail(ev.exception)
-                return
-            self._results[idx] = ev._value
-            self._pending_count -= 1
-            if self._pending_count == 0:
-                self.succeed([self._results[i]
-                              for i in range(len(self._events))])
-        return _cb
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._exception is not None:
+            self.fail(ev._exception)
+            return
+        self._pending_count -= 1
+        if self._pending_count == 0:
+            self.succeed([e._value for e in self._events])
 
 
 class AnyOf(Event):
@@ -200,18 +201,19 @@ class AnyOf(Event):
         self._events = list(events)
         if not self._events:
             raise ValueError("AnyOf of zero events would never fire")
-        for idx, ev in enumerate(self._events):
-            ev.add_callback(self._make_cb(idx))
+        on_child = self._on_child
+        for ev in self._events:
+            ev.add_callback(on_child)
 
-    def _make_cb(self, idx: int):
-        def _cb(ev: Event) -> None:
-            if self.triggered:
-                return
-            if ev.exception is not None:
-                self.fail(ev.exception)
-            else:
-                self.succeed((idx, ev._value))
-        return _cb
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._exception is not None:
+            self.fail(ev._exception)
+        else:
+            # index() finds the first occurrence, which is exactly the
+            # constituent whose callback fires first for duplicates.
+            self.succeed((self._events.index(ev), ev._value))
 
 
 def wait_all(env: Environment,

@@ -311,3 +311,64 @@ def test_process_requires_generator():
     env = Environment()
     with pytest.raises(TypeError):
         env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_step_drops_abandoned_timers():
+    """Regression: step() must drop abandoned timers exactly like run()
+    does, instead of firing the losing arm of a bounded wait, and must
+    not advance the clock for a dropped entry."""
+    env = Environment()
+    fired = []
+    loser = env.timeout(1.0)
+    loser.add_callback(lambda e: fired.append("loser"))
+    loser.abandoned = True
+    winner = env.timeout(2.0)
+    winner.add_callback(lambda e: fired.append("winner"))
+    env.step()
+    assert fired == ["winner"]
+    assert env.now == 2.0
+
+
+def test_step_drops_abandoned_due_entries():
+    env = Environment()
+    fired = []
+    loser = env.timeout(0.0)
+    loser.add_callback(lambda e: fired.append("loser"))
+    loser.abandoned = True
+    winner = env.timeout(0.0)
+    winner.add_callback(lambda e: fired.append("winner"))
+    env.step()
+    assert fired == ["winner"]
+    assert env.now == 0.0
+
+
+def test_step_raises_when_only_abandoned_entries_remain():
+    env = Environment()
+    ev = env.timeout(1.0)
+    ev.abandoned = True
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_step_and_run_agree_on_abandoned_heavy_schedule():
+    """Driving the same workload by repeated step() calls yields the
+    run() dispatch order even with interleaved abandoned entries."""
+    def build():
+        env = Environment()
+        fired = []
+        for i in range(6):
+            ev = env.timeout(0.25 * i)
+            ev.add_callback(lambda e, i=i: fired.append((env.now, i)))
+            if i % 2:
+                ev.abandoned = True
+        return env, fired
+
+    env_a, fired_a = build()
+    env_a.run()
+    env_b, fired_b = build()
+    while True:
+        try:
+            env_b.step()
+        except SimulationError:
+            break
+    assert fired_a == fired_b == [(0.0, 0), (0.5, 2), (1.0, 4)]
