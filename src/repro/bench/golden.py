@@ -13,6 +13,17 @@ current kernel reproduces them **exactly** — ``==`` on floats, not
 Regenerate the fixture (only after an *intentional* model change) with::
 
     PYTHONPATH=src python -m repro.bench.golden tests/fixtures/golden_timestamps.json
+
+A second fixture freezes the *per-communication-backend* schedules
+(``tests/fixtures/comm_backend_timestamps.json``): the same ping-pong and
+overlap miniatures, run once per backend in
+:data:`~repro.hw.config.COMM_BACKENDS`.  Its proxy entries must stay
+bit-identical to the corresponding ``fig6``/``fig7``/``fig8`` entries of
+the main fixture (the proxy backend *is* the historical code path), and
+its device/stream entries pin those backends' cost models.  Regenerate
+with::
+
+    PYTHONPATH=src python -m repro.bench.golden --backends tests/fixtures/comm_backend_timestamps.json
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ from typing import Callable, Dict
 from ..apps.diffusion import DiffusionWorkload
 from ..apps.particles import ParticleWorkload
 from ..apps.spmv import SpmvWorkload
+from ..hw.config import COMM_BACKENDS, greina
 from .overlap import run_overlap
 from .pingpong import run_pingpong
 from .weak_scaling import (
@@ -32,7 +44,8 @@ from .weak_scaling import (
     stencil_weak_scaling,
 )
 
-__all__ = ["GOLDEN_WORKLOADS", "capture", "write_fixture"]
+__all__ = ["GOLDEN_WORKLOADS", "capture", "write_fixture",
+           "capture_backends", "write_backend_fixture"]
 
 
 def _rows(table, label: str) -> Dict[str, float]:
@@ -109,6 +122,45 @@ def capture() -> Dict[str, float]:
     return out
 
 
+def _backend_probe(backend: str) -> Dict[str, float]:
+    """The fig6/fig7/fig8 miniatures on one communication backend.
+
+    The workload shapes are *identical* to :func:`_fig6`/:func:`_fig7`/
+    :func:`_fig8` so the ``proxy.*`` entries can be cross-checked for
+    bit-equality against the main fixture.
+    """
+    cfg = greina(comm_backend=backend)
+    shared = run_pingpong(shared=True, packet_bytes=256, iterations=4,
+                          cfg=cfg)
+    dist = run_pingpong(shared=False, packet_bytes=256, iterations=4,
+                        cfg=cfg)
+    newton = run_overlap("newton", compute_iters=4, steps=2, num_nodes=2,
+                         ranks_per_device=4, cfg=cfg)
+    copy = run_overlap("copy", compute_iters=4, steps=2, num_nodes=2,
+                       ranks_per_device=4, cfg=cfg)
+    return {f"{backend}.pingpong.shared.latency": shared.latency,
+            f"{backend}.pingpong.distributed.latency": dist.latency,
+            f"{backend}.overlap.newton.elapsed": newton.elapsed,
+            f"{backend}.overlap.copy.elapsed": copy.elapsed}
+
+
+def capture_backends() -> Dict[str, float]:
+    """Run the backend miniatures on every registered backend."""
+    out: Dict[str, float] = {}
+    for backend in COMM_BACKENDS:
+        out.update(_backend_probe(backend))
+    return out
+
+
+def write_backend_fixture(path: str) -> Dict[str, float]:
+    """Capture and persist the per-backend golden timestamps as JSON."""
+    values = capture_backends()
+    with open(path, "w") as fh:
+        json.dump(values, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return values
+
+
 def write_fixture(path: str) -> Dict[str, float]:
     """Capture and persist the golden timestamps as JSON.
 
@@ -123,12 +175,22 @@ def write_fixture(path: str) -> Dict[str, float]:
 
 
 if __name__ == "__main__":  # pragma: no cover - capture utility
-    target = sys.argv[1] if len(sys.argv) > 1 else "golden_timestamps.json"
+    argv = sys.argv[1:]
+    backends = "--backends" in argv
+    argv = [a for a in argv if a != "--backends"]
+    default = ("comm_backend_timestamps.json" if backends
+               else "golden_timestamps.json")
+    target = argv[0] if argv else default
     if target.startswith("-"):
-        print("usage: python -m repro.bench.golden [output.json]\n"
-              "(captures the fixture; the exactness *check* is "
-              "tests/integration/test_golden_timestamps.py)",
+        print("usage: python -m repro.bench.golden [--backends] "
+              "[output.json]\n"
+              "(captures a fixture; the exactness *checks* are "
+              "tests/integration/test_golden_timestamps.py and "
+              "tests/comm/test_golden_backends.py)",
               file=sys.stderr)
         sys.exit(2)
-    vals = write_fixture(target)
+    if backends:
+        vals = write_backend_fixture(target)
+    else:
+        vals = write_fixture(target)
     print(f"captured {len(vals)} golden timestamps -> {target}")

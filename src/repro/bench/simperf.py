@@ -115,10 +115,16 @@ def synthetic_throughput(num_procs: int = 64,
 
 def diffusion_throughput(wl: Optional[DiffusionWorkload] = None,
                          num_nodes: int = 2,
-                         ranks_per_device: int = 16) -> SimPerfResult:
-    """End-to-end throughput of one dCUDA diffusion run (Fig. 10 stack)."""
+                         ranks_per_device: int = 16,
+                         comm_backend: str = "proxy") -> SimPerfResult:
+    """End-to-end throughput of one dCUDA diffusion run (Fig. 10 stack).
+
+    *comm_backend* selects the communication backend under test; the
+    proxy path drives far more host/PCIe machinery per message than the
+    device-initiated one, so events/s is a per-backend quantity.
+    """
     wl = wl or DiffusionWorkload(ni=32, nj_per_device=32, nk=8, steps=4)
-    cluster = Cluster(greina(num_nodes))
+    cluster = Cluster(greina(num_nodes, comm_backend=comm_backend))
     t0 = time.perf_counter()
     elapsed, _out, _profile = run_dcuda_diffusion(cluster, wl,
                                                   ranks_per_device)
@@ -149,13 +155,17 @@ def best_of(fn, repeats: int) -> SimPerfResult:
 QUICK_REPEATS = 3
 
 
-def simperf_specs(quick: bool = True, repeats: Optional[int] = None) -> list:
+def simperf_specs(quick: bool = True, repeats: Optional[int] = None,
+                  comm_backend: str = "proxy") -> list:
     """The two probes as (non-cacheable) engine specs.
 
     *quick* keeps the runtime to a couple of seconds (the CI smoke
     setting); the full setting uses the figure-scale diffusion workload.
     *repeats* overrides the steady-state best-of-N policy (default:
     ``QUICK_REPEATS`` for quick mode, a single run at figure scale).
+    *comm_backend* selects the communication backend for the diffusion
+    probe (the synthetic probe runs below the runtime and has no
+    backend); non-default backends are reflected in the spec label.
     """
     from ..exec import RunSpec
 
@@ -174,10 +184,17 @@ def simperf_specs(quick: bool = True, repeats: Optional[int] = None) -> list:
                                       steps=10),
                  num_nodes=2, ranks_per_device=208),
         ]
+    specs = []
     for p in probes:
         p["repeats"] = repeats
-    return [RunSpec("simperf_probe", p, label=f"simperf:{p['probe']}",
-                    cacheable=False) for p in probes]
+        label = f"simperf:{p['probe']}"
+        if p["probe"] == "diffusion":
+            p["comm_backend"] = comm_backend
+            if comm_backend != "proxy":
+                label += f":{comm_backend}"
+        specs.append(RunSpec("simperf_probe", p, label=label,
+                             cacheable=False))
+    return specs
 
 
 def simperf_table(results: List[SimPerfResult]) -> Table:
@@ -318,6 +335,11 @@ def main(argv=None) -> int:  # pragma: no cover - thin CLI
     parser.add_argument("--repeats", type=int, default=None, metavar="N",
                         help="best-of-N steady-state measurement "
                              "(default: 3 quick, 1 full)")
+    parser.add_argument("--backend", type=str, default="proxy",
+                        metavar="NAME",
+                        help="communication backend for the diffusion "
+                             "probe: proxy, device, or stream "
+                             "(default: proxy)")
     parser.add_argument("--profile", action="store_true",
                         help="run each probe under cProfile and print the "
                              "top-25 cumulative table instead of measuring")
@@ -338,7 +360,8 @@ def main(argv=None) -> int:  # pragma: no cover - thin CLI
         print(profile_probes(quick=quick))
         return 0
     workers = args.workers if args.workers is not None else default_workers()
-    report = run_specs(simperf_specs(quick=quick, repeats=args.repeats),
+    report = run_specs(simperf_specs(quick=quick, repeats=args.repeats,
+                                     comm_backend=args.backend),
                        workers=workers)
     print(simperf_table(report.results).render())
     print(f"engine: {report.summary()}")

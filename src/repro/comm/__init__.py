@@ -1,0 +1,39 @@
+"""Pluggable communication backends (RMA initiation schemes).
+
+Selected by ``MachineConfig.comm_backend``; see :mod:`repro.comm.base`
+for the protocol and the three implementations:
+
+* :class:`~repro.comm.proxy.ProxyBackend` — host block manager (paper),
+* :class:`~repro.comm.device.DeviceBackend` — GPU-initiated symmetric
+  heap,
+* :class:`~repro.comm.stream.StreamBackend` — deferred stream-triggered
+  ops.
+"""
+
+from ..errors import DCudaUsageError
+from ..hw.config import COMM_BACKENDS
+from .base import CommBackend
+from .device import DeviceBackend
+from .proxy import ProxyBackend
+from .stream import StreamBackend
+
+__all__ = ["COMM_BACKENDS", "CommBackend", "ProxyBackend", "DeviceBackend",
+           "StreamBackend", "build_backend"]
+
+_REGISTRY = {cls.name: cls
+             for cls in (ProxyBackend, DeviceBackend, StreamBackend)}
+assert tuple(sorted(_REGISTRY)) == tuple(sorted(COMM_BACKENDS))
+
+
+def build_backend(name: str, runtime) -> CommBackend:
+    """Instantiate the backend *name* for *runtime*.
+
+    Raises:
+        DCudaUsageError: *name* is not a registered backend.
+    """
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise DCudaUsageError(
+            f"unknown comm backend {name!r}; expected one of "
+            f"{COMM_BACKENDS}")
+    return cls(runtime)

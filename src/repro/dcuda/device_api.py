@@ -36,10 +36,7 @@ from ..hw.gpu import Block, Device
 from ..runtime.commands import (
     BarrierCommand,
     FinishCommand,
-    GetCommand,
     LogCommand,
-    NotifyCommand,
-    PutCommand,
     WinCreateCommand,
     WinFreeCommand,
 )
@@ -256,19 +253,9 @@ class DRank:
         src = np.asarray(src)
         win.check_target(target_rank, target_offset, src.size)
         flush_id = self._issue_flush_id(win)
-        if self._is_shared(target_rank):
-            yield from self._shared_put(win, target_rank, target_offset,
-                                        src, tag, flush_id, notify)
-        else:
-            yield from self._assemble()
-            # Snapshot at issue time: the block manager isends later, and
-            # the application may legitimately start its next compute phase
-            # (overwriting the source) as soon as its own waits complete.
-            yield from self.state.cmd_queue.enqueue(PutCommand(
-                origin_rank=self.world_rank, global_win_id=win.global_id,
-                target_rank=target_rank, target_offset=target_offset,
-                count=int(src.size), src=src.copy(), tag=tag,
-                flush_id=flush_id, notify=notify))
+        yield from self.runtime.comm.put(self, win, target_rank,
+                                         target_offset, src, tag, flush_id,
+                                         notify)
 
     def put(self, win: Window, target_rank: int, target_offset: int,
             src: np.ndarray, tag: int = 0) -> Generator[Event, Any, None]:
@@ -317,16 +304,9 @@ class DRank:
             raise ValueError("get destination must be writeable")
         win.check_target(target_rank, target_offset, dst.size)
         flush_id = self._issue_flush_id(win)
-        if self._is_shared(target_rank):
-            yield from self._shared_get(win, target_rank, target_offset,
-                                        dst, tag, flush_id, notify)
-        else:
-            yield from self._assemble()
-            yield from self.state.cmd_queue.enqueue(GetCommand(
-                origin_rank=self.world_rank, global_win_id=win.global_id,
-                target_rank=target_rank, target_offset=target_offset,
-                count=int(dst.size), dst=dst, tag=tag, flush_id=flush_id,
-                notify=notify))
+        yield from self.runtime.comm.get(self, win, target_rank,
+                                         target_offset, dst, tag, flush_id,
+                                         notify)
 
     def get(self, win: Window, target_rank: int, target_offset: int,
             dst: np.ndarray, tag: int = 0) -> Generator[Event, Any, None]:
@@ -563,10 +543,11 @@ class DRank:
         return (self.runtime.placement.device_of(target_rank)
                 == (self.node.index, self.gpu_index))
 
-    def _shared_put(self, win: Window, target_rank: int, target_offset: int,
-                    src: np.ndarray, tag: int, flush_id: int, notify: bool):
-        """Shared-memory put: the device moves the data itself; only the
-        notification loops through the host (§III-B)."""
+    def _shared_copy_put(self, win: Window, target_rank: int,
+                         target_offset: int, src: np.ndarray):
+        """Shared-memory put data movement: the device moves the data
+        itself (§III-B); how the notification travels afterwards is the
+        communication backend's business."""
         dst_buf = self.system.window_buffer(win.global_id, target_rank)
         if target_offset + src.size > dst_buf.size:
             raise IndexError(
@@ -595,15 +576,10 @@ class DRank:
             yield from self.device.copy(self.block, float(src.nbytes),
                                         detail="shared-put")
             dst_buf[target_offset:target_offset + src.size] = src
-        yield from self._assemble()
-        yield from self.state.cmd_queue.enqueue(NotifyCommand(
-            origin_rank=self.world_rank, global_win_id=win.global_id,
-            target_rank=target_rank, tag=tag, flush_id=flush_id,
-            notify=notify))
 
-    def _shared_get(self, win: Window, target_rank: int, target_offset: int,
-                    dst: np.ndarray, tag: int, flush_id: int, notify: bool):
-        """Shared-memory get: device-side copy, self-notification via host."""
+    def _shared_copy_get(self, win: Window, target_rank: int,
+                         target_offset: int, dst: np.ndarray):
+        """Shared-memory get data movement: device-side copy."""
         src_buf = self.system.window_buffer(win.global_id, target_rank)
         if target_offset + dst.size > src_buf.size:
             raise IndexError(
@@ -622,8 +598,3 @@ class DRank:
             yield from self.device.copy(self.block, float(dst.nbytes),
                                         detail="shared-get")
             dst[:] = src_buf[target_offset:target_offset + dst.size]
-        yield from self._assemble()
-        yield from self.state.cmd_queue.enqueue(NotifyCommand(
-            origin_rank=target_rank, global_win_id=win.global_id,
-            target_rank=self.world_rank, tag=tag, flush_id=flush_id,
-            notify=notify))

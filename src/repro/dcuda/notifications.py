@@ -35,12 +35,29 @@ from ..runtime.commands import Notification
 from ..runtime.state import RankState
 from ..sim import AnyOf, Event
 
-__all__ = ["NotificationMatcher", "DCUDA_ANY_SOURCE", "DCUDA_ANY_TAG",
-           "DCUDA_ANY_WINDOW"]
+__all__ = ["NotificationMatcher", "deliver", "DCUDA_ANY_SOURCE",
+           "DCUDA_ANY_TAG", "DCUDA_ANY_WINDOW"]
 
 DCUDA_ANY_SOURCE = -1
 DCUDA_ANY_TAG = -1
 DCUDA_ANY_WINDOW = -1
+
+
+def deliver(state: RankState, global_win_id, source: int,
+            tag: int) -> Generator[Event, Any, None]:
+    """Enqueue one notification on *state*'s queue.
+
+    The single delivery point shared by every communication backend (and
+    the block manager): translates the global window id to the owner's
+    local id and enqueues the :class:`Notification` the matcher consumes.
+    Who *calls* it differs per backend — the host block manager (proxy),
+    the NIC completion path (device-initiated), or the triggered-op
+    engine (stream) — but the queue entry, and therefore everything the
+    matcher can observe, is identical.
+    """
+    local_win = state.win_reverse[global_win_id]
+    yield from state.notif_queue.enqueue(
+        Notification(win_id=local_win, source=source, tag=tag))
 
 
 class _Entry:

@@ -101,6 +101,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="topo: nodes per topology (default 4)")
     run.add_argument("--topo-gpus", type=int, default=2,
                      help="topo: GPUs per node (default 2)")
+    run.add_argument("--backend", type=str, default=None, metavar="NAMES",
+                     help="topo/simperf: comma-separated communication "
+                          "backends to sweep (proxy, device, stream; "
+                          "default: proxy)")
 
     status = sub.add_parser("status", help="census the result cache")
     status.add_argument("--cache-dir", type=str, default=DEFAULT_CACHE_DIR)
@@ -117,12 +121,15 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_run(args) -> int:
     kinds = (tuple(k.strip() for k in args.topology.split(",") if k.strip())
              if args.topology else None)
+    backends = (tuple(b.strip() for b in args.backend.split(",")
+                      if b.strip())
+                if args.backend else None)
     suite = build_suite(args.suite, seeds=args.seeds, nodes=args.nodes,
                         ranks=args.ranks, steps=args.steps,
                         iterations=args.iterations,
                         verify=not args.no_verify, full=args.full,
                         topology=kinds, topo_nodes=args.topo_nodes,
-                        topo_gpus=args.topo_gpus)
+                        topo_gpus=args.topo_gpus, backends=backends)
     workers = (args.workers if args.workers is not None
                else default_workers())
     cache = None if args.no_cache else ResultCache(args.cache_dir)

@@ -38,11 +38,13 @@ def chaos_case(params: Mapping[str, Any], shared: Mapping[str, Any]):
     """One seeded fault-injection run of the diffusion mini-app.
 
     Params: ``seed``, ``num_nodes``, ``ranks_per_device``, optional
-    ``wl`` (:class:`~repro.apps.diffusion.DiffusionWorkload`) and ``cfg``
-    (:class:`~repro.faults.config.FaultsConfig`).  The fault-free
-    baseline field arrives via ``shared["baseline"]`` — computed once by
-    the sweep driver, not per worker — falling back to the per-process
-    baseline cache when absent.
+    ``wl`` (:class:`~repro.apps.diffusion.DiffusionWorkload`), ``cfg``
+    (:class:`~repro.faults.config.FaultsConfig`), and ``comm_backend``
+    (the chaos contract holds per backend; the param salts the spec
+    digest so per-backend outcomes never share cache entries).  The
+    fault-free baseline field arrives via ``shared["baseline"]`` —
+    computed once by the sweep driver, not per worker — falling back to
+    the per-process baseline cache when absent.
 
     Returns:
         A :class:`~repro.faults.report.ChaosOutcome`.
@@ -53,7 +55,8 @@ def chaos_case(params: Mapping[str, Any], shared: Mapping[str, Any]):
                           num_nodes=params.get("num_nodes", 2),
                           ranks_per_device=params.get("ranks_per_device", 2),
                           wl=params.get("wl"), cfg=params.get("cfg"),
-                          baseline=shared.get("baseline"))
+                          baseline=shared.get("baseline"),
+                          comm_backend=params.get("comm_backend", "proxy"))
 
 
 @entrypoint("pingpong_point")
@@ -61,17 +64,25 @@ def pingpong_point(params: Mapping[str, Any], shared: Mapping[str, Any]):
     """One Fig. 6 ping-pong measurement.
 
     Params: ``shared_mem`` (bool), ``packet_bytes``, ``iterations``,
-    optional ``cfg`` (:class:`~repro.hw.config.MachineConfig`).
+    optional ``cfg`` (:class:`~repro.hw.config.MachineConfig`) and
+    ``comm_backend`` (builds a preset config when no ``cfg`` is given;
+    either way the backend choice is part of the spec digest).
 
     Returns:
         A :class:`~repro.bench.pingpong.PingPongResult`.
     """
     from ..bench.pingpong import run_pingpong
 
+    cfg = params.get("cfg")
+    backend = params.get("comm_backend")
+    if cfg is None and backend is not None:
+        from ..hw.config import greina
+
+        cfg = greina(comm_backend=backend)
     return run_pingpong(params["shared_mem"],
                         params.get("packet_bytes", 0),
                         params.get("iterations", 100),
-                        cfg=params.get("cfg"))
+                        cfg=cfg)
 
 
 @entrypoint("topology_point")
@@ -80,8 +91,8 @@ def topology_point(params: Mapping[str, Any], shared: Mapping[str, Any]):
 
     Params: ``kind`` (``"flat"`` | ``"fat_tree"`` | ``"ring"``),
     ``num_nodes``, ``gpus_per_node``, ``oversubscription`` (fat-tree),
-    ``a``/``b`` (the two ranks' ``(node, gpu)`` devices), and the usual
-    ``packet_bytes``/``iterations``.
+    ``a``/``b`` (the two ranks' ``(node, gpu)`` devices), the usual
+    ``packet_bytes``/``iterations``, and optional ``comm_backend``.
 
     Returns:
         A :class:`~repro.bench.pingpong.PingPongResult`.
@@ -104,7 +115,9 @@ def topology_point(params: Mapping[str, Any], shared: Mapping[str, Any]):
         from ..errors import DCudaUsageError
 
         raise DCudaUsageError(f"unknown interconnect kind {kind!r}")
-    return run_pingpong_pair(greina(topology=topo),
+    cfg = greina(topology=topo,
+                 comm_backend=params.get("comm_backend", "proxy"))
+    return run_pingpong_pair(cfg,
                              a=tuple(params.get("a", (0, 0))),
                              b=tuple(params.get("b", (1, 0))),
                              packet_bytes=params.get("packet_bytes", 1024),
@@ -253,8 +266,8 @@ def simperf_probe(params: Mapping[str, Any], shared: Mapping[str, Any]):
 
     Params: ``probe`` = ``"synthetic"`` (``num_procs``, ``hops``) or
     ``"diffusion"`` (optional ``wl``, ``num_nodes``,
-    ``ranks_per_device``); both accept ``repeats`` (best-of-N
-    steady-state measurement, default 1).  Specs built from this
+    ``ranks_per_device``, ``comm_backend``); both accept ``repeats``
+    (best-of-N steady-state measurement, default 1).  Specs built from this
     entrypoint must set ``cacheable=False`` — replaying a cached
     wall-clock measurement would report the disk's speed, not the
     simulator's.
@@ -279,7 +292,8 @@ def simperf_probe(params: Mapping[str, Any], shared: Mapping[str, Any]):
             lambda: diffusion_throughput(
                 wl=params.get("wl"),
                 num_nodes=params.get("num_nodes", 2),
-                ranks_per_device=params.get("ranks_per_device", 16)),
+                ranks_per_device=params.get("ranks_per_device", 16),
+                comm_backend=params.get("comm_backend", "proxy")),
             repeats)
     from ..errors import DCudaUsageError
 

@@ -151,8 +151,30 @@ def _weak_scaling_suite(name: str, app: str, node_counts: Sequence[int],
     return Suite(name, specs, assemble=assemble)
 
 
+#: Overlap-miniature shape for the topo suite's efficiency report.
+#: 26 ranks/device = 2 blocks per SM on the Greina GPU — enough
+#: over-subscription that the SM can hide halo waits behind compute.
+_TOPO_OVERLAP = dict(mode="copy", compute_iters=64, steps=4,
+                     ranks_per_device=26, halo_bytes=1024)
+
+
+def _topo_overlap_cfg(kind: str, nodes: int, gpus: int, backend: str):
+    """Machine config for one (backend, topology) overlap miniature."""
+    from ..hw.config import greina
+    from ..platform import fat_tree, flat, ring
+
+    if kind == "flat":
+        topo = flat(num_nodes=nodes, gpus_per_node=gpus)
+    elif kind == "fat_tree":
+        topo = fat_tree(num_nodes=nodes, gpus_per_node=gpus)
+    else:
+        topo = ring(nodes, gpus_per_node=gpus)
+    return greina(topology=topo, comm_backend=backend)
+
+
 def _topo_suite(kinds: Sequence[str], nodes: int, gpus: int,
-                iterations: int) -> Suite:
+                iterations: int,
+                backends: Sequence[str] = ("proxy",)) -> Suite:
     from ..bench.table import Table
 
     # "far" is the ring diameter (nodes//2), which is also the last node
@@ -163,31 +185,65 @@ def _topo_suite(kinds: Sequence[str], nodes: int, gpus: int,
     specs = [RunSpec("topology_point",
                      dict(kind=kind, num_nodes=nodes, gpus_per_node=gpus,
                           a=a, b=b, packet_bytes=1024,
-                          iterations=iterations),
-                     label=f"topo:{kind}:{pair}")
+                          iterations=iterations, comm_backend=backend),
+                     label=f"topo:{backend}:{kind}:{pair}")
+             for backend in backends
              for kind in kinds for pair, a, b in pairs]
+    # One overlap miniature per (backend, topology): compute&exchange,
+    # compute-only, exchange-only — the three terms of the overlap
+    # efficiency (compute + exchange - both) / exchange.
+    variants = [("both", True, True), ("compute", True, False),
+                ("exchange", False, True)]
+    for backend in backends:
+        for kind in kinds:
+            cfg = _topo_overlap_cfg(kind, nodes, gpus, backend)
+            for vname, do_compute, do_exchange in variants:
+                params = dict(_TOPO_OVERLAP, num_nodes=nodes, cfg=cfg,
+                              do_compute=do_compute,
+                              do_exchange=do_exchange)
+                if not do_compute:
+                    params["compute_iters"] = 0
+                specs.append(RunSpec(
+                    "overlap_point", params,
+                    label=f"topo-overlap:{backend}:{kind}:{vname}"))
 
     def assemble(results):
         table = Table(f"Topology matrix - 1 KiB put latency "
                       f"({nodes} nodes x {gpus} GPU(s))",
-                      ["interconnect", "pair", "latency [us]",
+                      ["backend", "interconnect", "pair", "latency [us]",
                        "bandwidth [MB/s]"])
         i = 0
-        for kind in kinds:
-            for pair, _a, _b in pairs:
-                r = results[i]
-                i += 1
-                table.add_row(kind, pair, r.latency * 1e6,
-                              r.bandwidth / 1e6)
-        return table.render()
+        for backend in backends:
+            for kind in kinds:
+                for pair, _a, _b in pairs:
+                    r = results[i]
+                    i += 1
+                    table.add_row(backend, kind, pair, r.latency * 1e6,
+                                  r.bandwidth / 1e6)
+        eff = Table("Overlap efficiency per (backend, topology) - "
+                    "copy kernel, 64 iters/exchange",
+                    ["backend", "interconnect", "both [us]",
+                     "compute [us]", "exchange [us]", "efficiency"])
+        for backend in backends:
+            for kind in kinds:
+                both, comp, ex = (results[i].elapsed,
+                                  results[i + 1].elapsed,
+                                  results[i + 2].elapsed)
+                i += 3
+                efficiency = (comp + ex - both) / ex if ex > 0 else 0.0
+                eff.add_row(backend, kind, both * 1e6, comp * 1e6,
+                            ex * 1e6, efficiency)
+        eff.add_note("efficiency = (compute-only + exchange-only - both)"
+                     " / exchange-only; 1.0 = full overlap")
+        return table.render() + "\n\n" + eff.render()
 
     return Suite("topo", specs, assemble=assemble)
 
 
-def _simperf_suite(quick: bool) -> Suite:
+def _simperf_suite(quick: bool, comm_backend: str = "proxy") -> Suite:
     from ..bench.simperf import simperf_specs, simperf_table
 
-    specs = simperf_specs(quick=quick)
+    specs = simperf_specs(quick=quick, comm_backend=comm_backend)
 
     def assemble(results):
         return simperf_table(results).render()
@@ -205,7 +261,8 @@ def build_suite(name: str, *, seeds: int = 50, nodes: int = 2,
                 node_counts: Optional[Sequence[int]] = None,
                 verify: bool = True, full: bool = False,
                 topology: Optional[Sequence[str]] = None,
-                topo_nodes: int = 4, topo_gpus: int = 2) -> Suite:
+                topo_nodes: int = 4, topo_gpus: int = 2,
+                backends: Optional[Sequence[str]] = None) -> Suite:
     """Construct a named suite with the given knobs.
 
     Args:
@@ -221,6 +278,8 @@ def build_suite(name: str, *, seeds: int = 50, nodes: int = 2,
         topology: topo: interconnect kinds to sweep (all three when
             ``None``).
         topo_nodes/topo_gpus: topo: machine shape per kind.
+        backends: topo/simperf: communication backends to sweep
+            (``("proxy",)`` when ``None``; simperf uses the first).
 
     Raises:
         DCudaUsageError: Unknown suite name.
@@ -247,6 +306,14 @@ def build_suite(name: str, *, seeds: int = 50, nodes: int = 2,
     if name == "fig11":
         return _weak_scaling_suite("fig11", "spmv",
                                    node_counts or (1, 4, 9), verify)
+    backend_list = tuple(backends) if backends else ("proxy",)
+    from ..hw.config import COMM_BACKENDS
+
+    for backend in backend_list:
+        if backend not in COMM_BACKENDS:
+            raise DCudaUsageError(
+                f"unknown comm backend {backend!r}; available: "
+                f"{', '.join(COMM_BACKENDS)}")
     if name == "topo":
         from ..platform import INTERCONNECT_KINDS
 
@@ -256,8 +323,10 @@ def build_suite(name: str, *, seeds: int = 50, nodes: int = 2,
                 raise DCudaUsageError(
                     f"unknown interconnect kind {kind!r}; available: "
                     f"{', '.join(INTERCONNECT_KINDS)}")
-        return _topo_suite(kinds, topo_nodes, topo_gpus, iterations)
+        return _topo_suite(kinds, topo_nodes, topo_gpus, iterations,
+                           backends=backend_list)
     if name == "simperf":
-        return _simperf_suite(quick=not full)
+        return _simperf_suite(quick=not full,
+                              comm_backend=backend_list[0])
     raise DCudaUsageError(
         f"unknown suite {name!r}; available: {', '.join(SUITE_NAMES)}")

@@ -74,22 +74,25 @@ class ChaosOutcome:
 _baseline_cache: Dict[tuple, Tuple[float, np.ndarray]] = {}
 
 
-def baseline_field(wl, num_nodes: int, ranks_per_device: int
-                   ) -> Tuple[float, np.ndarray]:
+def baseline_field(wl, num_nodes: int, ranks_per_device: int,
+                   comm_backend: str = "proxy") -> Tuple[float, np.ndarray]:
     """Fault-free diffusion run: ``(elapsed, final field)``, cached.
 
     The chaos contract compares numerics against a *clean dCUDA run* of
     the identical workload (itself validated against the serial reference
     by the tier-1 suite), so fault-induced divergence is isolated from any
-    model-vs-reference differences.
+    model-vs-reference differences.  The baseline runs on the same
+    *comm_backend* as the chaos case — bit-identical numerics are a
+    per-backend contract.
     """
     from ..apps.diffusion import run_dcuda_diffusion
     from ..hw import Cluster, greina
 
-    key = (wl, num_nodes, ranks_per_device)
+    key = (wl, num_nodes, ranks_per_device, comm_backend)
     cached = _baseline_cache.get(key)
     if cached is None:
-        cluster = Cluster(greina(num_nodes, faults=None))
+        cluster = Cluster(greina(num_nodes, faults=None,
+                                 comm_backend=comm_backend))
         elapsed, field, _ = run_dcuda_diffusion(cluster, wl,
                                                 ranks_per_device)
         cached = _baseline_cache[key] = (elapsed, field)
@@ -99,7 +102,8 @@ def baseline_field(wl, num_nodes: int, ranks_per_device: int
 def run_chaos_case(seed: Optional[int] = None, num_nodes: int = 2,
                    ranks_per_device: int = 2, wl=None,
                    cfg: Optional[FaultsConfig] = None,
-                   baseline: Optional[np.ndarray] = None) -> ChaosOutcome:
+                   baseline: Optional[np.ndarray] = None,
+                   comm_backend: str = "proxy") -> ChaosOutcome:
     """Run diffusion under one fault schedule and classify the outcome.
 
     Args:
@@ -112,6 +116,8 @@ def run_chaos_case(seed: Optional[int] = None, num_nodes: int = 2,
             defaults to ``FaultsConfig(enabled=True, seed=seed)``.
         baseline: Fault-free final field to compare against; computed (and
             cached) via :func:`baseline_field` when ``None``.
+        comm_backend: Communication backend the run (and any computed
+            baseline) uses — the chaos contract holds per backend.
 
     Returns:
         A :class:`ChaosOutcome`.  Exceptions other than the two typed
@@ -124,10 +130,12 @@ def run_chaos_case(seed: Optional[int] = None, num_nodes: int = 2,
         wl = DiffusionWorkload(ni=8, nj_per_device=2 * ranks_per_device,
                                nk=2, steps=2)
     if baseline is None:
-        _, baseline = baseline_field(wl, num_nodes, ranks_per_device)
+        _, baseline = baseline_field(wl, num_nodes, ranks_per_device,
+                                     comm_backend=comm_backend)
     if cfg is None:
         cfg = FaultsConfig(enabled=True, seed=seed)
-    cluster = Cluster(greina(num_nodes, faults=cfg))
+    cluster = Cluster(greina(num_nodes, faults=cfg,
+                             comm_backend=comm_backend))
     plane = cluster.faults
     try:
         elapsed, field, _ = run_dcuda_diffusion(cluster, wl,
@@ -144,7 +152,8 @@ def run_chaos_case(seed: Optional[int] = None, num_nodes: int = 2,
 
 
 def chaos_specs(seeds: Sequence[int], num_nodes: int = 2,
-                ranks_per_device: int = 2, wl=None):
+                ranks_per_device: int = 2, wl=None,
+                comm_backend: str = "proxy"):
     """Build the engine specs + shared payload for a chaos sweep.
 
     The fault-free baseline is computed *once* here (per process, cached)
@@ -165,18 +174,22 @@ def chaos_specs(seeds: Sequence[int], num_nodes: int = 2,
     if wl is None:
         wl = DiffusionWorkload(ni=8, nj_per_device=2 * ranks_per_device,
                                nk=2, steps=2)
-    _, baseline = baseline_field(wl, num_nodes, ranks_per_device)
+    _, baseline = baseline_field(wl, num_nodes, ranks_per_device,
+                                 comm_backend=comm_backend)
+    suffix = "" if comm_backend == "proxy" else f":{comm_backend}"
     specs = [RunSpec("chaos_case",
                      dict(seed=seed, num_nodes=num_nodes,
-                          ranks_per_device=ranks_per_device, wl=wl),
-                     label=f"chaos:seed{seed}")
+                          ranks_per_device=ranks_per_device, wl=wl,
+                          comm_backend=comm_backend),
+                     label=f"chaos:seed{seed}{suffix}")
              for seed in seeds]
     return specs, {"baseline": baseline}
 
 
 def chaos_sweep(seeds: Sequence[int], num_nodes: int = 2,
                 ranks_per_device: int = 2, wl=None, workers=None,
-                cache=None) -> List[ChaosOutcome]:
+                cache=None,
+                comm_backend: str = "proxy") -> List[ChaosOutcome]:
     """Run :func:`run_chaos_case` for every seed; returns all outcomes.
 
     Fans the seeds out through the sweep engine: outcomes are returned in
@@ -195,7 +208,8 @@ def chaos_sweep(seeds: Sequence[int], num_nodes: int = 2,
     """
     from ..exec import run_specs
 
-    specs, shared = chaos_specs(seeds, num_nodes, ranks_per_device, wl=wl)
+    specs, shared = chaos_specs(seeds, num_nodes, ranks_per_device, wl=wl,
+                                comm_backend=comm_backend)
     return run_specs(specs, workers=workers, cache=cache,
                      shared=shared).results
 

@@ -1,6 +1,8 @@
 """Hardware models: GPU, memory, PCIe, node, cluster, and configuration."""
 
 from .config import (
+    COMM_BACKENDS,
+    DeviceCommConfig,
     DeviceLibConfig,
     FabricConfig,
     GPUConfig,
@@ -8,6 +10,7 @@ from .config import (
     MachineConfig,
     MPICUDAConfig,
     PCIeConfig,
+    StreamCommConfig,
     greina,
 )
 from .memory import DeviceMemory
@@ -17,7 +20,8 @@ from .node import Node
 from .cluster import Cluster
 
 __all__ = [
-    "DeviceLibConfig", "FabricConfig", "GPUConfig", "HostConfig",
-    "MachineConfig", "MPICUDAConfig", "PCIeConfig", "greina",
+    "COMM_BACKENDS", "DeviceCommConfig", "DeviceLibConfig", "FabricConfig",
+    "GPUConfig", "HostConfig", "MachineConfig", "MPICUDAConfig",
+    "PCIeConfig", "StreamCommConfig", "greina",
     "DeviceMemory", "SM", "Block", "Device", "PCIeLink", "Node", "Cluster",
 ]

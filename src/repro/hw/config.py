@@ -39,9 +39,18 @@ __all__ = [
     "HostConfig",
     "DeviceLibConfig",
     "MPICUDAConfig",
+    "DeviceCommConfig",
+    "StreamCommConfig",
+    "COMM_BACKENDS",
     "MachineConfig",
     "greina",
 ]
+
+#: Registered communication-backend names (see :mod:`repro.comm`):
+#: ``proxy`` is the paper's host block-manager path, ``device`` the
+#: symmetric-heap device-initiated path, ``stream`` the deferred
+#: stream-triggered path.
+COMM_BACKENDS = ("proxy", "device", "stream")
 
 
 def _require_positive(obj, **fields) -> None:
@@ -255,6 +264,61 @@ class MPICUDAConfig:
 
 
 @dataclass(frozen=True)
+class DeviceCommConfig:
+    """Cost model for the device-initiated (symmetric-heap) backend.
+
+    Ranks issue RMA straight from the GPU: the SM issue unit pays an
+    IOMMU/ATS address translation plus the MMIO doorbell ring, and the
+    NIC picks the descriptor up without any host involvement — there is
+    no block-manager dequeue, no ``poll_latency``, no per-command host
+    occupancy.  Calibrated loosely to published GPU-NIC doorbell
+    latencies (NVSHMEM-class IBGDA initiation).
+    """
+
+    #: SM-issue occupancy of the MMIO doorbell write to the NIC [s].
+    doorbell_cost: float = 0.8e-6
+    #: IOMMU/ATS address-translation charge per RMA initiation [s].
+    translation_cost: float = 0.3e-6
+    #: Device-side completion handling (CQE poll + flush retire) [s].
+    completion_cost: float = 0.2e-6
+    #: Wire size of a get request descriptor [B].
+    request_bytes: float = 64.0
+
+    def __post_init__(self) -> None:
+        _require_positive(self, request_bytes=self.request_bytes)
+        _require_non_negative(self, doorbell_cost=self.doorbell_cost,
+                              translation_cost=self.translation_cost,
+                              completion_cost=self.completion_cost)
+
+
+@dataclass(frozen=True)
+class StreamCommConfig:
+    """Cost model for the stream-triggered (deferred-op) backend.
+
+    The device enqueues a triggered-op descriptor on a per-rank stream
+    (one cheap SM charge plus one posted PCIe write of the trigger), and
+    the fabric's triggered-op engine fires the operation once the
+    trigger commits — ordering is the stream's FIFO order, and the
+    firing latency is paid off the rank's critical path.
+    """
+
+    #: SM-issue occupancy to assemble + enqueue one descriptor [s].
+    enqueue_cost: float = 0.25e-6
+    #: Delay between the trigger commit and the engine firing the op [s].
+    trigger_latency: float = 1.2e-6
+    #: Engine-side completion handling per retired op [s].
+    completion_cost: float = 0.4e-6
+    #: Wire size of a get request descriptor [B].
+    request_bytes: float = 64.0
+
+    def __post_init__(self) -> None:
+        _require_positive(self, request_bytes=self.request_bytes)
+        _require_non_negative(self, enqueue_cost=self.enqueue_cost,
+                              trigger_latency=self.trigger_latency,
+                              completion_cost=self.completion_cost)
+
+
+@dataclass(frozen=True)
 class MachineConfig:
     """A full machine description.
 
@@ -291,6 +355,16 @@ class MachineConfig:
     #: single-GPU nodes reproduces the legacy ``rank // ranks_per_device``
     #: numbering exactly.
     placement: PlacementSpec = field(default_factory=PlacementSpec)
+    #: Communication backend — where RMA operations initiate (see
+    #: :mod:`repro.comm`).  ``"proxy"`` (default) is the paper's host
+    #: block-manager path and is schedule-preserving; ``"device"`` and
+    #: ``"stream"`` move initiation onto the GPU / onto a triggered-op
+    #: stream with their own cost models.
+    comm_backend: str = "proxy"
+    #: Cost model consumed when :attr:`comm_backend` is ``"device"``.
+    device_comm: DeviceCommConfig = field(default_factory=DeviceCommConfig)
+    #: Cost model consumed when :attr:`comm_backend` is ``"stream"``.
+    stream_comm: StreamCommConfig = field(default_factory=StreamCommConfig)
 
     def __post_init__(self) -> None:
         if not isinstance(self.num_nodes, int) or self.num_nodes < 1:
@@ -306,6 +380,18 @@ class MachineConfig:
             raise DCudaUsageError(
                 f"MachineConfig.placement must be a PlacementSpec, got "
                 f"{type(self.placement).__name__}")
+        if self.comm_backend not in COMM_BACKENDS:
+            raise DCudaUsageError(
+                f"MachineConfig.comm_backend must be one of "
+                f"{COMM_BACKENDS}, got {self.comm_backend!r}")
+        if not isinstance(self.device_comm, DeviceCommConfig):
+            raise DCudaUsageError(
+                f"MachineConfig.device_comm must be a DeviceCommConfig, "
+                f"got {type(self.device_comm).__name__}")
+        if not isinstance(self.stream_comm, StreamCommConfig):
+            raise DCudaUsageError(
+                f"MachineConfig.stream_comm must be a StreamCommConfig, "
+                f"got {type(self.stream_comm).__name__}")
 
     def with_nodes(self, num_nodes: int) -> "MachineConfig":
         """Copy of this config with a different node count.

@@ -86,6 +86,10 @@ class Device:
         self._blocks: List[Block] = []
         # Fault plane or None; queried per compute phase for block stalls.
         self._faults = faults
+        #: RMA operations initiated from this device (device-initiated
+        #: communication backends only; the proxy path goes through the
+        #: PCIe command queues and never touches this counter).
+        self.rma_initiations = 0
 
     # -- block management ---------------------------------------------------
     @property
@@ -190,6 +194,18 @@ class Device:
         t0 = self.env._now
         yield from block.sm.issue.use(duration)
         self.tracer.record(block.name, kind, t0, self.env._now, detail)
+
+    def initiate_rma(self, block: Block, duration: float,
+                     detail: str = "rma") -> Generator[Event, Any, None]:
+        """Device-initiated RMA issue: occupy *block*'s issue unit for the
+        address translation + NIC doorbell work and count the initiation.
+
+        The SM charge is the crux of the device-initiated cost model:
+        initiation competes with application compute for issue slots, the
+        same mechanism that makes notification matching "compute heavy".
+        """
+        self.rma_initiations += 1
+        return self.issue_use(block, duration, kind="comm", detail=detail)
 
     def wait(self, block: Block, event: Event,
              detail: str = "") -> Generator[Event, Any, Any]:

@@ -59,6 +59,10 @@ class _Nic:
         self.lock = Semaphore(env, 1, name=f"nic{index}")
         self.bytes_injected = 0.0
         self.messages = 0
+        # MMIO doorbell rings from device-initiated RMA (repro.comm's
+        # ``device`` backend); the proxy path never rings — the host
+        # posts work requests instead.
+        self.doorbells = 0
         # Observability: messages currently queued or injecting at this
         # NIC (occupancy series) plus byte/message counters, or None.
         self.inflight = 0
@@ -274,10 +278,20 @@ class Fabric:
             yield extra_latency
         done.succeed()
 
+    def ring_doorbell(self, node: int) -> None:
+        """Count one MMIO doorbell ring at *node*'s NIC (device-initiated
+        RMA); the issue-unit cost is charged by the device, this is the
+        NIC-side bookkeeping."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node out of range: {node} "
+                             f"(cluster has {self.num_nodes})")
+        self._nics[node].doorbells += 1
+
     # -- statistics ------------------------------------------------------------
     def nic_stats(self, node: int) -> dict:
         nic = self._nics[node]
-        return {"messages": nic.messages, "bytes": nic.bytes_injected}
+        return {"messages": nic.messages, "bytes": nic.bytes_injected,
+                "doorbells": nic.doorbells}
 
     def link_stats(self) -> Dict[str, dict]:
         """Per-topology-edge byte totals (routed interconnects only)."""

@@ -156,6 +156,15 @@ class BlockManager:
         self.env.process(self._get_completion(cmd, reply_req),
                          name=f"getdone:r{cmd.origin_rank}")
 
+    def _deliver(self, state: RankState, global_win_id, source: int,
+                 tag: int):
+        """Shared notification delivery point (see
+        :func:`repro.dcuda.notifications.deliver`); imported lazily —
+        the dcuda package imports the runtime, not vice versa."""
+        from ..dcuda.notifications import deliver
+
+        return deliver(state, global_win_id, source, tag)
+
     def _get_completion(self, cmd: GetCommand, reply_req):
         msg = yield from reply_req.wait()
         yield from self.node.host_work(self.cfg.host.request_cost)
@@ -164,21 +173,17 @@ class BlockManager:
         if cmd.notify:
             # Get notifications are delivered at the *origin* so the caller
             # can wait for its own gets (notified-access semantics).
-            local_win = self.state.win_reverse[cmd.global_win_id]
-            yield from self.state.notif_queue.enqueue(
-                Notification(win_id=local_win, source=cmd.target_rank,
-                             tag=cmd.tag))
+            yield from self._deliver(self.state, cmd.global_win_id,
+                                     cmd.target_rank, cmd.tag)
         yield from self._complete_flush(cmd.flush_id)
 
     def _handle_notify(self, cmd: NotifyCommand):
         """Shared-memory RMA: data already moved on-device; deliver the
         notification to the (same-node) target and update the flush."""
         if cmd.notify:
-            target_state = self.runtime.state_of(cmd.target_rank)
-            local_win = target_state.win_reverse[cmd.global_win_id]
-            yield from target_state.notif_queue.enqueue(
-                Notification(win_id=local_win, source=cmd.origin_rank,
-                             tag=cmd.tag))
+            yield from self._deliver(self.runtime.state_of(cmd.target_rank),
+                                     cmd.global_win_id, cmd.origin_rank,
+                                     cmd.tag)
         yield from self._complete_flush(cmd.flush_id)
 
     # ------------------------------------------------------- RMA target side --
@@ -204,10 +209,8 @@ class BlockManager:
             buf[meta.target_offset:meta.target_offset + meta.count] = \
                 msg.payload
         if meta.notify:
-            local_win = self.state.win_reverse[meta.global_win_id]
-            yield from self.state.notif_queue.enqueue(
-                Notification(win_id=local_win, source=meta.origin_rank,
-                             tag=meta.tag))
+            yield from self._deliver(self.state, meta.global_win_id,
+                                     meta.origin_rank, meta.tag)
 
     def incoming_get(self, meta: GetMeta) -> Generator[Event, Any, None]:
         """Target side of a get: read the window, send the data back."""

@@ -319,6 +319,14 @@ class DCudaRuntime:
         self._xfer_counter = 0
         self.systems = [RuntimeSystem(self, i)
                         for i in range(cluster.num_nodes)]
+        # The communication backend owns put/get initiation, notification
+        # delivery, and flush retirement (see repro.comm).  Imported
+        # lazily: repro.comm pulls in the dcuda device layer, which in
+        # turn imports this module.
+        from ..comm import build_backend
+
+        #: The configured :class:`~repro.comm.base.CommBackend` instance.
+        self.comm = build_backend(self.cfg.comm_backend, self)
 
     # -- topology ------------------------------------------------------------
     def check_rank(self, rank: int) -> None:
@@ -361,9 +369,10 @@ class DCudaRuntime:
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:
-        """Launch event handlers and block managers on every node."""
+        """Launch event handlers, block managers, and backend agents."""
         for system in self.systems:
             system.start()
+        self.comm.start()
 
     # -- invariants ------------------------------------------------------------
     def check_quiescent(self) -> List[str]:

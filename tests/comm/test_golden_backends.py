@@ -1,0 +1,89 @@
+"""Per-backend golden timestamps: a backend cannot silently change its
+cost model.
+
+``tests/fixtures/comm_backend_timestamps.json`` freezes the simulated
+times of the fig6/fig7/fig8 miniatures per communication backend.  The
+check is exact float equality — ``==``, not ``approx`` — so *any* drift
+in a backend's charged costs or event ordering fails here and forces an
+intentional fixture regeneration::
+
+    PYTHONPATH=src python -m repro.bench.golden --backends \\
+        tests/fixtures/comm_backend_timestamps.json
+
+The proxy entries double as the schedule-preservation witness: they must
+be bit-identical to the corresponding entries of the *main* golden
+fixture, proving the proxy backend is the historical code path moved
+behind an interface, not a reimplementation.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.golden import _backend_probe, capture_backends
+from repro.hw.config import COMM_BACKENDS
+
+FIXTURE = Path(__file__).parent.parent / "fixtures" / \
+    "comm_backend_timestamps.json"
+MAIN_FIXTURE = Path(__file__).parent.parent / "fixtures" / \
+    "golden_timestamps.json"
+
+#: proxy fixture key -> main-fixture key it must equal bit-for-bit.
+PROXY_ALIASES = {
+    "proxy.pingpong.shared.latency": "fig6.shared.latency",
+    "proxy.pingpong.distributed.latency": "fig6.distributed.latency",
+    "proxy.overlap.newton.elapsed": "fig7.newton.elapsed",
+    "proxy.overlap.copy.elapsed": "fig8.copy.elapsed",
+}
+
+
+@pytest.fixture(scope="module")
+def frozen():
+    with open(FIXTURE) as fh:
+        return json.load(fh)
+
+
+def test_fixture_covers_every_backend(frozen):
+    for backend in COMM_BACKENDS:
+        keys = [k for k in frozen if k.startswith(f"{backend}.")]
+        assert len(keys) == 4, (
+            f"fixture has {len(keys)} entries for backend {backend!r}; "
+            f"regenerate it after adding a backend or probe")
+
+
+@pytest.mark.parametrize("backend", COMM_BACKENDS)
+def test_backend_schedule_is_bit_identical_to_fixture(backend, frozen):
+    captured = _backend_probe(backend)
+    for key, value in captured.items():
+        assert key in frozen, (
+            f"{key} missing from fixture — regenerate "
+            f"{FIXTURE.name} after an intentional probe change")
+        assert value == frozen[key], (
+            f"{key}: captured {value!r} != frozen {frozen[key]!r} — the "
+            f"{backend} backend's schedule moved; if intentional, "
+            f"regenerate {FIXTURE.name}")
+
+
+def test_backend_fixtures_are_pairwise_distinct(frozen):
+    """Three cost models, three schedules: identical values across
+    backends would mean backend selection silently stopped working."""
+    for suffix in ("pingpong.shared.latency",
+                   "pingpong.distributed.latency",
+                   "overlap.newton.elapsed", "overlap.copy.elapsed"):
+        values = [frozen[f"{b}.{suffix}"] for b in COMM_BACKENDS]
+        assert len(set(values)) == len(values), (
+            f"{suffix}: backends share a frozen timestamp ({values})")
+
+
+def test_proxy_entries_equal_the_main_golden_fixture(frozen):
+    with open(MAIN_FIXTURE) as fh:
+        main = json.load(fh)
+    for proxy_key, main_key in PROXY_ALIASES.items():
+        assert frozen[proxy_key] == main[main_key], (
+            f"{proxy_key} != {main_key}: the proxy backend no longer "
+            f"reproduces the pre-refactor schedule bit-for-bit")
+
+
+def test_capture_backends_is_the_union_of_probes(frozen):
+    assert set(capture_backends()) == set(frozen)

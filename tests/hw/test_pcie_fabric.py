@@ -196,4 +196,6 @@ def test_nic_stats():
     env.process(proc(env))
     env.run()
     stats = fab.nic_stats(0)
-    assert stats == {"messages": 1, "bytes": 40.0}
+    assert stats == {"messages": 1, "bytes": 40.0, "doorbells": 0}
+    fab.ring_doorbell(0)
+    assert fab.nic_stats(0)["doorbells"] == 1
