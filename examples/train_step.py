@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Data-parallel SGD with an autotuned gradient allreduce.
+
+Runs the same training step — local gradients, allreduce, update — on a
+flat machine and on a 2:1-oversubscribed fat tree with NVLink-class
+intra-node links, letting the collective autotuner pick the algorithm
+family per (topology, group, message size).  Small gradients go tree
+(fewest latency terms); large gradients go ring on the flat fabric
+(bandwidth-optimal) and hierarchical on the fat tree (keep bytes off the
+congested spine).  The table prints the autotuner's predicted cost per
+family next to what actually ran.
+
+Run:  python examples/train_step.py
+"""
+
+import os
+
+import numpy as np
+
+from repro.apps.train_step import (TrainWorkload, autotune_step,
+                                   run_train_step, train_reference)
+from repro.bench import Table
+from repro.hw import Cluster, greina
+from repro.platform import fat_tree, flat
+from repro.platform.topology import LinkSpec
+
+# REPRO_TINY=1 shrinks every example to smoke-test scale (see
+# tests/integration/test_examples.py).
+TINY = os.environ.get("REPRO_TINY") == "1"
+
+NODES = 2 if TINY else 4
+GPUS = 2
+STEPS = 2 if TINY else 5
+FEATURES = (8, 64) if TINY else (8, 4096)
+
+NVLINK = LinkSpec(bandwidth=50e9, latency=0.25e-6)
+MACHINES = (
+    ("flat", flat(num_nodes=NODES * GPUS, gpus_per_node=1)),
+    ("fat_tree", fat_tree(num_nodes=NODES, gpus_per_node=GPUS,
+                          intra_link=NVLINK)),
+)
+
+
+def main() -> None:
+    ranks = NODES * GPUS
+    table = Table("autotuned data-parallel SGD",
+                  ["topology", "features", "chosen", "predicted [us]",
+                   "measured loop [us]"])
+    for name, topo in MACHINES:
+        for features in FEATURES:
+            wl = TrainWorkload(features=features, steps=STEPS)
+            cluster = Cluster(greina(topology=topo))
+            choice = autotune_step(cluster, wl)
+            elapsed, weights, info = run_train_step(cluster, wl,
+                                                    algorithm="auto")
+            if not np.allclose(weights, train_reference(wl, ranks)):
+                raise SystemExit(f"{name}/{features}: weights diverged "
+                                 f"from the serial reference")
+            predicted = choice.costs[choice.algorithm]
+            table.add_row(name, features, info["algorithm"],
+                          f"{predicted * 1e6:9.1f}",
+                          f"{elapsed * 1e6:9.1f}")
+    table.add_note(f"{ranks} replicas; gradients verified against the "
+                   "serial reference each run")
+    print(table.render())
+    print("\nDecision drivers: tree minimizes per-message latency terms "
+          "(small gradients); ring minimizes inter-node bytes (large, "
+          "flat); hierarchical keeps large gradients off the "
+          "oversubscribed spine (fat tree).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Collective operations over the notified-RMA primitives.
+
+The package splits into three layers:
+
+* :mod:`~repro.dcuda.collectives.core` — the broadcast/reduce building
+  blocks (binomial ``tree_broadcast`` / ``tree_reduce`` and the
+  device-leader ``hierarchical_broadcast``) the paper-era apps use.
+* :mod:`~repro.dcuda.collectives.algorithms` — the data-parallel ML
+  collectives (``allreduce`` / ``reduce_scatter`` / ``all_gather``) with
+  ring, tree, and hierarchical algorithm families, all placement-aware
+  and backend-invariant.
+* :mod:`~repro.dcuda.collectives.autotune` — the
+  :class:`CollectiveAutotuner`, picking the family per (topology, group,
+  message size) from an alpha-beta cost model and measured
+  ``Fabric.link_stats()``.
+
+Everything is re-exported here; ``from repro.dcuda.collectives import
+tree_broadcast`` keeps working as before the split.
+"""
+
+from .algorithms import (ALGORITHMS, all_gather, allreduce, chunk_bounds,
+                         node_groups, placement_ring_order, reduce_scatter,
+                         scratch_elems)
+from .autotune import (CollectiveAutotuner, CollectiveChoice, LinkProfile,
+                       congestion_factor)
+from .core import (hierarchical_broadcast, tree_broadcast, tree_levels,
+                   tree_reduce)
+
+__all__ = [
+    "tree_broadcast",
+    "tree_reduce",
+    "hierarchical_broadcast",
+    "tree_levels",
+    "allreduce",
+    "reduce_scatter",
+    "all_gather",
+    "ALGORITHMS",
+    "chunk_bounds",
+    "scratch_elems",
+    "placement_ring_order",
+    "node_groups",
+    "CollectiveAutotuner",
+    "CollectiveChoice",
+    "LinkProfile",
+    "congestion_factor",
+]

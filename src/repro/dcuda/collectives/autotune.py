@@ -1,0 +1,316 @@
+"""Topology-aware collective algorithm selection.
+
+The autotuner answers one question per collective call: *which algorithm
+family — ring, tree, or hierarchical — minimizes predicted latency for
+this (topology, group, message size)?*  It does so from an alpha-beta
+(LogGP-flavoured) cost model calibrated from the machine config, scaled
+by a **congestion factor** measured from the live fabric:
+``Fabric.link_stats()`` reports per-edge byte totals on routed
+interconnects, and the ratio of the hottest edge to the mean edge is how
+much worse than full bisection the fabric currently behaves.
+
+The model (per rank, ``n`` message bytes, ``p`` group ranks spread over
+``L`` nodes with at most ``m`` ranks each; ``o`` fixed per-message
+software overhead, ``a``/``b`` latency / inverse-bandwidth, ``c``
+congestion)::
+
+    tree:  2*levels(p) rounds, full vector each:
+           2*levels(p) * (o + a + n*b*c)
+    ring:  2*(p-1) rounds, one chunk each (bandwidth-optimal):
+           2*(p-1) * (o + a) + 2*n*b*c*(p-1)/p
+    hier:  intra reduce + leader ring + intra broadcast:
+           (levels(m) + 1) * (o + a_intra + n*b_intra)
+           + 2*(L-1) * (o + a) + 2*n*b*c*(L-1)/L
+
+so tree wins small messages (fewest ``o`` terms), ring wins large
+messages on flat single-GPU-per-node fabrics (lowest inter-node byte
+volume), and hierarchical wins large messages on dense multi-GPU nodes
+where the intra-node path dwarfs the congested fabric.  The choice can
+always be pinned with ``override=...`` (or per call via
+``algorithm=...`` on the collective itself).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence
+
+from ...platform.topology import DEFAULT_INTRA_LINK
+from ..errors import DCudaError
+from .core import tree_levels
+
+__all__ = [
+    "LinkProfile",
+    "CollectiveChoice",
+    "CollectiveAutotuner",
+    "congestion_factor",
+]
+
+#: Fixed per-message software overhead [s]: host proxy poll + command
+#: assembly + injection, the simulator's end-to-end small-message floor.
+DEFAULT_OVERHEAD = 4.0e-6
+
+
+def congestion_factor(link_stats: Mapping[str, Mapping[str, float]],
+                      topology=None) -> float:
+    """Hot-spot factor of the fabric: hottest edge over mean edge.
+
+    ``1.0`` means traffic is spread evenly (full bisection behaviour);
+    ``2.0`` means the hottest link carries twice the mean and large
+    transfers serialize behind it.  Falls back to the topology's
+    declared fat-tree oversubscription when no traffic has been measured
+    yet (empty or all-zero *link_stats* — flat interconnects report no
+    per-edge stats at all).
+
+    Args:
+        link_stats: :meth:`repro.net.fabric.Fabric.link_stats` output —
+            ``{edge_name: {"bytes": ..., "active_flows": ...}}``.
+        topology: Optional :class:`~repro.platform.topology.Topology`
+            used for the static fallback.
+
+    Returns:
+        The congestion multiplier applied to inter-node transfer terms,
+        always ``>= 1.0``.
+    """
+    loads = [float(entry.get("bytes", 0.0))
+             for entry in link_stats.values()
+             if entry.get("bytes", 0.0) > 0]
+    if loads:
+        return max(max(loads) * len(loads) / sum(loads), 1.0)
+    if topology is not None and topology.interconnect.kind == "fat_tree":
+        return max(float(topology.interconnect.oversubscription), 1.0)
+    return 1.0
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Calibrated alpha-beta parameters of one machine.
+
+    Attributes:
+        alpha_inter: Inter-node per-message latency [s].
+        beta_inter: Inter-node inverse bandwidth [s/B].
+        alpha_intra: Intra-node (NVLink-class or same-GPU) latency [s].
+        beta_intra: Intra-node inverse bandwidth [s/B].
+        overhead: Fixed per-message software overhead [s] — proxy poll,
+            command assembly, injection.
+        congestion: Fabric hot-spot multiplier
+            (:func:`congestion_factor`), applied to inter-node terms.
+    """
+
+    alpha_inter: float = 1.21e-6
+    beta_inter: float = 1.0 / 6.0e9
+    alpha_intra: float = 0.8e-6
+    beta_intra: float = 1.0 / 8.92e9
+    overhead: float = DEFAULT_OVERHEAD
+    congestion: float = 1.0
+
+    @classmethod
+    def from_config(cls, cfg, link_stats: Optional[Mapping] = None
+                    ) -> "LinkProfile":
+        """Calibrate from a :class:`~repro.hw.config.MachineConfig`.
+
+        Inter-node terms come from the interconnect link spec (falling
+        back to the flat :class:`~repro.hw.config.FabricConfig`); intra
+        terms from the densest node class's ``intra_link`` when any node
+        carries multiple GPUs, else from the same-GPU copy path
+        (``block_mem_bandwidth``).
+
+        Args:
+            cfg: The machine description.
+            link_stats: Optional live fabric stats for the congestion
+                factor; ``None`` uses the static topology fallback.
+
+        Returns:
+            The calibrated profile.
+        """
+        fabric = cfg.fabric
+        topo = cfg.topology
+        link = topo.interconnect.link if topo is not None else None
+        alpha_inter = (link.latency if link is not None
+                       else fabric.latency) + fabric.injection_overhead
+        beta_inter = 1.0 / (link.bandwidth if link is not None
+                            else fabric.bandwidth)
+        dense = (topo is not None
+                 and any(nc.gpus_per_node > 1 for nc in topo.node_classes))
+        if dense:
+            intra = max((nc.intra_link or DEFAULT_INTRA_LINK
+                         for nc in topo.node_classes
+                         if nc.gpus_per_node > 1),
+                        key=lambda spec: spec.bandwidth)
+            alpha_intra, beta_intra = intra.latency, 1.0 / intra.bandwidth
+        else:
+            alpha_intra = cfg.gpu.mem_latency
+            beta_intra = 1.0 / cfg.gpu.block_mem_bandwidth
+        overhead = (cfg.host.poll_latency + cfg.devicelib.command_assembly
+                    + fabric.injection_overhead)
+        return cls(alpha_inter=alpha_inter, beta_inter=beta_inter,
+                   alpha_intra=alpha_intra, beta_intra=beta_intra,
+                   overhead=overhead,
+                   congestion=congestion_factor(link_stats or {}, topo))
+
+
+@dataclass(frozen=True)
+class CollectiveChoice:
+    """One autotuner decision, with its full cost breakdown.
+
+    Attributes:
+        op: Collective name (``allreduce`` / ``reduce_scatter`` /
+            ``all_gather``).
+        algorithm: The selected family.
+        message_bytes: Message size the decision was made for.
+        group_size: Participating ranks.
+        nodes: Nodes spanned by the group.
+        costs: Predicted seconds per family (``inf`` marks a family not
+            applicable to this group shape).
+        pinned: ``True`` when an explicit override forced the choice.
+    """
+
+    op: str
+    algorithm: str
+    message_bytes: int
+    group_size: int
+    nodes: int
+    costs: Mapping[str, float] = field(default_factory=dict)
+    pinned: bool = False
+
+
+class CollectiveAutotuner:
+    """Pick a collective algorithm per (topology, group, message size).
+
+    Construct via :meth:`from_runtime` (live ``link_stats``) or
+    :meth:`from_config` (static calibration), or directly from a
+    hand-built :class:`LinkProfile` in tests.  Decisions are pure
+    functions of the profile, so a tuner can be shared across ranks —
+    every rank computes the same choice, which collective correctness
+    requires.
+
+    Args:
+        profile: Calibrated machine parameters.
+        override: Pin every decision to this algorithm family instead of
+            the cost model (the explicit-override escape hatch).
+
+    Raises:
+        DCudaError: *override* is not a known algorithm family.
+    """
+
+    def __init__(self, profile: Optional[LinkProfile] = None,
+                 override: Optional[str] = None):
+        from .algorithms import ALGORITHMS
+
+        if override is not None and override not in ALGORITHMS:
+            raise DCudaError(
+                f"unknown autotuner override {override!r}; available: "
+                f"{', '.join(ALGORITHMS)}")
+        self.profile = profile if profile is not None else LinkProfile()
+        self.override = override
+
+    @classmethod
+    def from_runtime(cls, runtime,
+                     override: Optional[str] = None) -> "CollectiveAutotuner":
+        """Calibrate from a live runtime, including measured link stats.
+
+        Args:
+            runtime: The dCUDA runtime (``rank.runtime``).
+            override: Optional pinned algorithm family.
+
+        Returns:
+            A tuner whose congestion factor reflects traffic measured on
+            the fabric so far.
+        """
+        stats = runtime.cluster.fabric.link_stats()
+        return cls(LinkProfile.from_config(runtime.cfg, stats), override)
+
+    @classmethod
+    def from_config(cls, cfg, link_stats: Optional[Mapping] = None,
+                    override: Optional[str] = None) -> "CollectiveAutotuner":
+        """Calibrate statically from a machine config.
+
+        Args:
+            cfg: The :class:`~repro.hw.config.MachineConfig`.
+            link_stats: Optional measured per-edge stats.
+            override: Optional pinned algorithm family.
+
+        Returns:
+            The calibrated tuner.
+        """
+        return cls(LinkProfile.from_config(cfg, link_stats), override)
+
+    # ------------------------------------------------------------- model --
+    def costs(self, message_bytes: int, group_size: int, nodes: int,
+              ranks_per_node: int) -> Dict[str, float]:
+        """Predicted per-family latency for one group shape.
+
+        Args:
+            message_bytes: Full vector size in bytes.
+            group_size: Participating ranks ``p``.
+            nodes: Nodes spanned ``L``.
+            ranks_per_node: Largest per-node member count ``m``.
+
+        Returns:
+            ``{family: seconds}``; hierarchical is ``inf`` when the
+            group has no two-level structure (single node, or one rank
+            per node) and it would degenerate into ring/tree.
+
+        Raises:
+            DCudaError: non-positive group shape.
+        """
+        p, L, m = group_size, nodes, ranks_per_node
+        if p < 1 or L < 1 or m < 1 or message_bytes < 0:
+            raise DCudaError(
+                f"invalid group shape: p={p}, L={L}, m={m}, "
+                f"bytes={message_bytes}")
+        prof = self.profile
+        n = float(message_bytes)
+        c = prof.congestion
+        # Single-node groups never touch the fabric: charge intra terms.
+        a = prof.alpha_inter if L > 1 else prof.alpha_intra
+        b = (prof.beta_inter * c) if L > 1 else prof.beta_intra
+        o = prof.overhead
+        levels = tree_levels(p)
+        tree = 2 * levels * (o + a + n * b)
+        ring = 2 * (p - 1) * (o + a) + 2 * n * b * (p - 1) / max(p, 1)
+        if L > 1 and m > 1:
+            hier = ((tree_levels(m) + 1)
+                    * (o + prof.alpha_intra + n * prof.beta_intra)
+                    + 2 * (L - 1) * (o + prof.alpha_inter)
+                    + 2 * n * prof.beta_inter * c * (L - 1) / L)
+        else:
+            hier = math.inf
+        return {"ring": ring, "tree": tree, "hierarchical": hier}
+
+    def choose(self, op: str, placement, group: Sequence[int],
+               message_bytes: int) -> CollectiveChoice:
+        """Select the algorithm for one collective call.
+
+        Args:
+            op: Collective name (recorded in the decision).
+            placement: Resolved placement, for the group's node span.
+            group: Participating world ranks.
+            message_bytes: Full vector size in bytes.
+
+        Returns:
+            The decision, including the full cost breakdown; ties break
+            deterministically on ``(cost, name)``.
+
+        Raises:
+            DCudaError: empty group or invalid shape.
+        """
+        if not group:
+            raise DCudaError("cannot autotune an empty collective group")
+        per_node: Dict[int, int] = {}
+        for r in group:
+            node = placement.node_of(r)
+            per_node[node] = per_node.get(node, 0) + 1
+        L = len(per_node)
+        m = max(per_node.values())
+        costs = self.costs(message_bytes, len(group), L, m)
+        if self.override is not None:
+            algorithm, pinned = self.override, True
+        else:
+            algorithm = min(costs, key=lambda k: (costs[k], k))
+            pinned = False
+        return CollectiveChoice(op=op, algorithm=algorithm,
+                                message_bytes=message_bytes,
+                                group_size=len(group), nodes=L,
+                                costs=costs, pinned=pinned)

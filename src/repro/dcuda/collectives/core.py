@@ -17,11 +17,11 @@ from typing import Any, Callable, Generator, Optional, Sequence
 
 import numpy as np
 
-from ..sim import Event
-from .device_api import DRank
-from .errors import DCudaError
-from .ext.notify_all import put_notify_all
-from .window import Window
+from ...sim import Event
+from ..device_api import DRank
+from ..errors import DCudaError
+from ..ext.notify_all import put_notify_all
+from ..window import Window
 
 __all__ = ["tree_broadcast", "tree_reduce", "hierarchical_broadcast",
            "tree_levels"]

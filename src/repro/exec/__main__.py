@@ -2,7 +2,8 @@
 
 Subcommands::
 
-    run <suite>     execute a named sweep (chaos, fig6..fig11, simperf)
+    run <suite>     execute a named sweep (chaos, fig6..fig11, topo,
+                    ml, simperf)
     status          census the result cache
     cache gc        delete entries from stale source fingerprints
     cache clear     delete every cache entry
@@ -95,16 +96,17 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="simperf: figure-scale workload")
     run.add_argument("--topology", type=str, default=None,
                      metavar="KINDS",
-                     help="topo: comma-separated interconnect kinds "
-                          "(default: flat,fat_tree,ring)")
+                     help="topo/ml: comma-separated interconnect kinds "
+                          "(topo default: flat,fat_tree,ring; ml "
+                          "default: flat,fat_tree)")
     run.add_argument("--topo-nodes", type=int, default=4,
-                     help="topo: nodes per topology (default 4)")
+                     help="topo/ml: nodes per topology (default 4)")
     run.add_argument("--topo-gpus", type=int, default=2,
-                     help="topo: GPUs per node (default 2)")
+                     help="topo/ml: GPUs per node (default 2)")
     run.add_argument("--backend", type=str, default=None, metavar="NAMES",
-                     help="topo/simperf: comma-separated communication "
-                          "backends to sweep (proxy, device, stream; "
-                          "default: proxy)")
+                     help="topo/ml/simperf: comma-separated "
+                          "communication backends to sweep (proxy, "
+                          "device, stream; default: proxy)")
 
     status = sub.add_parser("status", help="census the result cache")
     status.add_argument("--cache-dir", type=str, default=DEFAULT_CACHE_DIR)

@@ -25,6 +25,9 @@ __all__ = [
     "topology_point",
     "overlap_point",
     "weak_scaling_point",
+    "collective_point",
+    "gemm_point",
+    "train_point",
     "queue_burst_point",
     "staging_point",
     "simperf_probe",
@@ -167,6 +170,189 @@ def weak_scaling_point(params: Mapping[str, Any],
                          ranks_per_device=params.get("ranks_per_device"),
                          nblocks=params.get("nblocks"),
                          verify=params.get("verify", True))
+
+
+def _ml_cluster(params: Mapping[str, Any]):
+    """Build the ML-suite machine a worker process can reconstruct.
+
+    ``kind`` picks the shape: ``"flat"`` is ``num_nodes * gpus_per_node``
+    single-GPU nodes on the shared fabric (no intra-node tier, the ring
+    algorithm's home turf); ``"fat_tree"`` is ``num_nodes`` dense nodes
+    with ``gpus_per_node`` GPUs behind NVLink-class intra links and a
+    2:1-oversubscribed spine (the hierarchical algorithm's home turf).
+    Both shapes expose the same total rank count so results compare
+    like-for-like across topologies.
+    """
+    from ..hw import Cluster, greina
+    from ..platform import fat_tree, flat
+    from ..platform.topology import LinkSpec
+
+    kind = params.get("kind", "flat")
+    num_nodes = params.get("num_nodes", 4)
+    gpus = params.get("gpus_per_node", 2)
+    if kind == "flat":
+        topo = flat(num_nodes=num_nodes * gpus, gpus_per_node=1)
+    elif kind == "fat_tree":
+        topo = fat_tree(num_nodes=num_nodes, gpus_per_node=gpus,
+                        intra_link=LinkSpec(bandwidth=50e9,
+                                            latency=0.25e-6))
+    else:
+        from ..errors import DCudaUsageError
+
+        raise DCudaUsageError(f"unknown ml-suite topology kind {kind!r}")
+    return Cluster(greina(topology=topo,
+                          comm_backend=params.get("comm_backend",
+                                                  "proxy")))
+
+
+@entrypoint("collective_point")
+def collective_point(params: Mapping[str, Any], shared: Mapping[str, Any]):
+    """One timed collective on one (backend, topology, algorithm) cell.
+
+    Params: ``op`` (``"allreduce"`` | ``"reduce_scatter"`` |
+    ``"all_gather"``), ``algorithm`` (family name or ``"auto"``),
+    ``elems`` (message length in float64 elements), plus the
+    :func:`_ml_cluster` shape params (``kind``, ``num_nodes``,
+    ``gpus_per_node``, ``comm_backend``).  Payloads are integer-valued
+    so the reduction is exact; the result is verified in-process against
+    the serial answer.
+
+    Returns:
+        ``{"elapsed": median per-rank seconds, "algorithm": name run,
+        "ok": bool}``.
+    """
+    import numpy as np
+
+    from ..dcuda import launch
+    from ..dcuda.collectives import (all_gather, allreduce, chunk_bounds,
+                                     reduce_scatter, scratch_elems)
+
+    op = params.get("op", "allreduce")
+    algorithm = params.get("algorithm", "ring")
+    elems = params.get("elems", 4096)
+    cluster = _ml_cluster(params)
+    total = cluster.platform.place(1).total_ranks
+    base = np.arange(elems, dtype=float)
+    summed = total * base + total * (total - 1) / 2.0
+    gathered = np.concatenate([
+        base[lo:hi] + r
+        for r, (lo, hi) in ((r, chunk_bounds(elems, total, r))
+                            for r in range(total))])
+    times: dict = {}
+    checks: dict = {}
+
+    def kernel(rank):
+        p = rank.comm_size()
+        r = rank.world_rank
+        group = list(range(p))
+        if op == "all_gather":
+            buf = np.zeros(elems)
+            lo, hi = chunk_bounds(elems, p, r)
+            buf[lo:hi] = base[lo:hi] + r
+        else:
+            buf = base + r
+        win = yield from rank.win_create(buf)
+        swin = yield from rank.win_create(
+            np.zeros(scratch_elems(p, elems)))
+        yield from rank.barrier()
+        t0 = rank.now
+        if op == "allreduce":
+            yield from allreduce(rank, win, swin, group, buf,
+                                 algorithm=algorithm)
+            ok = np.array_equal(buf, summed)
+        elif op == "reduce_scatter":
+            lo, hi = yield from reduce_scatter(rank, win, swin, group,
+                                               buf, algorithm=algorithm)
+            ok = np.array_equal(buf[lo:hi], summed[lo:hi])
+        elif op == "all_gather":
+            yield from all_gather(rank, win, swin, group, buf,
+                                  algorithm=algorithm)
+            ok = np.array_equal(buf, gathered)
+        else:
+            from ..errors import DCudaUsageError
+
+            raise DCudaUsageError(f"unknown collective op {op!r}")
+        times[r] = rank.now - t0
+        checks[r] = ok
+        yield from rank.flush()
+        yield from rank.barrier()
+        yield from rank.finish()
+
+    launch(cluster, kernel, ranks_per_device=1)
+    ordered = sorted(times.values())
+    return {"elapsed": ordered[len(ordered) // 2],
+            "algorithm": algorithm, "ok": all(checks.values())}
+
+
+@entrypoint("gemm_point")
+def gemm_point(params: Mapping[str, Any], shared: Mapping[str, Any]):
+    """One pipelined-GEMM run (one mode of the overlap decomposition).
+
+    Params: ``mode`` (``"both"`` | ``"compute"`` | ``"stream"``),
+    ``algorithm`` (final-gather family, ``both`` mode only), the
+    :class:`~repro.apps.gemm_stream.GemmWorkload` fields (``m``, ``k``,
+    ``batch``, ``tiles``, ``slots``), and the :func:`_ml_cluster` shape
+    params.  ``m`` must divide over ``total_ranks - 1`` workers.
+
+    Returns:
+        ``{"elapsed": median worker pipeline seconds, "gather": max
+        worker gather seconds, "ok": bit-identity vs the reference
+        (trivially True outside ``both`` mode)}``.
+    """
+    import numpy as np
+
+    from ..apps.gemm_stream import (GemmWorkload, gemm_reference,
+                                    run_gemm_pipeline)
+
+    wl = GemmWorkload(m=params.get("m", 28), k=params.get("k", 12),
+                      batch=params.get("batch", 8),
+                      tiles=params.get("tiles", 4),
+                      slots=params.get("slots", 2))
+    mode = params.get("mode", "both")
+    cluster = _ml_cluster(params)
+    elapsed, y, stats = run_gemm_pipeline(
+        cluster, wl, mode=mode, algorithm=params.get("algorithm", "ring"))
+    ok = True
+    if mode == "both":
+        workers = cluster.platform.place(1).total_ranks - 1
+        ok = bool(np.array_equal(y, gemm_reference(wl, workers)))
+    gather = max(s["gather"] for s in stats.values())
+    return {"elapsed": elapsed, "gather": gather, "ok": ok}
+
+
+@entrypoint("train_point")
+def train_point(params: Mapping[str, Any], shared: Mapping[str, Any]):
+    """One data-parallel SGD run with an (optionally autotuned) allreduce.
+
+    Params: ``features``, ``steps``, ``samples_per_rank``, ``algorithm``
+    (family name or ``"auto"``), ``override`` (autotuner pin when
+    ``auto``), and the :func:`_ml_cluster` shape params.  The final
+    weights are verified against the serial reference in-process.
+
+    Returns:
+        ``{"elapsed": median per-rank loop seconds, "algorithm": family
+        that ran, "predicted": the autotuner's modelled seconds for it
+        (None when pinned per call), "ok": allclose vs reference}``.
+    """
+    import numpy as np
+
+    from ..apps.train_step import (TrainWorkload, run_train_step,
+                                   train_reference)
+
+    wl = TrainWorkload(features=params.get("features", 64),
+                       samples_per_rank=params.get("samples_per_rank", 6),
+                       steps=params.get("steps", 2))
+    cluster = _ml_cluster(params)
+    ranks = cluster.platform.place(1).total_ranks
+    elapsed, weights, info = run_train_step(
+        cluster, wl, algorithm=params.get("algorithm", "auto"),
+        override=params.get("override"))
+    choice = info["choice"]
+    predicted = (choice.costs[choice.algorithm]
+                 if choice is not None else None)
+    ok = bool(np.allclose(weights, train_reference(wl, ranks)))
+    return {"elapsed": elapsed, "algorithm": info["algorithm"],
+            "predicted": predicted, "ok": ok}
 
 
 @entrypoint("queue_burst_point")

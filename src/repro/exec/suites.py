@@ -240,6 +240,99 @@ def _topo_suite(kinds: Sequence[str], nodes: int, gpus: int,
     return Suite("topo", specs, assemble=assemble)
 
 
+#: ML-suite interconnect kinds — the two shapes the collectives story
+#: contrasts (ring's flat fabric vs hierarchical's dense fat tree).
+_ML_KINDS = ("flat", "fat_tree")
+#: Allreduce message length (float64 elements) for the latency table.
+_ML_ELEMS = 4096
+#: Gradient sizes for the autotuned SGD rows: small enough that the
+#: latency terms dominate (tree territory) and large enough that the
+#: bandwidth terms dominate (ring on flat, hierarchical on fat tree).
+_ML_FEATURES = (64, 65536)
+
+
+def _ml_suite(kinds: Sequence[str], nodes: int, gpus: int,
+              backends: Sequence[str]) -> Suite:
+    from ..bench.table import Table
+    from ..dcuda.collectives import ALGORITHMS
+
+    # Streaming-GEMV scale: enough rows per worker that the tile
+    # multiplies can actually hide the streaming (cf. Fig. 7/8).
+    gemm = dict(m=(nodes * gpus - 1) * 2048, k=96, batch=32, tiles=8,
+                slots=4)
+    specs = []
+    for backend in backends:
+        for kind in kinds:
+            shape = dict(kind=kind, num_nodes=nodes, gpus_per_node=gpus,
+                         comm_backend=backend)
+            for alg in ALGORITHMS:
+                specs.append(RunSpec(
+                    "collective_point",
+                    dict(shape, op="allreduce", algorithm=alg,
+                         elems=_ML_ELEMS),
+                    label=f"ml-coll:{backend}:{kind}:{alg}"))
+            for mode in ("both", "compute", "stream"):
+                specs.append(RunSpec(
+                    "gemm_point", dict(shape, mode=mode,
+                                       algorithm="ring", **gemm),
+                    label=f"ml-gemm:{backend}:{kind}:{mode}"))
+            for features in _ML_FEATURES:
+                specs.append(RunSpec(
+                    "train_point", dict(shape, features=features,
+                                        steps=2, algorithm="auto"),
+                    label=f"ml-train:{backend}:{kind}:{features}"))
+
+    def assemble(results):
+        ranks = nodes * gpus
+        coll = Table(f"ML collectives - allreduce latency "
+                     f"({_ML_ELEMS} float64, {ranks} ranks)",
+                     ["backend", "topology", "algorithm", "latency [us]",
+                      "exact"])
+        gemm_t = Table("Pipelined GEMM - overlap decomposition "
+                       "(median worker loop)",
+                       ["backend", "topology", "both [us]",
+                        "compute [us]", "stream [us]", "efficiency"])
+        train = Table("Autotuned data-parallel SGD step",
+                      ["backend", "topology", "features", "chosen",
+                       "predicted [us]", "measured [us]", "verified"])
+        i = 0
+        for backend in backends:
+            for kind in kinds:
+                for alg in ALGORITHMS:
+                    r = results[i]
+                    i += 1
+                    coll.add_row(backend, kind, alg,
+                                 r["elapsed"] * 1e6,
+                                 "yes" if r["ok"] else "NO")
+                both, comp, stream = results[i], results[i + 1], \
+                    results[i + 2]
+                i += 3
+                eff = ((comp["elapsed"] + stream["elapsed"]
+                        - both["elapsed"]) / stream["elapsed"]
+                       if stream["elapsed"] > 0 else 0.0)
+                gemm_t.add_row(backend, kind, both["elapsed"] * 1e6,
+                               comp["elapsed"] * 1e6,
+                               stream["elapsed"] * 1e6, eff)
+                for features in _ML_FEATURES:
+                    r = results[i]
+                    i += 1
+                    train.add_row(backend, kind, features,
+                                  r["algorithm"],
+                                  r["predicted"] * 1e6,
+                                  r["elapsed"] * 1e6,
+                                  "yes" if r["ok"] else "NO")
+        coll.add_note("every algorithm reduces bit-identically; the "
+                      "latency spread is the schedule")
+        gemm_t.add_note("efficiency = (compute + stream - both) / "
+                        "stream; 1.0 = streaming fully hidden")
+        train.add_note("chosen by the CollectiveAutotuner per "
+                       "(topology, group, message size)")
+        return (coll.render() + "\n\n" + gemm_t.render() + "\n\n"
+                + train.render())
+
+    return Suite("ml", specs, assemble=assemble)
+
+
 def _simperf_suite(quick: bool, comm_backend: str = "proxy") -> Suite:
     from ..bench.simperf import simperf_specs, simperf_table
 
@@ -252,7 +345,7 @@ def _simperf_suite(quick: bool, comm_backend: str = "proxy") -> Suite:
 
 
 SUITE_NAMES = ("chaos", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-               "topo", "simperf")
+               "topo", "ml", "simperf")
 
 
 def build_suite(name: str, *, seeds: int = 50, nodes: int = 2,
@@ -275,10 +368,10 @@ def build_suite(name: str, *, seeds: int = 50, nodes: int = 2,
         node_counts: Fig. 9-11 node counts (figure default when ``None``).
         verify: Reference-verify the weak-scaling figures.
         full: Figure-scale simperf workload instead of the quick probe.
-        topology: topo: interconnect kinds to sweep (all three when
-            ``None``).
-        topo_nodes/topo_gpus: topo: machine shape per kind.
-        backends: topo/simperf: communication backends to sweep
+        topology: topo/ml: interconnect kinds to sweep (topo: all
+            three; ml: flat and fat_tree — when ``None``).
+        topo_nodes/topo_gpus: topo/ml: machine shape per kind.
+        backends: topo/ml/simperf: communication backends to sweep
             (``("proxy",)`` when ``None``; simperf uses the first).
 
     Raises:
@@ -325,6 +418,14 @@ def build_suite(name: str, *, seeds: int = 50, nodes: int = 2,
                     f"{', '.join(INTERCONNECT_KINDS)}")
         return _topo_suite(kinds, topo_nodes, topo_gpus, iterations,
                            backends=backend_list)
+    if name == "ml":
+        kinds = tuple(topology) if topology else _ML_KINDS
+        for kind in kinds:
+            if kind not in _ML_KINDS:
+                raise DCudaUsageError(
+                    f"unknown ml topology kind {kind!r}; available: "
+                    f"{', '.join(_ML_KINDS)}")
+        return _ml_suite(kinds, topo_nodes, topo_gpus, backend_list)
     if name == "simperf":
         return _simperf_suite(quick=not full,
                               comm_backend=backend_list[0])

@@ -1,0 +1,172 @@
+"""Cross-backend x cross-algorithm collective differential tests.
+
+The collectives contract (docs/collectives.md) makes two bit-identity
+promises: the reduction order is schedule-determined, so ring, tree,
+and hierarchical produce *identical* bytes; and backends move the same
+bytes on different clocks, so proxy, device, and stream agree too.
+These tests run every (collective, algorithm, backend, topology) cell
+and compare final buffers bit-for-bit against one serial expectation.
+
+Payloads are integer-valued float64 (exactly representable sums), so
+"bit-for-bit" across *families* is meaningful even though each family
+associates the additions differently; separate non-integer runs then
+check the per-family invariants that survive inexact arithmetic —
+run-to-run bit-reproducibility and cross-backend bit-identity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dcuda import launch
+from repro.dcuda.collectives import (
+    ALGORITHMS,
+    all_gather,
+    allreduce,
+    chunk_bounds,
+    reduce_scatter,
+    scratch_elems,
+)
+from repro.hw import COMM_BACKENDS, Cluster, greina
+from repro.platform import fat_tree, flat
+from repro.platform.topology import LinkSpec
+
+#: Vector length — deliberately not divisible by the group size, so the
+#: uneven-chunk paths (first ``n % p`` chunks one element longer) run.
+N = 13
+
+#: (name, topology factory) — a flat fabric of single-GPU nodes and a
+#: dense fat tree, the two shapes the placement-aware paths branch on.
+SHAPES = (
+    ("flat", lambda: flat(num_nodes=4, gpus_per_node=1)),
+    ("fat_tree", lambda: fat_tree(
+        num_nodes=2, gpus_per_node=2,
+        intra_link=LinkSpec(bandwidth=50e9, latency=0.25e-6))),
+)
+
+
+def _cluster(topo_factory, backend):
+    return Cluster(greina(topology=topo_factory(), comm_backend=backend))
+
+
+def _contribution(r, integer=True):
+    base = np.arange(N, dtype=np.float64)
+    if integer:
+        return base + r
+    # Non-integer payload: sums genuinely depend on association order.
+    return np.sin(base + 1.0) * (r + 1) / 7.0
+
+
+def _run(op, topo_factory, backend, algorithm, integer=True):
+    """Run one collective; return {rank: final buffer} plus extras."""
+    cluster = _cluster(topo_factory, backend)
+    total = cluster.platform.place(1).total_ranks
+    group = list(range(total))
+    bufs = {}
+    for r in group:
+        if op == "all_gather":
+            bufs[r] = np.zeros(N)
+            lo, hi = chunk_bounds(N, total, r)
+            bufs[r][lo:hi] = _contribution(r, integer)[lo:hi]
+        else:
+            bufs[r] = _contribution(r, integer).copy()
+    owned = {}
+
+    def kernel(rank):
+        r = rank.world_rank
+        win = yield from rank.win_create(bufs[r])
+        swin = yield from rank.win_create(
+            np.zeros(scratch_elems(total, N)))
+        yield from rank.barrier()
+        if op == "allreduce":
+            yield from allreduce(rank, win, swin, group, bufs[r],
+                                 algorithm=algorithm)
+        elif op == "reduce_scatter":
+            owned[r] = yield from reduce_scatter(rank, win, swin, group,
+                                                 bufs[r],
+                                                 algorithm=algorithm)
+        else:
+            yield from all_gather(rank, win, swin, group, bufs[r],
+                                  algorithm=algorithm)
+        yield from rank.flush()
+        yield from rank.barrier()
+        yield from rank.finish()
+
+    launch(cluster, kernel, ranks_per_device=1)
+    return total, bufs, owned
+
+
+def _expected_sum(total):
+    return total * np.arange(N, dtype=np.float64) \
+        + total * (total - 1) / 2.0
+
+
+@pytest.mark.parametrize("backend", COMM_BACKENDS)
+@pytest.mark.parametrize("shape", SHAPES, ids=lambda s: s[0])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_allreduce_exact_everywhere(backend, shape, algorithm):
+    total, bufs, _ = _run("allreduce", shape[1], backend, algorithm)
+    expected = _expected_sum(total)
+    for r, buf in bufs.items():
+        np.testing.assert_array_equal(buf, expected, err_msg=f"rank {r}")
+
+
+@pytest.mark.parametrize("backend", COMM_BACKENDS)
+@pytest.mark.parametrize("shape", SHAPES, ids=lambda s: s[0])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_reduce_scatter_owned_chunks(backend, shape, algorithm):
+    total, bufs, owned = _run("reduce_scatter", shape[1], backend,
+                              algorithm)
+    expected = _expected_sum(total)
+    for i in range(total):
+        lo, hi = chunk_bounds(N, total, i)
+        assert owned[i] == (lo, hi)
+        np.testing.assert_array_equal(bufs[i][lo:hi], expected[lo:hi],
+                                      err_msg=f"rank {i}")
+
+
+@pytest.mark.parametrize("backend", COMM_BACKENDS)
+@pytest.mark.parametrize("shape", SHAPES, ids=lambda s: s[0])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_all_gather_assembles_every_chunk(backend, shape, algorithm):
+    total, bufs, _ = _run("all_gather", shape[1], backend, algorithm)
+    expected = np.concatenate([
+        _contribution(i)[lo:hi]
+        for i, (lo, hi) in ((i, chunk_bounds(N, total, i))
+                            for i in range(total))])
+    for r, buf in bufs.items():
+        np.testing.assert_array_equal(buf, expected, err_msg=f"rank {r}")
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=lambda s: s[0])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_inexact_payloads_reproducible_and_close(shape, algorithm):
+    """Each family's association order is fixed by the schedule, so on
+    inexact payloads a family is bit-reproducible run to run (and
+    allclose to the others, which associate differently)."""
+    _, first, _ = _run("allreduce", shape[1], "proxy", algorithm,
+                       integer=False)
+    _, again, _ = _run("allreduce", shape[1], "proxy", algorithm,
+                       integer=False)
+    _, ring, _ = _run("allreduce", shape[1], "proxy", "ring",
+                      integer=False)
+    for r in first:
+        np.testing.assert_array_equal(again[r], first[r],
+                                      err_msg=f"rank {r} not reproducible")
+        np.testing.assert_allclose(first[r], ring[r], rtol=1e-12,
+                                   err_msg=f"rank {r} far from ring")
+
+
+@pytest.mark.parametrize("op", ("allreduce", "reduce_scatter",
+                                "all_gather"))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_backends_bit_identical(op, algorithm):
+    """proxy == device == stream final bytes for every family."""
+    per_backend = {b: _run(op, SHAPES[1][1], b, algorithm,
+                           integer=False)[1]
+                   for b in COMM_BACKENDS}
+    proxy = per_backend["proxy"]
+    for backend in COMM_BACKENDS:
+        for r in proxy:
+            np.testing.assert_array_equal(
+                per_backend[backend][r], proxy[r],
+                err_msg=f"{backend} diverges on rank {r}")

@@ -1,0 +1,214 @@
+"""Unit tests for the collective algorithm autotuner.
+
+Pins the acceptance contract of the cost model: tree for small
+messages, ring for large messages on flat fabrics, hierarchical for
+large messages on dense multi-node machines — plus the congestion
+factor's measured/declared fallback chain, calibration from machine
+configs, overrides, and the typed error surface.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dcuda import DCudaError, launch
+from repro.dcuda.collectives import (
+    CollectiveAutotuner,
+    LinkProfile,
+    congestion_factor,
+)
+from repro.hw import Cluster, greina
+from repro.platform import fat_tree, flat
+from repro.platform.topology import LinkSpec
+
+NVLINK = LinkSpec(bandwidth=50e9, latency=0.25e-6)
+
+SMALL = 512          # latency-dominated message [bytes]
+LARGE = 512 * 1024   # bandwidth-dominated message [bytes]
+
+
+def _choice(topo, message_bytes, override=None, link_stats=None):
+    cluster = Cluster(greina(topology=topo))
+    tuner = CollectiveAutotuner.from_config(cluster.cfg, link_stats,
+                                            override=override)
+    placement = cluster.platform.place(1)
+    group = list(range(placement.total_ranks))
+    return tuner.choose("allreduce", placement, group, message_bytes)
+
+
+# -------------------------------------------------------------- decisions --
+def test_small_messages_pick_tree_everywhere():
+    for topo in (flat(num_nodes=8, gpus_per_node=1),
+                 fat_tree(num_nodes=4, gpus_per_node=2,
+                          intra_link=NVLINK)):
+        choice = _choice(topo, SMALL)
+        assert choice.algorithm == "tree", choice.costs
+
+
+def test_large_messages_pick_ring_on_flat():
+    choice = _choice(flat(num_nodes=8, gpus_per_node=1), LARGE)
+    assert choice.algorithm == "ring", choice.costs
+    # No two-level structure: hierarchical must not even be a candidate.
+    assert choice.costs["hierarchical"] == math.inf
+
+
+def test_large_messages_pick_hierarchical_on_fat_tree():
+    choice = _choice(fat_tree(num_nodes=4, gpus_per_node=2,
+                              intra_link=NVLINK), LARGE)
+    assert choice.algorithm == "hierarchical", choice.costs
+    assert choice.nodes == 4 and choice.group_size == 8
+
+
+def test_choice_records_full_cost_breakdown():
+    choice = _choice(flat(num_nodes=4, gpus_per_node=1), LARGE)
+    assert set(choice.costs) == {"ring", "tree", "hierarchical"}
+    assert all(c > 0 for c in choice.costs.values())
+    assert choice.costs[choice.algorithm] == min(choice.costs.values())
+    assert not choice.pinned
+
+
+def test_override_pins_regardless_of_cost():
+    choice = _choice(flat(num_nodes=8, gpus_per_node=1), LARGE,
+                     override="tree")
+    assert choice.algorithm == "tree" and choice.pinned
+    assert choice.costs["ring"] < choice.costs["tree"]  # model disagreed
+
+
+def test_unknown_override_raises():
+    with pytest.raises(DCudaError, match="unknown autotuner override"):
+        CollectiveAutotuner(override="butterfly")
+
+
+def test_single_node_group_uses_intra_terms():
+    """A one-node group never touches the fabric: costs scale with the
+    intra-node parameters, and hierarchical is not applicable."""
+    profile = LinkProfile(alpha_inter=1e-3, beta_inter=1e-3,
+                          alpha_intra=1e-7, beta_intra=1e-10)
+    tuner = CollectiveAutotuner(profile)
+    costs = tuner.costs(4096, group_size=4, nodes=1, ranks_per_node=4)
+    assert costs["hierarchical"] == math.inf
+    # With inter terms a million times worse, sub-ms costs prove the
+    # intra path was charged.
+    assert max(costs["ring"], costs["tree"]) < 1e-3
+
+
+def test_costs_validate_group_shape():
+    tuner = CollectiveAutotuner()
+    with pytest.raises(DCudaError, match="invalid group shape"):
+        tuner.costs(1024, group_size=0, nodes=1, ranks_per_node=1)
+    with pytest.raises(DCudaError, match="invalid group shape"):
+        tuner.costs(-1, group_size=2, nodes=2, ranks_per_node=1)
+
+
+def test_choose_rejects_empty_group():
+    cluster = Cluster(greina(topology=flat(num_nodes=2,
+                                           gpus_per_node=1)))
+    tuner = CollectiveAutotuner.from_config(cluster.cfg)
+    with pytest.raises(DCudaError, match="empty collective group"):
+        tuner.choose("allreduce", cluster.platform.place(1), [], 1024)
+
+
+# ------------------------------------------------------------- congestion --
+def test_congestion_factor_from_synthetic_link_stats():
+    # Hottest edge carries 4x the mean of (4k, 1k, 1k) = 2k -> 2.0.
+    stats = {"e0": {"bytes": 4000.0}, "e1": {"bytes": 1000.0},
+             "e2": {"bytes": 1000.0}}
+    assert congestion_factor(stats) == pytest.approx(2.0)
+
+
+def test_congestion_factor_even_traffic_is_one():
+    stats = {"e0": {"bytes": 7.0}, "e1": {"bytes": 7.0}}
+    assert congestion_factor(stats) == 1.0
+
+
+def test_congestion_factor_static_fallback():
+    assert congestion_factor({}) == 1.0
+    ft = fat_tree(num_nodes=4, gpus_per_node=2, oversubscription=3.0)
+    assert congestion_factor({}, ft) == 3.0
+    assert congestion_factor({}, flat(num_nodes=4)) == 1.0
+    # All-zero stats are "no traffic yet", not "perfectly even".
+    assert congestion_factor({"e0": {"bytes": 0.0}}, ft) == 3.0
+
+
+def test_measured_congestion_moves_the_crossover():
+    """Congestion scales every bandwidth term, so it advantages the
+    algorithm moving fewer bytes: a hot fabric pulls the tree-to-ring
+    crossover down below message sizes where the idle model still
+    prefers tree."""
+    topo = flat(num_nodes=8, gpus_per_node=1)
+    mid = 32 * 1024  # idle crossover on the Greina preset is ~58 KiB
+    assert _choice(topo, mid).algorithm == "tree"
+    hot = {"e0": {"bytes": 50e6}, "e1": {"bytes": 0.5e6},
+           "e2": {"bytes": 0.5e6}}
+    assert congestion_factor(hot) > 2.5
+    assert _choice(topo, mid, link_stats=hot).algorithm == "ring"
+
+
+# ------------------------------------------------------------ calibration --
+def test_profile_calibration_from_config():
+    link = LinkSpec(bandwidth=10e9, latency=0.9e-6)
+    topo = fat_tree(num_nodes=4, gpus_per_node=2, intra_link=NVLINK,
+                    oversubscription=2.0, link=link)
+    cfg = greina(topology=topo)
+    profile = LinkProfile.from_config(cfg)
+    assert profile.alpha_inter == pytest.approx(
+        link.latency + cfg.fabric.injection_overhead)
+    assert profile.beta_inter == pytest.approx(1.0 / link.bandwidth)
+    assert profile.alpha_intra == pytest.approx(NVLINK.latency)
+    assert profile.beta_intra == pytest.approx(1.0 / NVLINK.bandwidth)
+    assert profile.congestion == pytest.approx(2.0)  # declared fallback
+    assert profile.overhead == pytest.approx(
+        cfg.host.poll_latency + cfg.devicelib.command_assembly
+        + cfg.fabric.injection_overhead)
+
+
+def test_sparse_nodes_calibrate_intra_from_gpu_copy_path():
+    cfg = greina(topology=flat(num_nodes=4, gpus_per_node=1))
+    profile = LinkProfile.from_config(cfg)
+    assert profile.alpha_intra == pytest.approx(cfg.gpu.mem_latency)
+    assert profile.beta_intra == pytest.approx(
+        1.0 / cfg.gpu.block_mem_bandwidth)
+
+
+def test_from_runtime_uses_measured_link_stats():
+    """After real traffic crosses a fat tree, from_runtime's congestion
+    comes from the fabric's own edge counters — and every rank computes
+    the same decision, the agreement collective correctness needs."""
+    topo = fat_tree(num_nodes=2, gpus_per_node=1)
+    cluster = Cluster(greina(topology=topo))
+    bufs = {r: np.zeros(64) for r in range(2)}
+    decisions = {}
+
+    def kernel(rank):
+        r = rank.world_rank
+        win = yield from rank.win_create(bufs[r])
+        yield from rank.barrier()
+        if r == 0:
+            yield from rank.put_notify(win, 1, 0, np.ones(64), tag=1)
+        else:
+            yield from rank.wait_notifications(win, source=0, tag=1,
+                                               count=1)
+        yield from rank.flush()
+        # Decide at a synchronization point: mid-flight snapshots could
+        # differ between ranks, and a split decision deadlocks.
+        yield from rank.barrier()
+        tuner = CollectiveAutotuner.from_runtime(rank.runtime)
+        decisions[r] = tuner.choose(
+            "allreduce", rank.runtime.placement, [0, 1], LARGE)
+        yield from rank.barrier()
+        yield from rank.finish()
+
+    launch(cluster, kernel, ranks_per_device=1)
+    # Rank-local snapshots can differ by in-flight bytes (costs move in
+    # the third decimal), but the decision itself must agree.
+    assert decisions[0].algorithm == decisions[1].algorithm
+    assert decisions[0].costs["hierarchical"] == math.inf  # m == 1
+    # The host-side pattern (apps.train_step.autotune_step): one
+    # decision from the post-run fabric counters, shipped to all ranks.
+    stats = cluster.fabric.link_stats()
+    assert stats, "expected measured edge traffic"
+    assert sum(e["bytes"] for e in stats.values()) > 0
+    tuner = CollectiveAutotuner.from_config(cluster.cfg, stats)
+    assert tuner.profile.congestion == pytest.approx(
+        congestion_factor(stats))

@@ -1,0 +1,276 @@
+"""Unit tests for the data-parallel collective algorithms.
+
+The differential matrix (``tests/comm/test_collectives_differential.py``)
+covers the (algorithm, backend, topology) cross product; these tests pin
+the per-function contracts — partitioning helpers, subset groups,
+window offsets, tag-range isolation, custom reduction ops, and the
+typed error surface.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dcuda import DCudaError, launch
+from repro.dcuda.collectives import (
+    ALGORITHMS,
+    CollectiveAutotuner,
+    all_gather,
+    allreduce,
+    chunk_bounds,
+    node_groups,
+    placement_ring_order,
+    reduce_scatter,
+    scratch_elems,
+)
+from repro.hw import Cluster, greina
+from repro.platform import fat_tree, flat
+
+
+# ----------------------------------------------------------- partitioning --
+def test_chunk_bounds_partition_exactly():
+    for n in (0, 1, 7, 13, 16):
+        for p in (1, 3, 4, 5):
+            spans = [chunk_bounds(n, p, i) for i in range(p)]
+            assert spans[0][0] == 0 and spans[-1][1] == n
+            for (alo, ahi), (blo, bhi) in zip(spans, spans[1:]):
+                assert ahi == blo and ahi >= alo and bhi >= blo
+            sizes = [hi - lo for lo, hi in spans]
+            assert max(sizes) - min(sizes) <= 1
+
+
+def test_chunk_bounds_rejects_bad_partition():
+    with pytest.raises(DCudaError):
+        chunk_bounds(8, 4, 4)
+    with pytest.raises(DCudaError):
+        chunk_bounds(8, 0, 0)
+
+
+def test_scratch_elems_covers_every_family():
+    # Must cover tree levels * n, ring per-step slots, and both stacked
+    # (the hierarchical composition); spot-check the documented floor.
+    assert scratch_elems(4, 8) >= 2 * 8 + 3 * 2  # levels*n + (p-1)*chunk
+    assert scratch_elems(1, 0) >= 1
+    with pytest.raises(DCudaError):
+        scratch_elems(0, 4)
+    with pytest.raises(DCudaError):
+        scratch_elems(4, -1)
+
+
+def _placement(topo):
+    return Cluster(greina(topology=topo)).platform.place(1)
+
+
+def test_placement_ring_order_walks_device_by_device():
+    placement = _placement(fat_tree(num_nodes=2, gpus_per_node=2))
+    order = placement_ring_order(placement, [3, 1, 2, 0])
+    devices = [placement.device_of(r) for r in order]
+    assert sorted(order) == [0, 1, 2, 3]
+    assert devices == sorted(devices)
+
+
+def test_node_groups_partitions_with_leaders():
+    placement = _placement(fat_tree(num_nodes=2, gpus_per_node=2))
+    groups = node_groups(placement, [0, 1, 2, 3])
+    assert [node for node, _ in groups] == sorted(
+        {placement.node_of(r) for r in range(4)})
+    members = [m for _, ms in groups for m in ms]
+    assert sorted(members) == [0, 1, 2, 3]
+    for node, ms in groups:
+        assert all(placement.node_of(m) == node for m in ms)
+
+
+# ------------------------------------------------------------- semantics --
+def _launch_collective(topo, kernel, rpd=1):
+    launch(Cluster(greina(topology=topo)), kernel, ranks_per_device=rpd)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_allreduce_over_subset_group(algorithm):
+    """Ranks outside the group sit the collective out entirely."""
+    topo = fat_tree(num_nodes=2, gpus_per_node=2)
+    group = [1, 2, 3]
+    n = 5
+    bufs = {r: np.arange(n, dtype=float) * (r + 1) for r in range(4)}
+    expected = sum(np.arange(n, dtype=float) * (r + 1) for r in group)
+
+    def kernel(rank):
+        r = rank.world_rank
+        win = yield from rank.win_create(bufs[r])
+        swin = yield from rank.win_create(
+            np.zeros(scratch_elems(len(group), n)))
+        yield from rank.barrier()
+        if r in group:
+            yield from allreduce(rank, win, swin, group, bufs[r],
+                                 algorithm=algorithm)
+        yield from rank.flush()
+        yield from rank.barrier()
+        yield from rank.finish()
+
+    _launch_collective(topo, kernel)
+    for r in group:
+        np.testing.assert_array_equal(bufs[r], expected)
+    np.testing.assert_array_equal(bufs[0], np.arange(n, dtype=float))
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_allreduce_at_window_offset(algorithm):
+    """The collective touches only the region at *offset*."""
+    topo = flat(num_nodes=4, gpus_per_node=1)
+    off, n = 3, 6
+    arrays = {r: np.full(off + n, -1.0) for r in range(4)}
+    for r in range(4):
+        arrays[r][off:] = np.arange(n, dtype=float) + r
+
+    def kernel(rank):
+        r = rank.world_rank
+        win = yield from rank.win_create(arrays[r])
+        swin = yield from rank.win_create(np.zeros(scratch_elems(4, n)))
+        yield from rank.barrier()
+        yield from allreduce(rank, win, swin, list(range(4)),
+                             arrays[r][off:], algorithm=algorithm,
+                             offset=off)
+        yield from rank.flush()
+        yield from rank.barrier()
+        yield from rank.finish()
+
+    _launch_collective(topo, kernel)
+    expected = 4 * np.arange(n, dtype=float) + 6.0
+    for r in range(4):
+        np.testing.assert_array_equal(arrays[r][:off], -np.ones(off))
+        np.testing.assert_array_equal(arrays[r][off:], expected)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_back_to_back_collectives_tag_isolation(algorithm):
+    """tag_base striding keeps consecutive collectives from
+    cross-matching notifications (the per-step training pattern)."""
+    topo = fat_tree(num_nodes=2, gpus_per_node=2)
+    steps = 3
+    n = 4
+    bufs = {r: np.ones(n) * (r + 1) for r in range(4)}
+
+    def kernel(rank):
+        r = rank.world_rank
+        win = yield from rank.win_create(bufs[r])
+        swin = yield from rank.win_create(np.zeros(scratch_elems(4, n)))
+        yield from rank.barrier()
+        for step in range(steps):
+            yield from allreduce(rank, win, swin, list(range(4)),
+                                 bufs[r], algorithm=algorithm,
+                                 tag_base=step * 1000)
+        yield from rank.flush()
+        yield from rank.barrier()
+        yield from rank.finish()
+
+    _launch_collective(topo, kernel)
+    # (((1+2+3+4) summed) summed) summed = 10 * 4 * 4 = 160 each.
+    for r in range(4):
+        np.testing.assert_array_equal(bufs[r], np.full(n, 160.0))
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_allreduce_custom_op_maximum(algorithm):
+    topo = fat_tree(num_nodes=2, gpus_per_node=2)
+    n = 6
+    bufs = {r: np.arange(n, dtype=float) * ((-1.0) ** r) * (r + 1)
+            for r in range(4)}
+    expected = np.maximum.reduce([bufs[r].copy() for r in range(4)])
+
+    def kernel(rank):
+        r = rank.world_rank
+        win = yield from rank.win_create(bufs[r])
+        swin = yield from rank.win_create(np.zeros(scratch_elems(4, n)))
+        yield from rank.barrier()
+        yield from allreduce(rank, win, swin, list(range(4)), bufs[r],
+                             op=np.maximum, algorithm=algorithm)
+        yield from rank.flush()
+        yield from rank.barrier()
+        yield from rank.finish()
+
+    _launch_collective(topo, kernel)
+    for r in range(4):
+        np.testing.assert_array_equal(bufs[r], expected)
+
+
+def test_singleton_group_is_noop():
+    buf = np.arange(4, dtype=float)
+
+    def kernel(rank):
+        win = yield from rank.win_create(buf)
+        swin = yield from rank.win_create(np.zeros(scratch_elems(1, 4)))
+        ran = yield from allreduce(rank, win, swin, [0], buf,
+                                   algorithm="tree")
+        assert ran == "tree"
+        lo, hi = yield from reduce_scatter(rank, win, swin, [0], buf)
+        assert (lo, hi) == (0, 4)
+        yield from all_gather(rank, win, swin, [0], buf)
+        yield from rank.finish()
+
+    launch(Cluster(greina(1)), kernel, ranks_per_device=1)
+    np.testing.assert_array_equal(buf, np.arange(4, dtype=float))
+
+
+def test_auto_resolves_through_pinned_tuner():
+    """algorithm='auto' + an override-pinned tuner runs that family on
+    every rank — the in-kernel escape hatch."""
+    topo = flat(num_nodes=2, gpus_per_node=1)
+    tuner = CollectiveAutotuner(override="tree")
+    n = 4
+    bufs = {r: np.full(n, float(r + 1)) for r in range(2)}
+    ran = {}
+
+    def kernel(rank):
+        r = rank.world_rank
+        win = yield from rank.win_create(bufs[r])
+        swin = yield from rank.win_create(np.zeros(scratch_elems(2, n)))
+        yield from rank.barrier()
+        ran[r] = yield from allreduce(rank, win, swin, [0, 1], bufs[r],
+                                      algorithm="auto", tuner=tuner)
+        yield from rank.flush()
+        yield from rank.barrier()
+        yield from rank.finish()
+
+    _launch_collective(topo, kernel)
+    assert ran == {0: "tree", 1: "tree"}
+    for r in range(2):
+        np.testing.assert_array_equal(bufs[r], np.full(n, 3.0))
+
+
+# ---------------------------------------------------------------- errors --
+def test_unknown_algorithm_raises():
+    def kernel(rank):
+        win = yield from rank.win_create(np.zeros(4))
+        swin = yield from rank.win_create(np.zeros(scratch_elems(2, 4)))
+        yield from allreduce(rank, win, swin, [0, 1], np.zeros(4),
+                             algorithm="butterfly")
+        yield from rank.finish()
+
+    with pytest.raises(DCudaError, match="unknown collective algorithm"):
+        launch(Cluster(greina(1)), kernel, ranks_per_device=2)
+
+
+def test_non_member_caller_raises():
+    def kernel(rank):
+        win = yield from rank.win_create(np.zeros(4))
+        swin = yield from rank.win_create(np.zeros(scratch_elems(2, 4)))
+        yield from allreduce(rank, win, swin, [5, 6], np.zeros(4))
+        yield from rank.finish()
+
+    with pytest.raises(DCudaError, match="not in collective group"):
+        launch(Cluster(greina(1)), kernel, ranks_per_device=1)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_undersized_scratch_raises(algorithm):
+    topo = fat_tree(num_nodes=2, gpus_per_node=2)
+
+    def kernel(rank):
+        win = yield from rank.win_create(np.zeros(16))
+        swin = yield from rank.win_create(np.zeros(2))
+        yield from rank.barrier()
+        yield from allreduce(rank, win, swin, list(range(4)),
+                             np.zeros(16), algorithm=algorithm)
+        yield from rank.finish()
+
+    with pytest.raises(DCudaError, match="scratch"):
+        _launch_collective(topo, kernel)

@@ -30,7 +30,7 @@ def test_examples_exist():
     names = {p.stem for p in EXAMPLES}
     assert {"quickstart", "stencil_halo_exchange", "particle_cloud",
             "spmv_power_method", "schedule_trace", "fig2_listing",
-            "topology_tour"} <= names
+            "topology_tour", "gemm_pipeline", "train_step"} <= names
 
 
 def test_examples_declare_tiny_knob():

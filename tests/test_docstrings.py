@@ -11,13 +11,19 @@ import inspect
 
 import pytest
 
+import repro.apps.gemm_stream as gemm_stream
+import repro.apps.train_step as train_step
 import repro.dcuda.collectives as collectives
+import repro.dcuda.collectives.algorithms as coll_algorithms
+import repro.dcuda.collectives.autotune as coll_autotune
+import repro.dcuda.collectives.core as coll_core
 import repro.dcuda.device_api as device_api
 import repro.dcuda.window as window
 import repro.obs as obs
 from repro.dcuda.device_api import DRank
 
-MODULES = (device_api, window, collectives, obs)
+MODULES = (device_api, window, collectives, coll_algorithms,
+           coll_autotune, coll_core, gemm_stream, train_step, obs)
 
 
 def public_symbols(module):
