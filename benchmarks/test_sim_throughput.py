@@ -32,11 +32,12 @@ def test_sim_throughput(benchmark, report, engine_sweep):
         rounds=1, iterations=1)
     report("sim_throughput", table.render())
     benchmark.extra_info["rows"] = [
-        [row[0]] + [float(v) for v in row[1:]] for row in table.rows]
+        [row[0], row[1]] + [float(v) for v in row[2:]]
+        for row in table.rows]
 
     by_probe = {row[0]: row for row in table.rows}
     assert set(by_probe) == {"synthetic", "diffusion"}
-    for probe, (_, events, wall, eps, sim_ms) in by_probe.items():
+    for probe, (_, _backend, events, wall, eps, sim_ms) in by_probe.items():
         assert events > 0, probe
         assert wall > 0, probe
         assert eps > 0, probe

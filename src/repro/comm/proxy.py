@@ -38,19 +38,17 @@ class ProxyBackend(CommBackend):
                                               target_offset, src)
             yield from drank._assemble()
             yield from drank.state.cmd_queue.enqueue(NotifyCommand(
-                origin_rank=drank.world_rank, global_win_id=win.global_id,
-                target_rank=target_rank, tag=tag, flush_id=flush_id,
-                notify=notify))
+                drank.world_rank, win.global_id, target_rank, tag,
+                flush_id, notify))
         else:
             yield from drank._assemble()
             # Snapshot at issue time: the block manager isends later, and
             # the application may legitimately start its next compute phase
             # (overwriting the source) as soon as its own waits complete.
             yield from drank.state.cmd_queue.enqueue(PutCommand(
-                origin_rank=drank.world_rank, global_win_id=win.global_id,
-                target_rank=target_rank, target_offset=target_offset,
-                count=int(src.size), src=src.copy(), tag=tag,
-                flush_id=flush_id, notify=notify))
+                drank.world_rank, win.global_id, target_rank,
+                target_offset, int(src.size), src.copy(), tag,
+                flush_id, notify))
 
     def get(self, drank, win, target_rank: int, target_offset: int,
             dst: np.ndarray, tag: int, flush_id: int,
@@ -63,16 +61,14 @@ class ProxyBackend(CommBackend):
                                               target_offset, dst)
             yield from drank._assemble()
             yield from drank.state.cmd_queue.enqueue(NotifyCommand(
-                origin_rank=target_rank, global_win_id=win.global_id,
-                target_rank=drank.world_rank, tag=tag, flush_id=flush_id,
-                notify=notify))
+                target_rank, win.global_id, drank.world_rank, tag,
+                flush_id, notify))
         else:
             yield from drank._assemble()
             yield from drank.state.cmd_queue.enqueue(GetCommand(
-                origin_rank=drank.world_rank, global_win_id=win.global_id,
-                target_rank=target_rank, target_offset=target_offset,
-                count=int(dst.size), dst=dst, tag=tag, flush_id=flush_id,
-                notify=notify))
+                drank.world_rank, win.global_id, target_rank,
+                target_offset, int(dst.size), dst, tag, flush_id,
+                notify))
 
     def describe_costs(self) -> Dict[str, float]:
         host = self.cfg.host

@@ -33,10 +33,10 @@ from ..hw.config import DeviceLibConfig
 from ..hw.gpu import Block, Device
 from ..runtime.commands import Notification
 from ..runtime.state import RankState
-from ..sim import AnyOf, Event
+from ..sim import PENDING, AnyOf, Event
 
-__all__ = ["NotificationMatcher", "deliver", "DCUDA_ANY_SOURCE",
-           "DCUDA_ANY_TAG", "DCUDA_ANY_WINDOW"]
+__all__ = ["NotificationMatcher", "deliver", "deliver_bulk",
+           "DCUDA_ANY_SOURCE", "DCUDA_ANY_TAG", "DCUDA_ANY_WINDOW"]
 
 DCUDA_ANY_SOURCE = -1
 DCUDA_ANY_TAG = -1
@@ -54,10 +54,32 @@ def deliver(state: RankState, global_win_id, source: int,
     the NIC completion path (device-initiated), or the triggered-op
     engine (stream) — but the queue entry, and therefore everything the
     matcher can observe, is identical.
+
+    Returns the enqueue generator directly (``yield from deliver(...)``
+    drives it with one less frame than a delegating generator would).
     """
     local_win = state.win_reverse[global_win_id]
-    yield from state.notif_queue.enqueue(
-        Notification(win_id=local_win, source=source, tag=tag))
+    return state.notif_queue.enqueue(
+        Notification(local_win, source, tag))
+
+
+def deliver_bulk(state: RankState,
+                 notifications: Any) -> Generator[Event, Any, None]:
+    """Enqueue several ``(global_win_id, source, tag)`` notifications.
+
+    The bulk twin of :func:`deliver` for same-timestamp delivery runs
+    (e.g. a collective fan-in committing one notification per peer):
+    per-entry queue semantics — credits, posted writes, visibility delays
+    — are exactly those of back-to-back :func:`deliver` calls, so the
+    matcher observes identical timestamps; the batch just shares one
+    generator frame, and the matcher's next drain consumes the whole run
+    in one pass (wake coalescing: only the first commit wakes a parked
+    matcher).
+    """
+    win_reverse = state.win_reverse
+    return state.notif_queue.enqueue_bulk(
+        Notification(win_reverse[gid], source, tag)
+        for gid, source, tag in notifications)
 
 
 class _Entry:
@@ -65,13 +87,21 @@ class _Entry:
 
     Entries sit in several index buckets at once; consuming one via any
     index flips ``alive`` and the other buckets skip it lazily.
+
+    ``refs`` counts the index buckets still holding the entry (always two
+    at creation: the exact-triple bucket and the any-source bucket).  A
+    dead entry is recycled through the matcher's freelist only once every
+    bucket has lazily popped it — an entry still reachable from a bucket
+    must never be reused, or a stale bucket would consume a notification
+    that was never delivered to it.
     """
 
-    __slots__ = ("notification", "alive")
+    __slots__ = ("notification", "alive", "refs")
 
     def __init__(self, notification: Notification):
         self.notification = notification
         self.alive = True
+        self.refs = 2
 
 
 class NotificationMatcher:
@@ -112,28 +142,46 @@ class NotificationMatcher:
         #: while a charged matching pass is occupying the issue unit, which
         #: would otherwise be lost wakeups.
         self._drained_at = 0
+        #: Freelist of retired _Entry carriers (see _Entry.refs).
+        self._efree: list = []
 
     # -- internals ------------------------------------------------------
     def _drain(self) -> None:
-        """Move arrived queue entries into the local pending indexes."""
+        """Move arrived queue entries into the local pending indexes.
+
+        Batched: the queue hands over everything it buffered in one pass
+        (same entries, order, and bookkeeping as the old per-entry
+        ``try_dequeue`` loop).
+        """
         queue = self.state.notif_queue
-        while True:
-            item = queue.try_dequeue()
-            if item is None:
-                self._drained_at = queue.stats.enqueues
-                return
-            entry = _Entry(item)
-            self._arrival_seq += 1
-            self._ordered[self._arrival_seq] = entry
-            n = item
-            full = self._by_full.get((n.win_id, n.source, n.tag))
+        items = queue.drain_all()
+        self._drained_at = queue.stats.enqueues
+        if not items:
+            return
+        seq = self._arrival_seq
+        ordered = self._ordered
+        by_full = self._by_full
+        by_win_tag = self._by_win_tag
+        free = self._efree
+        for n in items:
+            if free:
+                entry = free.pop()
+                entry.notification = n
+                entry.alive = True
+                entry.refs = 2
+            else:
+                entry = _Entry(n)
+            seq += 1
+            ordered[seq] = entry
+            full = by_full.get((n.win_id, n.source, n.tag))
             if full is None:
-                full = self._by_full[(n.win_id, n.source, n.tag)] = deque()
+                full = by_full[(n.win_id, n.source, n.tag)] = deque()
             full.append(entry)
-            wt = self._by_win_tag.get((n.win_id, n.tag))
+            wt = by_win_tag.get((n.win_id, n.tag))
             if wt is None:
-                wt = self._by_win_tag[(n.win_id, n.tag)] = deque()
+                wt = by_win_tag[(n.win_id, n.tag)] = deque()
             wt.append(entry)
+        self._arrival_seq = seq
 
     @staticmethod
     def _matches(n: Notification, win_id: int, source: int, tag: int) -> bool:
@@ -144,13 +192,20 @@ class NotificationMatcher:
     def _consume_indexed(self, bucket: Deque[_Entry], needed: int) -> int:
         """Consume up to *needed* live entries from an index bucket."""
         consumed = 0
+        free = self._efree
         while bucket and consumed < needed:
             entry = bucket[0]
+            bucket.popleft()
             if not entry.alive:
-                bucket.popleft()
+                # Lazy cleanup of an entry consumed via another index;
+                # once no bucket holds it anymore it can be recycled.
+                entry.refs -= 1
+                if entry.refs == 0:
+                    entry.notification = None
+                    free.append(entry)
                 continue
             entry.alive = False
-            bucket.popleft()
+            entry.refs -= 1
             consumed += 1
         return consumed
 
@@ -175,13 +230,16 @@ class NotificationMatcher:
         for seq in dead:
             del self._ordered[seq]
 
-    def _match_pass(self, win_id: int, source: int, tag: int,
-                    needed: int) -> Generator[Event, Any, int]:
-        """One charged scan over the pending set; returns matches consumed.
+    def _match_sync(self, win_id: int, source: int, tag: int,
+                    needed: int) -> Tuple[int, float]:
+        """The synchronous half of a matching pass: drain, consume, and
+        compute the charged cost; returns ``(consumed, cost)``.
 
         The simulated device always scans every pending entry, so the
         charged cost uses ``len(self._ordered)`` — the same scanned-entry
-        count the compacting-list implementation charged.
+        count the compacting-list implementation charged.  The caller owns
+        the issue-unit charge (and bumps ``matched_total`` after it), so
+        the hot wait loop can inline the resource hold.
         """
         self._drain()
         scanned = len(self._ordered)
@@ -200,6 +258,12 @@ class NotificationMatcher:
         cost = self.cfg.match_base + self.cfg.match_per_entry * scanned
         if self._match_hist is not None:
             self._match_hist.observe(cost)
+        return consumed, cost
+
+    def _match_pass(self, win_id: int, source: int, tag: int,
+                    needed: int) -> Generator[Event, Any, int]:
+        """One charged scan over the pending set; returns matches consumed."""
+        consumed, cost = self._match_sync(win_id, source, tag, needed)
         yield from self.device.issue_use(self.block, cost, kind="match")
         self.matched_total += consumed
         return consumed
@@ -262,10 +326,43 @@ class NotificationMatcher:
         faults = getattr(self.state.node, "faults", None)
         deadline = (t0 + faults.cfg.handshake_timeout
                     if faults is not None else None)
+        tracer = self.device.tracer
+        issue = self.block.sm.issue
+        sem = issue._sem
         matched = 0
         while matched < count:
-            matched += yield from self._match_pass(win_id, source, tag,
-                                                   count - matched)
+            consumed, cost = self._match_sync(win_id, source, tag,
+                                              count - matched)
+            if tracer.enabled:
+                yield from self.device.issue_use(self.block, cost,
+                                                 kind="match")
+            else:
+                # Inlined issue.use(cost) — the per-pass match charge is
+                # the hot wait path's only resource hold, and the resumes
+                # land on this frame directly instead of two frames down.
+                if sem._available > 0 and not sem._queue:
+                    sem._available -= 1
+                    yield 0.0
+                else:
+                    free = sem._efree
+                    if free:
+                        ev = free.pop()
+                        ev.callbacks = []
+                        ev._value = PENDING
+                        ev._scheduled = False
+                    else:
+                        ev = Event(sem.env, sem._req_name)
+                    sem._queue.append(ev)
+                    yield ev
+                    free.append(ev)
+                try:
+                    issue.busy_time += cost
+                    issue.uses += 1
+                    yield cost
+                finally:
+                    sem.release()
+            self.matched_total += consumed
+            matched += consumed
             if matched >= count:
                 break
             if self.state.notif_queue.stats.enqueues > self._drained_at:
@@ -277,7 +374,16 @@ class NotificationMatcher:
             # unit is free during the sleep — this is where over-subscribed
             # blocks overlap their communication.
             if deadline is None:
-                yield self.state.notif_queue.arrived.wait()
+                queue = self.state.notif_queue
+                if queue._park_proc is None:
+                    # Poll elision: one wake at commit + poll_interval —
+                    # the exact tick the arrival-signal + poll-boundary
+                    # sequence below would have rescanned at.
+                    yield queue.park_poll(self.cfg.poll_interval)
+                    continue
+                # Another consumer already parked on this queue (rare):
+                # fall back to the signal + poll-boundary sleep.
+                yield queue.arrived.wait()
             else:
                 remaining = deadline - self.env._now
                 if remaining <= 0:
@@ -301,5 +407,6 @@ class NotificationMatcher:
             yield self.cfg.poll_interval
         if self._wait_hist is not None:
             self._wait_hist.observe(self.env._now - t0)
-        self.device.tracer.record(self.block.name, "wait", t0, self.env._now,
-                                  detail or "notifications")
+        if tracer.enabled:
+            tracer.record(self.block.name, "wait", t0, self.env._now,
+                          detail or "notifications")

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, List, Optional
 
-from ..sim import Environment, Event, Resource, Tracer
+from ..sim import PENDING, Environment, Event, Resource, Tracer
 from .config import GPUConfig
 from .memory import DeviceMemory
 
@@ -142,7 +142,25 @@ class Device:
         if flops < 0 or mem_bytes < 0:
             raise ValueError("flops and mem_bytes must be non-negative")
         t0 = self.env._now
-        yield from block.sm.issue.acquire()
+        # Inlined issue-unit acquire (Resource -> Semaphore, two delegated
+        # frames): compute phases are the hottest device-side generator,
+        # and every resume of this frame pays the full delegation depth.
+        sem = block.sm.issue._sem
+        if sem._available > 0 and not sem._queue:
+            sem._available -= 1
+            yield 0.0
+        else:
+            free = sem._efree
+            if free:
+                ev = free.pop()
+                ev.callbacks = []
+                ev._value = PENDING
+                ev._scheduled = False
+            else:
+                ev = Event(sem.env, sem._req_name)
+            sem._queue.append(ev)
+            yield ev
+            free.append(ev)
         try:
             mem_ev = None
             if mem_bytes > 0:
@@ -161,10 +179,12 @@ class Device:
             if issue_time > 0:
                 yield issue_time
         finally:
-            block.sm.issue.release()
+            sem.release()
         if mem_ev is not None:
             yield mem_ev
-        self.tracer.record(block.name, "compute", t0, self.env._now, detail)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.record(block.name, "compute", t0, self.env._now, detail)
 
     def copy(self, block: Block, nbytes: float,
              detail: str = "copy") -> Generator[Event, Any, None]:
@@ -177,7 +197,9 @@ class Device:
             raise ValueError(f"negative copy size {nbytes!r}")
         t0 = self.env._now
         yield self.memory.access_event(2.0 * nbytes, block_limited=True)
-        self.tracer.record(block.name, "comm", t0, self.env._now, detail)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.record(block.name, "comm", t0, self.env._now, detail)
 
     def issue_use(self, block: Block, duration: float,
                   kind: str = "match",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from ..sim import Environment, Event, Semaphore
+from ..sim import PENDING, Environment, Event, Semaphore
 from .config import PCIeConfig
 
 __all__ = ["PCIeLink"]
@@ -48,9 +48,17 @@ class PCIeLink:
             lock._available -= 1
             yield 0.0
         else:
-            ev = Event(lock.env, lock._req_name)
+            free = lock._efree
+            if free:
+                ev = free.pop()
+                ev.callbacks = []
+                ev._value = PENDING
+                ev._scheduled = False
+            else:
+                ev = Event(lock.env, lock._req_name)
             lock._queue.append(ev)
             yield ev
+            free.append(ev)
         try:
             yield cost
         finally:

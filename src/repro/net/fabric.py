@@ -89,6 +89,60 @@ class _HopLink:
         self.latency = latency
 
 
+class _RouteWalk:
+    """Callback walker for the post-injection hop traversal of a routed
+    message.
+
+    Schedule-equivalent to the generator loop it replaces, entry for
+    entry: the transfer-completion callback occupies the exact slot the
+    process's resume callback held (``add_callback`` on an already
+    processed transfer runs inline, matching the immediate-resume
+    fallback), and each positive hop latency is charged through
+    :meth:`Environment.call_at` — the same ``(when, priority, seq)``
+    timed entry a ``yield hop.latency`` would create at that moment.
+    Zero latencies and a zero extra-latency tail proceed inline, exactly
+    as the generator's guarded yields did.  What it saves is the
+    generator machinery itself: one process ``_step`` (send / frame
+    switch / StopIteration plumbing) per hop event becomes one bound
+    -method call.
+    """
+
+    __slots__ = ("env", "hops", "nbytes", "extra_latency", "done", "_idx")
+
+    def __init__(self, env: Environment, hops: tuple, nbytes: float,
+                 extra_latency: float, done: Event):
+        self.env = env
+        self.hops = hops
+        self.nbytes = nbytes
+        self.extra_latency = extra_latency
+        self.done = done
+        self._idx = 0
+
+    def start(self) -> None:
+        self._next()
+
+    def _next(self) -> None:
+        idx = self._idx
+        hops = self.hops
+        if idx < len(hops):
+            self._idx = idx + 1
+            ev = hops[idx].flow.transfer(self.nbytes)
+            ev.add_callback(self._transferred)
+            return
+        extra = self.extra_latency
+        if extra > 0.0:
+            self.env.call_at(extra, self.done.succeed)
+        else:
+            self.done.succeed()
+
+    def _transferred(self, ev: Event) -> None:
+        latency = self.hops[self._idx - 1].latency
+        if latency > 0.0:
+            self.env.call_at(latency, self._next)
+        else:
+            self._next()
+
+
 class Fabric:
     """The cluster interconnect."""
 
@@ -115,6 +169,13 @@ class Fabric:
         else:
             self._intra = None
         self._links: Dict[str, _HopLink] = {}
+        #: Lazily filled per-(src, dst) route cache:
+        #: ``(link names, hop links, 2 * one-way path latency)``.  Routes
+        #: are a pure function of the topology (built once, never
+        #: rerouted — partitions hold messages, they do not divert them),
+        #: so resolving names to _HopLink objects and summing the path
+        #: latency once per pair replaces two dict walks per message.
+        self._route_cache: Dict[Any, Any] = {}
         if self._routing is not None:
             for name, link in sorted(self._routing.links.items()):
                 self._links[name] = _HopLink(env, name, link.bandwidth,
@@ -244,8 +305,13 @@ class Fabric:
                                                  2.0 * self.cfg.latency)
         if injected is not None:
             injected.succeed()
-        yield self.cfg.latency + extra_latency
-        done.succeed()
+        # Arrival via the deferred-call lane: the same (when, priority,
+        # seq) timed entry a ``yield latency`` would create, but its
+        # dispatch succeeds ``done`` directly instead of resuming this
+        # generator for one final statement.  The process-completion
+        # entry moves from arrival time to now — a no-op dispatch nothing
+        # observes (transmit hands out ``done``, never the process).
+        self.env.call_at(self.cfg.latency + extra_latency, done.succeed)
 
     def _routed_wire(self, src: int, dst: int, nbytes: float, mode: str,
                      done: Event, injected: Optional[Event],
@@ -257,7 +323,15 @@ class Fabric:
         a store-and-forward pipeline whose bottleneck link governs
         sustained bandwidth while latencies accumulate per hop.
         """
-        route = self._routing.route(src, dst)
+        key = src * self.num_nodes + dst
+        cached = self._route_cache.get(key)
+        if cached is None:
+            route = self._routing.route(src, dst)
+            cached = (route,
+                      tuple(self._links[name] for name in route),
+                      2.0 * self._routing.path_latency(src, dst))
+            self._route_cache[key] = cached
+        route, hops, rtt = cached
         faults = self._faults
         if faults is not None:
             # A partition cutting ANY link on the route (or targeting the
@@ -265,18 +339,13 @@ class Fabric:
             hold = faults.partition_hold_route(src, dst, route, self.env._now)
             if hold > 0.0:
                 yield hold
-        rtt = 2.0 * self._routing.path_latency(src, dst)
         extra_latency += yield from self._inject(src, dst, nbytes, mode, rtt)
         if injected is not None:
             injected.succeed()
-        for name in route:
-            hop = self._links[name]
-            yield hop.flow.transfer(nbytes)
-            if hop.latency > 0.0:
-                yield hop.latency
-        if extra_latency > 0.0:
-            yield extra_latency
-        done.succeed()
+        # Hand the hop traversal to a flyweight callback walker; this
+        # generator ends here, so the (unobserved) process-completion
+        # entry lands now instead of after arrival.
+        _RouteWalk(self.env, hops, nbytes, extra_latency, done).start()
 
     def ring_doorbell(self, node: int) -> None:
         """Count one MMIO doorbell ring at *node*'s NIC (device-initiated

@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Any, Generator, Optional
 
 import numpy as np
 
-from ..sim import AllOf, Event
+from ..sim import PENDING, AllOf, Event
 from .commands import (
     COLLECTIVE_WIN,
     Ack,
@@ -50,6 +50,11 @@ __all__ = ["BlockManager"]
 
 class BlockManager:
     """Processes one rank's commands and its incoming remote accesses."""
+
+    #: Cached :func:`repro.dcuda.notifications.deliver` (class-level, filled
+    #: on first use — the per-call lazy import is measurable on the hot
+    #: notify path).
+    _deliver_fn = None
 
     def __init__(self, system: "RuntimeSystem", state: RankState):
         self.system = system
@@ -78,34 +83,72 @@ class BlockManager:
     # ------------------------------------------------------------------ loop --
     def run(self) -> Generator[Event, Any, None]:
         """Main dispatch loop; ends after the rank's finish command."""
+        queue = self.state.cmd_queue
+        host = self.cfg.host
+        poll_latency = host.poll_latency
+        command_cost = host.command_cost
+        worker = self.node.worker
+        sem = worker._sem
+        buffered = queue._entries._items   # occupancy fast path
         while True:
-            was_idle = self.state.cmd_queue.occupancy == 0
-            cmd = yield from self.state.cmd_queue.dequeue()
-            t0 = self.env._now
-            if was_idle:
-                # Expected delay until the polling worker thread notices
-                # the new entry; a busy manager drains its queue without
-                # re-polling, so batches only pay it once.
-                yield self.cfg.host.poll_latency
-            yield from self.node.host_work(self.cfg.host.command_cost)
-            if isinstance(cmd, PutCommand):
-                self._start_put(cmd)
-            elif isinstance(cmd, GetCommand):
-                self._start_get(cmd)
-            elif isinstance(cmd, NotifyCommand):
+            if buffered:
+                # A busy manager drains its queue without re-polling, so
+                # batches only pay the poll latency once.
+                cmd = queue.try_dequeue()
+                t0 = self.env._now
+            else:
+                # Poll elision: park until the next commit, waking exactly
+                # poll_latency after it — the tick at which the polling
+                # worker thread would have noticed the new entry.  The
+                # wake carries the commit time so the handling-latency
+                # histograms keep their old dequeue-time anchor.
+                cmd, t0 = yield queue.park_consume(poll_latency)
+            # Inlined worker.use(command_cost) — the per-command host
+            # charge resumes this frame twice, so the delegated generator
+            # is pure overhead; acquire/hold/release and the busy-time
+            # accounting are identical to Resource.use.
+            if sem._available > 0 and not sem._queue:
+                sem._available -= 1
+                yield 0.0
+            else:
+                free = sem._efree
+                if free:
+                    ev = free.pop()
+                    ev.callbacks = []
+                    ev._value = PENDING
+                    ev._scheduled = False
+                else:
+                    ev = Event(sem.env, sem._req_name)
+                sem._queue.append(ev)
+                yield ev
+                free.append(ev)
+            try:
+                worker.busy_time += command_cost
+                worker.uses += 1
+                yield command_cost
+            finally:
+                sem.release()
+            # Exact-class dispatch ordered by frequency (notifications of
+            # same-node puts dominate); no command class is subclassed.
+            cls = cmd.__class__
+            if cls is NotifyCommand:
                 yield from self._handle_notify(cmd)
-            elif isinstance(cmd, WinCreateCommand):
-                yield from self._handle_win_create(cmd)
-            elif isinstance(cmd, WinFreeCommand):
-                yield from self._handle_win_free(cmd)
-            elif isinstance(cmd, BarrierCommand):
+            elif cls is PutCommand:
+                self._start_put(cmd)
+            elif cls is GetCommand:
+                self._start_get(cmd)
+            elif cls is BarrierCommand:
                 yield from self._handle_barrier(cmd)
-            elif isinstance(cmd, NonblockingBarrierCommand):
+            elif cls is NonblockingBarrierCommand:
                 # §V extension: runs in the background; the command loop
                 # keeps draining so the rank can overlap past the barrier.
                 self.env.process(self._handle_ibarrier(cmd),
                                  name=f"ibar:r{cmd.origin_rank}")
-            elif isinstance(cmd, FinishCommand):
+            elif cls is WinCreateCommand:
+                yield from self._handle_win_create(cmd)
+            elif cls is WinFreeCommand:
+                yield from self._handle_win_free(cmd)
+            elif cls is FinishCommand:
                 yield from self._handle_finish(cmd)
                 if self._cmd_hists is not None:
                     self._note_command(cmd, t0)
@@ -161,8 +204,11 @@ class BlockManager:
         """Shared notification delivery point (see
         :func:`repro.dcuda.notifications.deliver`); imported lazily —
         the dcuda package imports the runtime, not vice versa."""
-        from ..dcuda.notifications import deliver
+        deliver = self._deliver_fn
+        if deliver is None:
+            from ..dcuda.notifications import deliver
 
+            type(self)._deliver_fn = staticmethod(deliver)
         return deliver(state, global_win_id, source, tag)
 
     def _get_completion(self, cmd: GetCommand, reply_req):
@@ -255,12 +301,39 @@ class BlockManager:
     # ------------------------------------------------------------------ flush --
     def _complete_flush(self, flush_id: int):
         """Advance the in-order flush counter; write it to the device."""
-        advanced = self.state.flush_tracker.complete(flush_id)
+        state = self.state
+        advanced = state.flush_tracker.complete(flush_id)
         if not advanced:
             return
-        yield from self.state.pcie.mapped_post()
-        yield self.state.pcie.write_visibility_delay
+        # Inlined pcie.mapped_post() (the _transact generator two frames
+        # down): flush completions run once per RMA command, and each of
+        # their three yields otherwise resumes through the full delegation
+        # chain.  Semantics identical: one posted mapped write, engine
+        # occupancy under the FCFS lock, then the visibility delay.
+        pcie = state.pcie
+        pcie.mapped_writes += 1
+        lock = pcie._mapped_lock
+        if lock._available > 0 and not lock._queue:
+            lock._available -= 1
+            yield 0.0
+        else:
+            free = lock._efree
+            if free:
+                ev = free.pop()
+                ev.callbacks = []
+                ev._value = PENDING
+                ev._scheduled = False
+            else:
+                ev = Event(lock.env, lock._req_name)
+            lock._queue.append(ev)
+            yield ev
+            free.append(ev)
+        try:
+            yield pcie.cfg.mapped_post_occupancy
+        finally:
+            lock.release()
+        yield pcie.cfg.mapped_write_latency
         # The tracker only grows, so later writes never regress the value.
-        self.state.flush_counter = max(self.state.flush_counter,
-                                       self.state.flush_tracker.counter)
-        self.state.flush_signal.fire()
+        state.flush_counter = max(state.flush_counter,
+                                  state.flush_tracker.counter)
+        state.flush_signal.fire()

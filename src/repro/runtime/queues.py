@@ -43,7 +43,7 @@ from typing import Any, Dict, Generator, Optional
 
 from ..errors import DCudaFaultError, DCudaTimeoutError
 from ..hw.pcie import PCIeLink
-from ..sim import AnyOf, Environment, Event, Signal, Store
+from ..sim import PARK, PENDING, AnyOf, Environment, Event, Signal, Store
 
 __all__ = ["CircularQueue", "QueueStats"]
 
@@ -111,6 +111,13 @@ class CircularQueue:
         #: notification matcher) use it to wake instead of busy-spinning.
         self.arrived = Signal(env, name=f"arrived:{name}")
         self._seq = 0
+        # Poll-elision registration (see park_consume / park_poll): the
+        # parked consumer process, its poll delay, and whether the waking
+        # commit should hand it the entry directly (consume) or leave the
+        # entry buffered (poll).
+        self._park_proc: Any = None
+        self._park_delay = 0.0
+        self._park_take = False
 
     # -- introspection --------------------------------------------------------
     @property
@@ -162,18 +169,103 @@ class CircularQueue:
         self._head += 1
         if self._credit_series is not None:
             self._credit_series.sample(self.env._now, self._credits)
-        delay = 0.0
-        if self.link is not None:
+        link = self.link
+        if link is not None:
             # One transaction writes the entry together with its sequence
             # number; the receiver validates entries by sequence number.
-            yield from self.link.mapped_post()
-            delay = self.link.write_visibility_delay
-        self._seq += 1
-        if delay > 0:
-            # Fire-and-forget: the commit needs no waitable event, so use
-            # the kernel's lightweight deferred-call lane.
-            self.env.call_at(delay, self._commit, self._seq, entry)
+            # Inlined PCIeLink.mapped_post/_transact (identical yield
+            # sequence): every put/get crosses this path, so the saved
+            # generator frame per enqueue is measurable.
+            link.mapped_writes += 1
+            lock = link._mapped_lock
+            if lock._available > 0 and not lock._queue:
+                lock._available -= 1
+                yield 0.0
+            else:
+                free = lock._efree
+                if free:
+                    ev = free.pop()
+                    ev.callbacks = []
+                    ev._value = PENDING
+                    ev._scheduled = False
+                else:
+                    ev = Event(lock.env, lock._req_name)
+                lock._queue.append(ev)
+                yield ev
+                free.append(ev)
+            try:
+                yield link.cfg.mapped_post_occupancy
+            finally:
+                lock.release()
+            self._seq += 1
+            delay = link.cfg.mapped_write_latency
+            if delay > 0:
+                # Fire-and-forget: the commit needs no waitable event, so
+                # use the kernel's lightweight deferred-call lane.
+                self.env.call_at(delay, self._commit, self._seq, entry)
+                return
         else:
+            self._seq += 1
+        self._commit(self._seq, entry)
+
+    def enqueue_bulk(self, entries: Any) -> Generator[Event, Any, None]:
+        """Append several entries back-to-back in one generator frame.
+
+        Semantically identical to ``for e in entries: yield from
+        self.enqueue(e)`` — per-entry credits, posted writes, and
+        visibility delays are all preserved (so timestamps are unchanged)
+        — but the whole batch shares one frame instead of paying a
+        generator resume per entry.  Under an attached fault plane each
+        entry goes through the hardened path individually.
+        """
+        if self._faults is not None:
+            for entry in entries:
+                yield from self._enqueue_hardened(entry)
+            return
+        env = self.env
+        for entry in entries:
+            if self._credits == 0:
+                yield from self._reload_credits()
+                while self._credits == 0:
+                    self.stats.full_stalls += 1
+                    if self._stall_counter is not None:
+                        self._stall_counter.inc()
+                    yield self._space_freed.wait()
+                    yield from self._reload_credits()
+            self._credits -= 1
+            self._head += 1
+            if self._credit_series is not None:
+                self._credit_series.sample(env._now, self._credits)
+            link = self.link
+            if link is not None:
+                link.mapped_writes += 1
+                lock = link._mapped_lock
+                if lock._available > 0 and not lock._queue:
+                    lock._available -= 1
+                    yield 0.0
+                else:
+                    free = lock._efree
+                    if free:
+                        ev = free.pop()
+                        ev.callbacks = []
+                        ev._value = PENDING
+                        ev._scheduled = False
+                    else:
+                        ev = Event(lock.env, lock._req_name)
+                    lock._queue.append(ev)
+                    yield ev
+                    free.append(ev)
+                try:
+                    yield link.cfg.mapped_post_occupancy
+                finally:
+                    lock.release()
+                self._seq += 1
+                delay = link.cfg.mapped_write_latency
+                if delay > 0:
+                    env.call_at(delay, self._commit, self._seq, entry)
+                    continue
+            else:
+                self._seq += 1
             self._commit(self._seq, entry)
 
     def _enqueue_hardened(self, entry: Any) -> Generator[Event, Any, None]:
@@ -228,7 +320,43 @@ class CircularQueue:
 
     def _commit(self, seq: int, entry: Any) -> None:
         """The posted write landed in receiver memory."""
-        self._entries.try_put((seq, entry))
+        proc = self._park_proc
+        if proc is not None:
+            # A parked consumer (poll elision): wake it at the exact tick
+            # its poll loop would have observed this entry.  One-shot —
+            # the registration clears here so batch arrivals coalesce into
+            # the single wake (the consumer drains everything it finds).
+            self._park_proc = None
+            env = self.env
+            if self._park_take:
+                # Consume variant: the entry bypasses the buffer and rides
+                # the wake payload together with its commit time (the
+                # consumer's old resume point, for observation bookkeeping).
+                self.stats.enqueues += 1
+                if self._depth_series is not None:
+                    self._depth_series.sample(env._now, len(self._entries))
+                    self._enq_counter.inc()
+                self.arrived.fire()
+                # Receiver-side bookkeeping happens at commit time, exactly
+                # when the old blocking dequeue would have performed it.
+                self._tail += 1
+                self.stats.dequeues += 1
+                if self._depth_series is not None:
+                    self._depth_series.sample(env._now, len(self._entries))
+                self._space_freed.fire()
+                env.wake_parked(self._park_delay, proc, (entry, env._now))
+                return
+            # Poll variant: the entry stays buffered; the consumer re-polls
+            # (and drains) when the wake fires.
+            self._entries.try_put(entry)
+            self.stats.enqueues += 1
+            if self._depth_series is not None:
+                self._depth_series.sample(env._now, len(self._entries))
+                self._enq_counter.inc()
+            env.wake_parked(self._park_delay, proc, None)
+            self.arrived.fire()
+            return
+        self._entries.try_put(entry)
         self.stats.enqueues += 1
         if self._depth_series is not None:
             self._depth_series.sample(self.env._now, len(self._entries))
@@ -288,9 +416,50 @@ class CircularQueue:
         return self._credits > 0
 
     # -- receiver side --------------------------------------------------------
+    def park_consume(self, delay: float) -> Any:
+        """Register the active process for a parked blocking dequeue.
+
+        Intended for the consumer's empty-queue path::
+
+            entry, committed_at = yield queue.park_consume(poll_latency)
+
+        The process detaches from the schedule entirely; the next commit
+        wakes it ``delay`` after the commit instant — the exact tick at
+        which the old ``dequeue(); yield poll_latency`` sequence would have
+        resumed — and hands it the entry plus the commit timestamp.  Only
+        one consumer may park at a time (single-consumer queues).
+        """
+        proc = self.env._active_process
+        proc._park_queue = self
+        self._park_proc = proc
+        self._park_delay = delay
+        self._park_take = True
+        return PARK
+
+    def park_poll(self, delay: float) -> Any:
+        """Register the active process for a parked poll wake.
+
+        Intended for consumers that drain via :meth:`try_dequeue` /
+        :meth:`drain_all`::
+
+            yield queue.park_poll(poll_interval)
+
+        The next commit leaves the entry buffered and wakes the process
+        ``delay`` after the commit instant — the exact tick at which the
+        old ``yield arrived.wait(); yield poll_interval`` sequence would
+        have re-polled.  Later same-wake commits stay buffered and are
+        drained together (wake coalescing).
+        """
+        proc = self.env._active_process
+        proc._park_queue = self
+        self._park_proc = proc
+        self._park_delay = delay
+        self._park_take = False
+        return PARK
+
     def dequeue(self) -> Generator[Event, Any, Any]:
         """Remove the oldest entry (blocking, local to the receiver)."""
-        seq, entry = yield self._entries.get()
+        entry = yield self._entries.get()
         self._tail += 1
         self.stats.dequeues += 1
         if self._depth_series is not None:
@@ -334,7 +503,7 @@ class CircularQueue:
                     rank=rank, sim_time=self.env._now)
             # Either the get won, or both fired in the same step — the
             # entry was removed from the buffer either way, so consume it.
-        seq, entry = get_ev.value
+        entry = get_ev.value
         self._tail += 1
         self.stats.dequeues += 1
         if self._depth_series is not None:
@@ -352,4 +521,37 @@ class CircularQueue:
         if self._depth_series is not None:
             self._depth_series.sample(self.env._now, len(self._entries))
         self._space_freed.fire()
-        return item[1]
+        return item
+
+    def drain_all(self) -> list:
+        """Remove and return every buffered entry in one pass.
+
+        Equivalent to calling :meth:`try_dequeue` until it returns ``None``
+        — same entries, same order, same receiver-side bookkeeping at the
+        same instant — but without the per-entry store scan and sender
+        wakeups (``_space_freed`` fires once; the extra fires of the loop
+        form woke nobody, since no process runs between synchronous
+        removals).  Returns ``[]`` when the buffer is empty.
+        """
+        store = self._entries
+        if store._getters:
+            raise RuntimeError(
+                f"drain_all on {self.name!r} with queued getters")
+        items = store._items
+        if not items:
+            return []
+        out = list(items)
+        del items[:]
+        n = len(out)
+        self._tail += n
+        self.stats.dequeues += n
+        if self._depth_series is not None:
+            # The loop form sampled the depth after each removal.
+            now = self.env._now
+            sample = self._depth_series.sample
+            for depth in range(n - 1, -1, -1):
+                sample(now, depth)
+        if store._putters:
+            store._admit_putters()
+        self._space_freed.fire()
+        return out

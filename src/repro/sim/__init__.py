@@ -12,6 +12,8 @@ Public surface:
 """
 
 from .core import (
+    PARK,
+    PENDING,
     Environment,
     EnvStats,
     Event,
@@ -27,7 +29,7 @@ from .trace import Interval, Tracer, merge_intervals, overlap_time, total_time
 
 __all__ = [
     "Environment", "EnvStats", "Event", "Interrupt", "Process",
-    "SimulationError",
+    "SimulationError", "PARK", "PENDING",
     "AllOf", "AnyOf", "Gate", "Semaphore", "Signal", "wait_all",
     "Channel", "Store",
     "FairShareLink", "SerialLink",

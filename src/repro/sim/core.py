@@ -78,6 +78,7 @@ __all__ = [
     "Interrupt",
     "SimulationError",
     "PENDING",
+    "PARK",
 ]
 
 #: Number of calendar buckets in the near-future ring (power of two).
@@ -304,6 +305,55 @@ _SLEEPING = _Sleeping()
 _START_ARGS = (_START,)
 
 
+class _Park:
+    """Yield sentinel: suspend the process until an external wake.
+
+    A process that yields :data:`PARK` detaches from the schedule entirely
+    — no event, no timer, no queue entry.  It resumes only when some other
+    component calls :meth:`Environment.wake_parked` (typically a queue that
+    registered the parked process and computes the exact poll tick at which
+    the process would have observed new work).  This is the poll-elision
+    primitive: one scheduled wake replaces an unbounded
+    ``while True: yield poll_latency`` loop, at the identical timestamp.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<PARK>"
+
+
+PARK = _Park()
+
+
+class _Parked:
+    """Sentinel for ``Process._waiting_on`` while parked (see ``PARK``)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<PARKED>"
+
+
+_PARKED = _Parked()
+
+
+class _WakeBox:
+    """Duck-typed value carrier for parked-process wakes.
+
+    Like :class:`_StartValue` but with a writable value slot:
+    :meth:`Process._step` reads only ``_exception`` (always ``None``) and
+    ``_value``, so each process reuses one box for all its wakes — no Event
+    allocation per wake.
+    """
+
+    __slots__ = ("_value",)
+    _exception = None
+
+    def __init__(self) -> None:
+        self._value = None
+
+
 def _drop_wake(_event: Any) -> None:
     """Replacement target for an invalidated sleep wakeup.
 
@@ -322,7 +372,9 @@ class Process(Event):
         result = yield env.process(worker(env))
     """
 
-    __slots__ = ("_generator", "_waiting_on", "_pending_wake")
+    __slots__ = ("_generator", "_waiting_on", "_pending_wake",
+                 "_wake_box", "_park_gen", "_park_queue", "_step_cb",
+                 "_parked_cb")
 
     def __init__(self, env: "Environment",
                  generator: Generator[Event, Any, Any], name: str = ""):
@@ -335,9 +387,25 @@ class Process(Event):
         #: ``_waiting_on is _SLEEPING``; interrupting the sleep retargets
         #: it at :func:`_drop_wake` so the stale wakeup fires as a no-op.
         self._pending_wake: Optional[_Deferred] = None
+        #: Reusable value carrier for PARK wakes (lazily created on the
+        #: first park; ``None`` for processes that never park).
+        self._wake_box: Optional[_WakeBox] = None
+        #: Park generation counter: bumped when a park is invalidated
+        #: (interrupt while parked), so an already-scheduled wake for the
+        #: stale park fires as a no-op.
+        self._park_gen = 0
+        #: The queue that registered this parked process, if any; cleared
+        #: on wake or interrupt so future commits take the normal path.
+        self._park_queue: Optional[Any] = None
+        #: Cached bound methods: every sleep wakeup and event callback
+        #: stores a reference to ``_step`` (and every park wake to
+        #: ``_parked_step``) — binding them once removes a bound-method
+        #: allocation per scheduling operation.
+        self._step_cb = self._step
+        self._parked_cb = self._parked_step
         # Kick off the process as soon as the loop runs: a deferred call in
         # place of the old sentinel start event (same queue slot, no Event).
-        env.call_at(0.0, self._step, _START)
+        env.call_at(0.0, self._step_cb, _START)
 
     @property
     def is_alive(self) -> bool:
@@ -365,9 +433,18 @@ class Process(Event):
             # stays in the schedule but now fires as a no-op.
             self._pending_wake.fn = _drop_wake
             self._pending_wake = None
+        elif target is _PARKED:
+            # Deregister from the parking queue (future commits must take
+            # the normal path) and invalidate any in-flight wake via the
+            # generation counter.
+            q = self._park_queue
+            if q is not None and q._park_proc is self:
+                q._park_proc = None
+            self._park_queue = None
+            self._park_gen += 1
         elif target is not None and target.callbacks is not None:
             try:
-                target.callbacks.remove(self._step)
+                target.callbacks.remove(self._step_cb)
             except ValueError:
                 pass
             if not target.triggered:
@@ -389,10 +466,10 @@ class Process(Event):
         free = env._dfree
         if free:
             d = free.pop()
-            d.fn = self._step
+            d.fn = self._step_cb
             d.args = _START_ARGS
         else:
-            d = _Deferred(self._step, _START_ARGS)
+            d = _Deferred(self._step_cb, _START_ARGS)
         self._pending_wake = d
         if delay == 0.0:
             env._due.append((env._seq, d))
@@ -411,6 +488,19 @@ class Process(Event):
         if entry < env._next_entry:
             env._next_entry = entry
             env._next_src = b
+
+    def _parked_step(self, gen: int, value: Any) -> None:
+        """Resume a parked process with *value* (wake_parked's target).
+
+        The generation guard drops wakes scheduled for a park that was
+        since invalidated (interrupt) or already served.
+        """
+        if gen != self._park_gen or self._waiting_on is not _PARKED:
+            return
+        self._park_queue = None
+        box = self._wake_box
+        box._value = value
+        self._step(box)
 
     def _step(self, event: Event) -> None:
         self._waiting_on = None
@@ -450,10 +540,10 @@ class Process(Event):
             free = env._dfree
             if free:
                 d = free.pop()
-                d.fn = self._step
+                d.fn = self._step_cb
                 d.args = _START_ARGS
             else:
-                d = _Deferred(self._step, _START_ARGS)
+                d = _Deferred(self._step_cb, _START_ARGS)
             self._pending_wake = d
             if target == 0.0:
                 env._due.append((env._seq, d))
@@ -473,6 +563,15 @@ class Process(Event):
                 env._next_src = b
             return
         if cls is not Event and not isinstance(target, Event):
+            if target is PARK:
+                # Park: detach from the schedule entirely.  The component
+                # that handed out PARK (a queue) has registered this
+                # process and will call Environment.wake_parked at the
+                # exact tick a poll loop would have observed new work.
+                if self._wake_box is None:
+                    self._wake_box = _WakeBox()
+                self._waiting_on = _PARKED
+                return
             if isinstance(target, float):
                 # Slow-path sleep for float subclasses (numpy scalars).
                 delay = float(target)
@@ -488,7 +587,7 @@ class Process(Event):
         self._waiting_on = target
         callbacks = target.callbacks
         if callbacks is not None:
-            callbacks.append(self._step)
+            callbacks.append(self._step_cb)
         else:
             # Target already processed — resume immediately (inlined
             # Event.add_callback fallback).
@@ -639,6 +738,18 @@ class Environment:
         if entry < self._next_entry:
             self._next_entry = entry
             self._next_src = b
+
+    def wake_parked(self, delay: float, proc: Process,
+                    value: Any = None) -> None:
+        """Schedule a wake for a process parked via ``yield PARK``.
+
+        The wake rides the lightweight deferred lane (same queue position a
+        ``timeout(delay)`` the process could have yielded would occupy) and
+        resumes the generator with *value*.  Stale wakes — the process was
+        interrupted away from the park, or already woken — fire as no-ops
+        via the park generation guard.
+        """
+        self.call_at(delay, proc._parked_cb, proc._park_gen, value)
 
     def process(self, generator: Generator[Event, Any, Any],
                 name: str = "") -> Process:

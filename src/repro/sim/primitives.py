@@ -15,7 +15,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Generator, List, Sequence
 
-from .core import Environment, Event
+from .core import PENDING, Environment, Event
 
 __all__ = ["Signal", "Gate", "Semaphore", "AllOf", "AnyOf", "wait_all"]
 
@@ -42,7 +42,13 @@ class Signal:
 
     def fire(self, value: Any = None) -> int:
         """Wake all current waiters; returns how many were woken."""
-        waiters, self._waiters = self._waiters, []
+        waiters = self._waiters
+        if not waiters:
+            # No-waiter fast path: queues fire their arrived/space-freed
+            # signals on every commit, almost always into an empty waiter
+            # list — skip the replacement-list allocation.
+            return 0
+        self._waiters = []
         for ev in waiters:
             ev.succeed(value)
         return len(waiters)
@@ -107,6 +113,11 @@ class Semaphore:
         self.capacity = capacity
         self._available = capacity
         self._queue: deque = deque()
+        # Recycled request events (flyweight pool): an event whose waiter
+        # resumed normally is reset and reused by the next contended
+        # acquire.  Abandoned events (interrupted waiters) never resume,
+        # so they never re-enter the pool.
+        self._efree: List[Event] = []
 
     @property
     def available(self) -> int:
@@ -135,9 +146,17 @@ class Semaphore:
             self._available -= 1
             yield 0.0
         else:
-            ev = Event(self.env, self._req_name)
+            free = self._efree
+            if free:
+                ev = free.pop()
+                ev.callbacks = []
+                ev._value = PENDING
+                ev._scheduled = False
+            else:
+                ev = Event(self.env, self._req_name)
             self._queue.append(ev)
             yield ev
+            free.append(ev)
 
     def release(self) -> None:
         # Skip waiters whose process was interrupted away from the request

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from .core import Environment, Event
+from .core import PENDING, Environment, Event
 from .primitives import Semaphore
 
 __all__ = ["Resource"]
@@ -61,9 +61,17 @@ class Resource:
             sem._available -= 1
             yield 0.0
         else:
-            ev = Event(sem.env, sem._req_name)
+            free = sem._efree
+            if free:
+                ev = free.pop()
+                ev.callbacks = []
+                ev._value = PENDING
+                ev._scheduled = False
+            else:
+                ev = Event(sem.env, sem._req_name)
             sem._queue.append(ev)
             yield ev
+            free.append(ev)
         try:
             self.busy_time += duration
             self.uses += 1

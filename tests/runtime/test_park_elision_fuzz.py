@@ -1,0 +1,192 @@
+"""Randomized poll-elision parity fuzz: parked wakeups vs polling loops.
+
+The PARK primitive (``park_consume`` / ``park_poll``) elides the poll
+loops the device library and block manager used to run: instead of a
+blocking dequeue followed by a poll-latency sleep (or an ``arrived``
+wait followed by a poll-interval sleep), the consumer detaches from the
+schedule entirely and the waking commit re-schedules it at the exact
+tick the naive ``while True: ... yield poll_latency`` loop would have
+resumed.  That equivalence is the timestamp-preservation contract the
+golden fixtures rely on — and this harness fuzzes it the way
+``tests/sim/test_scheduler_fuzz.py`` fuzzes the calendar-queue core:
+seeded random workloads run through both the parked consumer and a
+reference consumer written as the naive polling loop, and the two
+observation logs must match timestamp for timestamp, entry for entry.
+
+Randomized dimensions: the seed, the queue depth (1-entry queues force
+credit-starvation stalls), batch arrivals (same-instant enqueue runs,
+sub-poll-latency gaps, long gaps), the poll delay (including 0.0), and
+whether an enabled-but-inert fault plane is attached (the hardened
+enqueue/commit paths must preserve the same equivalence — the PR 3
+zero-perturbation guarantee composed with poll elision).
+
+One deliberate exclusion: when a sender's credit-reload PCIe *read*
+completes at the exact same instant a commit lands on a full queue, the
+two forms resolve the tie differently — park advances the tail inside
+the commit dispatch (the reload samples the fresh tail), while the
+naive loop's tail advance sits in the consumer's resume, which is
+queued *behind* the already-pending read completion (the reload samples
+the stale tail and the sender stalls one extra round).  The golden
+fixtures pin the parked resolution; the equivalence claim is exact
+everywhere else.  The harness therefore uses incommensurate PCIe
+read/write latencies so this measure-zero tie cannot occur, while
+credit starvation itself stays fully exercised.
+"""
+
+import random
+
+import pytest
+
+from repro.faults import FaultPlane, FaultsConfig
+from repro.hw import PCIeConfig, PCIeLink
+from repro.runtime import CircularQueue
+from repro.sim import Environment
+
+#: Inter-batch gap palette [s]: same-instant batches (0.0), gaps shorter
+#: than a poll delay, and gaps longer than any poll delay.
+_GAPS = [0.0, 0.0, 1e-7, 3.4e-6, 5e-6, 2e-5, 1e-4]
+
+#: Poll delays [s] handed to park_consume/park_poll and to the naive
+#: loops; 0.0 is the device-side ack path, 3.4e-6 the host poll latency.
+_DELAYS = [0.0, 3e-7, 3.4e-6]
+
+#: Queue depths; 1 and 2 starve the sender's credits on every batch.
+_SIZES = [1, 2, 4, 16]
+
+
+def _workload(seed: int):
+    """Seeded batch plan: ``[(gap before batch, batch length), ...]``."""
+    rng = random.Random(seed)
+    batches = [(rng.choice(_GAPS), rng.randint(1, 5))
+               for _ in range(rng.randint(3, 10))]
+    total = sum(k for _, k in batches)
+    params = dict(size=rng.choice(_SIZES), delay=rng.choice(_DELAYS),
+                  with_faults=bool(seed % 2))
+    return batches, total, params
+
+
+def _build(size: int, with_faults: bool):
+    env = Environment()
+    # mapped_read deliberately not a multiple of any write/gap quantum:
+    # reload completions never tie with commit instants (see module
+    # docstring), so the parity claim below is exact.
+    link = PCIeLink(env, PCIeConfig(mapped_read=0.93e-6))
+    faults = None
+    if with_faults:
+        # Enabled-but-inert plane: hardened queue paths active, nothing
+        # injected — timestamps must replay bit-identically.
+        faults = FaultPlane(env, FaultsConfig(enabled=True), num_nodes=1)
+    queue = CircularQueue(env, size, link, name="cmd:r0", faults=faults)
+    return env, queue
+
+
+def _producer(env, queue, batches):
+    item = 0
+    for gap, count in batches:
+        if gap:
+            yield gap
+        for _ in range(count):
+            yield from queue.enqueue(item)
+            item += 1
+
+
+# -- consume variant: one entry per wake (block manager / ack path) -------
+
+def _consume_parked(env, queue, delay, total, log):
+    while len(log) < total:
+        entry = queue.try_dequeue()
+        if entry is None:
+            entry, _committed_at = yield queue.park_consume(delay)
+        else:
+            yield delay
+        log.append((env.now, entry))
+
+
+def _consume_reference(env, queue, delay, total, log):
+    # The pre-elision loop: blocking dequeue, then the poll latency.
+    while len(log) < total:
+        entry = yield from queue.dequeue()
+        yield delay
+        log.append((env.now, entry))
+
+
+# -- poll variant: drain per wake (notification matcher path) -------------
+
+def _poll_parked(env, queue, delay, total, log):
+    while len(log) < total:
+        items = queue.drain_all()
+        if not items:
+            yield queue.park_poll(delay)
+            continue
+        now = env.now
+        for entry in items:
+            log.append((now, entry))
+
+
+def _poll_reference(env, queue, delay, total, log):
+    # The pre-elision loop: wait for the arrived signal, re-poll after
+    # the poll interval, drain entry by entry.
+    while len(log) < total:
+        items = []
+        while True:
+            entry = queue.try_dequeue()
+            if entry is None:
+                break
+            items.append(entry)
+        if not items:
+            yield queue.arrived.wait()
+            yield delay
+            continue
+        now = env.now
+        for entry in items:
+            log.append((now, entry))
+
+
+def _run(consumer, seed: int):
+    batches, total, params = _workload(seed)
+    env, queue = _build(params["size"], params["with_faults"])
+    log: list = []
+    env.process(_producer(env, queue, batches), name="producer")
+    env.process(consumer(env, queue, params["delay"], total, log),
+                name="consumer")
+    env.run()
+    assert len(log) == total
+    return log, queue.stats
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_park_consume_matches_naive_poll_loop(seed):
+    parked, parked_stats = _run(_consume_parked, seed)
+    reference, ref_stats = _run(_consume_reference, seed)
+    assert parked == reference
+    # Same deliveries through either path; entries are observed in FIFO
+    # order with strictly non-decreasing timestamps.
+    assert parked_stats.dequeues == ref_stats.dequeues
+    assert [e for _, e in parked] == sorted(e for _, e in parked)
+    assert all(t0 <= t1 for (t0, _), (t1, _) in zip(parked, parked[1:]))
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_park_poll_matches_naive_arrival_loop(seed):
+    parked, parked_stats = _run(_poll_parked, seed)
+    reference, ref_stats = _run(_poll_reference, seed)
+    assert parked == reference
+    assert parked_stats.dequeues == ref_stats.dequeues
+    assert [e for _, e in parked] == sorted(e for _, e in parked)
+
+
+def test_fuzz_covers_the_interesting_regimes():
+    """The seeded plans must actually hit stalls, batches, and both
+    fault-plane modes — otherwise the parametrized sweep fuzzes air."""
+    sizes = set()
+    fault_modes = set()
+    saw_same_instant_batch = False
+    for seed in range(25):
+        batches, _total, params = _workload(seed)
+        sizes.add(params["size"])
+        fault_modes.add(params["with_faults"])
+        if any(gap == 0.0 and count > 1 for gap, count in batches):
+            saw_same_instant_batch = True
+    assert 1 in sizes and len(sizes) >= 3
+    assert fault_modes == {True, False}
+    assert saw_same_instant_batch
