@@ -136,19 +136,26 @@ class DCudaFaultError(DCudaError):
 
 
 class DCudaWorkerError(DCudaError):
-    """A sweep task failed outside the typed taxonomy, or its worker died.
+    """A sweep task failed outside the typed taxonomy, or a spec kept
+    killing its workers.
 
-    Raised by the parallel execution engine (:mod:`repro.exec.engine`):
-    either a task raised an exception that is not a :class:`DCudaError`
-    (the message embeds the original traceback text), or the worker
-    process hosting it was killed outright.  The crash is isolated — the
-    parent sweep process survives and can report which spec failed.
+    Raised by the sweep service (:mod:`repro.exec.coordinator`): either
+    a task raised an exception that is not a :class:`DCudaError` (the
+    message embeds the original traceback text), or a spec was
+    quarantined after its worker died on every dispatch attempt.  A
+    single worker death is *not* an error — the coordinator re-dispatches
+    the in-flight job to a surviving or respawned worker and the sweep
+    completes; only a poisoned spec that exhausts its attempt budget on
+    distinct workers surfaces here, after the rest of the sweep drains.
     """
 
     code = "DCUDA_WORKER"
-    remediation = ("Re-run the sweep serially (workers=1) to reproduce "
-                   "the failure in-process with a full traceback; the "
-                   "message carries the failing task's label.")
+    remediation = ("Worker loss is retried automatically (bounded "
+                   "re-dispatch, then quarantine) — see "
+                   "docs/sweep_service.md.  For a task *exception*, the "
+                   "message carries the label and traceback; re-running "
+                   "serially (workers=1) reproduces it in-process under "
+                   "a debugger.")
 
 
 #: ``code -> (class name, remediation)`` — the documentation table

@@ -1,20 +1,25 @@
-"""Command-line sweep runner: ``python -m repro.exec``.
+"""Command-line sweep service: ``python -m repro.exec``.
 
 Subcommands::
 
     run <suite>     execute a named sweep (chaos, fig6..fig11, topo,
-                    ml, simperf)
-    status          census the result cache
+                    ml, simperf) on any executor transport
+    worker          serve jobs: --stdio (pipe fleet member) or
+                    --port N (HTTP worker daemon)
+    status          census the result cache + live sweep progress
+    cache stats     census with optional per-shard breakdown
+    cache migrate   move legacy unsharded entries into their shards
     cache gc        delete entries from stale source fingerprints
     cache clear     delete every cache entry
 
 ``run`` prints the suite's table, an engine summary line, and writes the
 machine-readable sweep record to ``BENCH_sweep.json`` at the repo root:
-wall-clock, worker count, cache hit rate, and the canonical digest of the
-merged result list.  The digest is the bit-identity witness — it is a
-pure function of the spec list, so any two invocations of the same suite
-at the same source fingerprint must print the same digest regardless of
-worker count, completion order, or cache state.
+wall-clock, worker count, executor, cache hit rate, and the canonical
+digest of the merged result list.  The digest is the bit-identity
+witness — it is a pure function of the spec list, so any two invocations
+of the same suite at the same source fingerprint must print the same
+digest regardless of executor, worker count, completion order, cache
+state, or worker deaths survived along the way.
 
 ``--require-cached`` exits with status 3 unless *every* cacheable task
 was served from the cache — CI uses it to assert that a warm replay does
@@ -24,8 +29,12 @@ Examples::
 
     PYTHONPATH=src python -m repro.exec run chaos --seeds 50 --workers 4
     PYTHONPATH=src python -m repro.exec run fig6 --workers 2
+    PYTHONPATH=src python -m repro.exec worker --port 8791   # terminal 1
+    PYTHONPATH=src python -m repro.exec run fig6 --executor http \\
+        --hosts 127.0.0.1:8791                               # terminal 2
     PYTHONPATH=src python -m repro.exec run fig6 --require-cached
     PYTHONPATH=src python -m repro.exec status
+    PYTHONPATH=src python -m repro.exec cache stats --shard
     PYTHONPATH=src python -m repro.exec cache gc
 """
 
@@ -38,7 +47,9 @@ from typing import Optional
 
 from ..errors import DCudaError
 from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .coordinator import STATUS_FILENAME
 from .engine import default_workers, run_specs
+from .executors import EXECUTOR_NAMES
 from .fingerprint import repo_root, source_fingerprint
 from .spec import canonical_digest
 from .suites import SUITE_NAMES, build_suite
@@ -52,8 +63,8 @@ EXIT_NOT_CACHED = 3
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.exec",
-        description="Deterministic parallel sweep runner with "
-                    "content-addressed caching.")
+        description="Deterministic sweep service with pluggable "
+                    "executors and a sharded content-addressed cache.")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="execute a named sweep")
@@ -62,6 +73,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", "-j", type=int, default=None,
                      help="worker processes (default: $REPRO_EXEC_WORKERS "
                           "or 1 = serial)")
+    run.add_argument("--executor", choices=EXECUTOR_NAMES, default=None,
+                     help="transport (default: $REPRO_EXEC_EXECUTOR, or "
+                          "serial/local by worker count)")
+    run.add_argument("--hosts", type=str, default=None, metavar="H:P,...",
+                     help="http executor: comma-separated host:port "
+                          "worker daemons (default: $REPRO_EXEC_HOSTS)")
+    run.add_argument("--progress", action="store_true",
+                     help="stream a live progress line to stderr")
     run.add_argument("--cache-dir", type=str, default=DEFAULT_CACHE_DIR,
                      help=f"result cache directory (default: "
                           f"{DEFAULT_CACHE_DIR})")
@@ -70,7 +89,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           "the cache")
     run.add_argument("--timeout", type=float, default=None, metavar="S",
                      help="per-task wall-clock budget in seconds "
-                          "(parallel mode)")
+                          "(process transports)")
     run.add_argument("--json", type=str, default=None, metavar="PATH",
                      help="sweep record path (default: BENCH_sweep.json "
                           "at the repo root)")
@@ -108,14 +127,34 @@ def _build_parser() -> argparse.ArgumentParser:
                           "communication backends to sweep (proxy, "
                           "device, stream; default: proxy)")
 
-    status = sub.add_parser("status", help="census the result cache")
+    worker = sub.add_parser(
+        "worker", help="serve sweep jobs (stdio fleet member or HTTP "
+                       "daemon)")
+    mode = worker.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--stdio", action="store_true",
+                      help="speak the frame protocol over stdin/stdout "
+                           "(used by the subprocess executor)")
+    mode.add_argument("--port", type=int, default=None,
+                      help="serve HTTP on this port (0 picks a free one)")
+    worker.add_argument("--host", type=str, default="127.0.0.1",
+                        help="HTTP bind address (default 127.0.0.1; "
+                             "binding wider is an explicit decision)")
+
+    status = sub.add_parser("status",
+                            help="census the result cache + live sweep "
+                                 "progress")
     status.add_argument("--cache-dir", type=str, default=DEFAULT_CACHE_DIR)
 
     cache = sub.add_parser("cache", help="cache maintenance")
-    cache.add_argument("action", choices=("gc", "clear"),
-                       help="gc: drop stale generations; clear: drop "
-                            "everything")
+    cache.add_argument("action", choices=("stats", "migrate", "gc",
+                                          "clear"),
+                       help="stats: census; migrate: move legacy entries "
+                            "into shards; gc: drop stale generations; "
+                            "clear: drop everything")
     cache.add_argument("--cache-dir", type=str, default=DEFAULT_CACHE_DIR)
+    cache.add_argument("--shard", action="store_true",
+                       help="stats: per-shard breakdown of the current "
+                            "generation")
 
     return parser
 
@@ -135,8 +174,20 @@ def _cmd_run(args) -> int:
     workers = (args.workers if args.workers is not None
                else default_workers())
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    hosts = (tuple(h.strip() for h in args.hosts.split(",") if h.strip())
+             if args.hosts else None)
+
+    on_event = None
+    if args.progress:
+        def on_event(event):
+            end = "\n" if event.kind == "finish" else ""
+            print(f"\r{event.line()}", end=end, file=sys.stderr,
+                  flush=True)
+
     report = run_specs(suite.specs, workers=workers, cache=cache,
-                       shared=suite.shared, timeout=args.timeout)
+                       shared=suite.shared, timeout=args.timeout,
+                       executor=args.executor, hosts=hosts,
+                       on_event=on_event)
 
     print(suite.assemble(report.results))
     print(f"engine: {report.summary()}")
@@ -151,7 +202,10 @@ def _cmd_run(args) -> int:
             "executed": report.executed,
             "cache_hits": report.cache_hits,
             "cache_hit_rate": round(report.cache_hit_rate, 4),
+            "dedup_hits": report.dedup_hits,
+            "retries": report.retries,
             "workers": report.workers,
+            "executor": report.executor,
             "wall_s": round(report.wall_s, 6),
             "results_digest": digest,
             "source_fingerprint": source_fingerprint()[:16],
@@ -164,29 +218,90 @@ def _cmd_run(args) -> int:
 
     if args.require_cached:
         cacheable = sum(1 for s in suite.specs if s.cacheable)
-        if cache is None or report.cache_hits < cacheable:
-            print(f"require-cached: FAILED — {report.cache_hits}/"
+        served = report.cache_hits + report.dedup_hits
+        if cache is None or served < cacheable:
+            print(f"require-cached: FAILED — {served}/"
                   f"{cacheable} cacheable task(s) served from cache",
                   file=sys.stderr)
             return EXIT_NOT_CACHED
-        print(f"require-cached: ok ({report.cache_hits}/{cacheable})")
+        print(f"require-cached: ok ({served}/{cacheable})")
     return 0
 
 
-def _cmd_status(args) -> int:
-    stats = ResultCache(args.cache_dir).stats()
+def _cmd_worker(args) -> int:
+    from .worker import serve_http, serve_stdio
+
+    if args.stdio:
+        return serve_stdio()
+    print(f"worker: serving HTTP on {args.host}:{args.port} "
+          "(Ctrl-C to stop)", file=sys.stderr)
+    try:
+        serve_http(args.port, host=args.host)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    return 0
+
+
+def _read_status(cache_root) -> Optional[dict]:
+    try:
+        return json.loads((cache_root / STATUS_FILENAME).read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def _progress_line(record: dict) -> str:
+    parts = [f"{record.get('done', 0)}/{record.get('total', 0)} done",
+             f"{record.get('cache_hits', 0)} cached"]
+    if record.get("dedup_hits"):
+        parts.append(f"{record['dedup_hits']} dedup")
+    if record.get("retries"):
+        parts.append(f"{record['retries']} retried")
+    if record.get("quarantined"):
+        parts.append(f"{record['quarantined']} quarantined")
+    state = record.get("state", "?")
+    executor = record.get("executor", "?")
+    return f"{state} [{executor}]: " + ", ".join(parts)
+
+
+def _print_census(cache: ResultCache, shard: bool = False) -> None:
+    stats = cache.stats()
     print(f"cache root:     {stats.root}")
     print(f"fingerprint:    {stats.fingerprint[:16]}")
     print(f"generations:    {stats.generations}")
+    print(f"shards:         {stats.shards or '(generation absent)'}")
     print(f"live entries:   {stats.entries} ({stats.bytes} bytes)")
+    if stats.legacy_entries:
+        print(f"legacy entries: {stats.legacy_entries} (unsharded; run "
+              "'cache migrate' or let reads migrate them)")
     print(f"stale entries:  {stats.stale_entries} ({stats.stale_bytes} "
           "bytes, reclaimable via 'cache gc')")
+    status = _read_status(cache.root)
+    if status is not None:
+        print(f"last sweep:     {_progress_line(status)}")
+    if shard:
+        if not stats.shard_breakdown:
+            print("shard breakdown: (no sharded entries yet)")
+        for row in stats.shard_breakdown:
+            print(f"  {row.name}: {row.entries} entr"
+                  f"{'y' if row.entries == 1 else 'ies'}, "
+                  f"{row.bytes} bytes")
+
+
+def _cmd_status(args) -> int:
+    _print_census(ResultCache(args.cache_dir))
     return 0
 
 
 def _cmd_cache(args) -> int:
     cache = ResultCache(args.cache_dir)
-    if args.action == "gc":
+    if args.action == "stats":
+        _print_census(cache, shard=args.shard)
+    elif args.action == "migrate":
+        migrated, dropped = cache.migrate()
+        print(f"migrate: moved {migrated} legacy entr"
+              f"{'y' if migrated == 1 else 'ies'} into shards, dropped "
+              f"{dropped} corrupt")
+    elif args.action == "gc":
         removed, freed = cache.gc()
         print(f"gc: removed {removed} stale entr{'y' if removed == 1 else 'ies'}, "
               f"freed {freed} bytes")
@@ -203,6 +318,8 @@ def main(argv: Optional[list] = None) -> int:
     try:
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
         if args.command == "status":
             return _cmd_status(args)
         return _cmd_cache(args)

@@ -1,83 +1,72 @@
-"""The deterministic parallel runner for simulation sweeps.
+"""The deterministic sweep engine: one call, any executor.
+
+:func:`run_specs` is the stable library surface from PR 4; since the
+sweep-as-a-service refactor it is a thin wrapper that picks an executor
+transport (:mod:`repro.exec.executors`) and hands the spec list to the
+:class:`~repro.exec.coordinator.Coordinator`, which owns merging,
+caching, in-flight dedup, retry-on-worker-loss, and quarantine.
 
 Determinism argument (the proof sketch expanded in
-``docs/performance.md``): every entrypoint is a *pure function* of
-``(params, shared)`` — each task builds its own
-:class:`~repro.sim.Environment` and cluster from config data, the
-simulator is fully deterministic given its inputs, and workers share no
-mutable state (spawned fresh interpreters).  The engine assigns each
-spec an index at submission, executes tasks in whatever order and on
-however many workers, and merges results *by index*.  Therefore the
-merged result list is a pure function of the spec list alone —
-bit-identical for 1, 2, or N workers, regardless of completion order.
-The golden-timestamp fixture and the chaos contract replayed through the
-engine (``tests/exec/``) enforce this empirically.
+``docs/performance.md`` and ``docs/sweep_service.md``): every
+entrypoint is a *pure function* of ``(params, shared)`` — each task
+builds its own :class:`~repro.sim.Environment` and cluster from config
+data, the simulator is fully deterministic given its inputs, and
+workers share no mutable state (fresh interpreters).  The coordinator
+assigns each spec an index at submission, executes tasks in whatever
+order on whichever transport, and merges results *by index*.  Therefore
+the merged result list is a pure function of the spec list alone —
+bit-identical for any executor, worker count, shard count, and any
+sequence of worker deaths survived by retry.  The golden-timestamp
+fixture, the chaos contract, and the worker-loss fuzz harness
+(``tests/exec/``) enforce this empirically.
 
-Failure surface (crash isolation, parallel mode): a task that raises a
-typed :class:`~repro.errors.DCudaError` propagates it unchanged; any
-other exception — including a worker process dying outright — is wrapped
-in :class:`~repro.errors.DCudaWorkerError` carrying the task label and
-the original traceback text, and a per-task ``timeout`` (a stuck worker
-is terminated) surfaces as :class:`~repro.errors.DCudaTimeoutError`.
-Serial execution runs in-process and lets exceptions propagate raw — the
-debugging-friendly behaviour of the historical inline loops, and the
-reason "re-run serially" is the remediation for worker failures.
+Failure surface: a task that raises a typed
+:class:`~repro.errors.DCudaError` propagates it unchanged; any other
+exception in a worker is wrapped in
+:class:`~repro.errors.DCudaWorkerError` carrying the task label and the
+original traceback text, and a per-task ``timeout`` (a stuck worker is
+terminated) surfaces as :class:`~repro.errors.DCudaTimeoutError`.  A
+worker that *dies* is not a task failure: the coordinator re-dispatches
+the in-flight job to a surviving (or respawned) worker up to its
+attempt budget, and only a spec that kills distinct workers on every
+attempt is quarantined into a single typed
+:class:`~repro.errors.DCudaWorkerError` after the rest of the sweep
+completes.  Serial execution runs in-process and lets exceptions
+propagate raw — the debugging-friendly behaviour of the historical
+inline loops.  ("Re-run serially" is a debugging aid, not the recovery
+path; recovery is the coordinator's retry/quarantine loop.)
 
 Caching: pass a :class:`~repro.exec.cache.ResultCache` (or a directory
-path) and every cacheable spec is first probed by content key; hits skip
-execution entirely, misses execute and are stored, so an unchanged sweep
-replays near-instantly and an interrupted sweep resumes from its
-completed prefix.
+path) and every cacheable spec is first probed by content key against
+the sharded store; hits skip execution entirely, misses execute and are
+published atomically, so an unchanged sweep replays near-instantly and
+an interrupted sweep resumes from its completed prefix.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import os
-import pickle
-import time
-import traceback
-from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Callable, Mapping, Optional, Sequence, Union
 
-from ..errors import DCudaTimeoutError, DCudaUsageError, DCudaWorkerError
+from ..errors import DCudaUsageError
 from .cache import ResultCache
-from .spec import RunSpec, canonical_digest, resolve_entrypoint
+from .coordinator import Coordinator, ProgressEvent, SweepReport
+from .executors import EXECUTOR_NAMES, Executor, build_executor
+from .spec import RunSpec
 
-__all__ = ["SweepReport", "run_specs", "default_workers"]
+__all__ = ["SweepReport", "run_specs", "default_workers",
+           "default_executor_name", "WORKERS_ENV", "EXECUTOR_ENV",
+           "HOSTS_ENV"]
 
 #: Environment knob consulted when ``workers`` is not given explicitly:
 #: tests and CI set ``REPRO_EXEC_WORKERS=2`` to exercise the pool without
 #: every call site growing a flag.
 WORKERS_ENV = "REPRO_EXEC_WORKERS"
-
-
-@dataclass
-class SweepReport:
-    """Outcome of one :func:`run_specs` call.
-
-    ``results`` is in submission order — index ``i`` is the result of
-    ``specs[i]`` — independent of worker count and completion order.
-    """
-
-    results: List[Any]
-    tasks: int
-    executed: int
-    cache_hits: int
-    workers: int
-    wall_s: float
-
-    @property
-    def cache_hit_rate(self) -> float:
-        """Fraction of tasks served from the cache (0.0 for empty sweeps)."""
-        return self.cache_hits / self.tasks if self.tasks else 0.0
-
-    def summary(self) -> str:
-        """One-line human-readable engine summary."""
-        return (f"{self.tasks} task(s), {self.workers} worker(s), "
-                f"{self.cache_hits} cache hit(s) "
-                f"({self.cache_hit_rate:.0%}), {self.executed} executed, "
-                f"{self.wall_s:.2f}s wall")
+#: Environment knob for the executor transport (``serial`` / ``local`` /
+#: ``subprocess`` / ``http``); same opt-in philosophy as the worker knob.
+EXECUTOR_ENV = "REPRO_EXEC_EXECUTOR"
+#: Comma-separated ``host:port`` list for the ``http`` transport.
+HOSTS_ENV = "REPRO_EXEC_HOSTS"
 
 
 def default_workers() -> int:
@@ -97,173 +86,102 @@ def default_workers() -> int:
             f"{WORKERS_ENV} must be an integer, got {raw!r}") from None
 
 
-# ------------------------------------------------------- worker side -----
-_SHARED: Dict[str, Any] = {}
+def default_executor_name(workers: int) -> str:
+    """Transport when unspecified: ``$REPRO_EXEC_EXECUTOR``, else by
+    worker count (1 ⇒ ``serial``, more ⇒ ``local``)."""
+    raw = os.environ.get(EXECUTOR_ENV, "").strip().lower()
+    if raw:
+        if raw not in EXECUTOR_NAMES:
+            raise DCudaUsageError(
+                f"{EXECUTOR_ENV} must be one of "
+                f"{', '.join(EXECUTOR_NAMES)}; got {raw!r}")
+        return raw
+    return "serial" if workers <= 1 else "local"
 
 
-def _worker_init(shared_blob: bytes) -> None:
-    """Pool initializer: install the shared payload, load the registry."""
-    global _SHARED
-    _SHARED = pickle.loads(shared_blob)
-    from . import points  # noqa: F401  (registers all entrypoints)
+def _env_hosts() -> tuple:
+    raw = os.environ.get(HOSTS_ENV, "").strip()
+    return tuple(h.strip() for h in raw.split(",") if h.strip())
 
 
-def _execute_in_worker(entrypoint_name: str, params: Mapping[str, Any],
-                       label: str) -> Any:
-    """Top-level task body run inside a spawned worker process.
+def _resolve_executor(executor, workers: int, hosts):
+    """Normalize the ``executor`` argument to ``(Executor, fallback)``.
 
-    Wraps untyped exceptions in :class:`DCudaWorkerError` (typed dCUDA
-    errors pass through) so the parent always sees the typed surface and
-    never an unpicklable or anonymous failure.
+    ``fallback`` enables the coordinator's serial shortcut for *auto-
+    built process transports* — the historical "don't spin up a pool
+    for one task" behaviour.  An executor instance the caller built is
+    used exactly as given; an explicit ``http`` transport keeps its
+    remote workers even for tiny sweeps (the point may be the remote
+    environment).
     """
-    from ..errors import DCudaError
-
-    fn = resolve_entrypoint(entrypoint_name)
-    try:
-        return fn(dict(params), _SHARED)
-    except DCudaError:
-        raise
-    except Exception:
-        raise DCudaWorkerError(
-            f"task {label!r} ({entrypoint_name}) failed:\n"
-            + traceback.format_exc()) from None
-
-
-# ------------------------------------------------------- parent side -----
-def _ensure_child_import_path():
-    """Make sure spawned interpreters can ``import repro``.
-
-    Returns the previous ``PYTHONPATH`` value (or ``None``) so the
-    caller can restore it after the pool is done.
-    """
-    import repro
-
-    pkg_parent = str(os.path.dirname(os.path.dirname(
-        os.path.abspath(repro.__file__))))
-    prev = os.environ.get("PYTHONPATH")
-    parts = prev.split(os.pathsep) if prev else []
-    if pkg_parent not in parts:
-        os.environ["PYTHONPATH"] = (
-            pkg_parent + ((os.pathsep + prev) if prev else ""))
-    return prev
-
-
-def _restore_pythonpath(prev) -> None:
-    if prev is None:
-        os.environ.pop("PYTHONPATH", None)
-    else:
-        os.environ["PYTHONPATH"] = prev
-
-
-def _run_parallel(todo, shared_blob: bytes, workers: int,
-                  timeout: Optional[float]) -> Dict[int, Any]:
-    """Execute ``todo = [(index, spec)]`` on a spawn pool; map by index."""
-    import multiprocessing
-
-    ctx = multiprocessing.get_context("spawn")
-    out: Dict[int, Any] = {}
-    prev_path = _ensure_child_import_path()
-    executor = concurrent.futures.ProcessPoolExecutor(
-        max_workers=min(workers, len(todo)), mp_context=ctx,
-        initializer=_worker_init, initargs=(shared_blob,))
-    try:
-        futures = [(idx, spec, executor.submit(
-            _execute_in_worker, spec.entrypoint, dict(spec.params),
-            spec.describe())) for idx, spec in todo]
-        for idx, spec, fut in futures:
-            try:
-                out[idx] = fut.result(timeout=timeout)
-            except concurrent.futures.TimeoutError:
-                for fut2 in (f for _, _, f in futures):
-                    fut2.cancel()
-                for proc in list(getattr(executor, "_processes",
-                                         {}).values()):
-                    proc.terminate()
-                raise DCudaTimeoutError(
-                    f"sweep task {spec.describe()!r} exceeded the "
-                    f"per-task timeout of {timeout}s") from None
-            except concurrent.futures.process.BrokenProcessPool:
-                raise DCudaWorkerError(
-                    f"worker process died while running "
-                    f"{spec.describe()!r} (crash isolation: the parent "
-                    "sweep survives; re-run serially to debug)") from None
-    finally:
-        executor.shutdown(wait=False, cancel_futures=True)
-        _restore_pythonpath(prev_path)
-    return out
+    if isinstance(executor, Executor):
+        return executor, False
+    if executor is None:
+        executor = default_executor_name(workers)
+    if not isinstance(executor, str):
+        raise DCudaUsageError(
+            f"executor must be an Executor instance or one of "
+            f"{', '.join(EXECUTOR_NAMES)}; got {executor!r}")
+    hosts = tuple(hosts or ()) or _env_hosts()
+    built = build_executor(executor, workers=workers, hosts=hosts)
+    return built, executor in ("local", "subprocess")
 
 
 def run_specs(specs: Sequence[RunSpec], *,
               workers: Optional[int] = None,
               cache: Union[ResultCache, os.PathLike, str, None] = None,
               shared: Optional[Mapping[str, Any]] = None,
-              timeout: Optional[float] = None) -> SweepReport:
+              timeout: Optional[float] = None,
+              executor: Union[Executor, str, None] = None,
+              hosts: Optional[Sequence[str]] = None,
+              on_event: Optional[Callable[[ProgressEvent], None]] = None,
+              max_attempts: int = 3) -> SweepReport:
     """Execute a sweep of :class:`RunSpec` tasks; results in spec order.
 
     Args:
         specs: The tasks.  Each must reference a registered entrypoint.
         workers: Process count; ``None`` consults ``$REPRO_EXEC_WORKERS``
-            (default 1 = serial in-process).  Values > 1 use a spawn
-            process pool for crash isolation and true parallelism.
+            (default 1 = serial in-process).  Values > 1 use a process
+            transport for crash isolation and true parallelism.
         cache: ``None`` (no caching), a :class:`ResultCache`, or a
             directory path to open one at.
-        shared: Payload shipped to every worker once (pool initializer)
-            and passed to every entrypoint — e.g. the chaos baseline
-            field.  Its canonical digest salts every cache key, so a
-            changed shared input invalidates cached results.
-        timeout: Per-task wall-clock budget [s].  Enforced in parallel
-            mode (a stuck worker is terminated); serial execution cannot
-            preempt a running task and ignores it.
+        shared: Payload shipped to every worker once and passed to every
+            entrypoint — e.g. the chaos baseline field.  Its canonical
+            digest salts every cache key, so a changed shared input
+            invalidates cached results.
+        timeout: Per-task wall-clock budget [s].  Enforced on preemptive
+            (process) transports — a stuck worker is terminated; serial
+            execution cannot preempt a running task and ignores it.
+        executor: Transport: an :class:`~repro.exec.executors.Executor`
+            instance, a name from
+            :data:`~repro.exec.executors.EXECUTOR_NAMES`, or ``None``
+            to consult ``$REPRO_EXEC_EXECUTOR`` and fall back to
+            ``serial``/``local`` by worker count.
+        hosts: ``host:port`` worker daemons for the ``http`` transport
+            (``$REPRO_EXEC_HOSTS`` when omitted).
+        on_event: Optional progress callback receiving
+            :class:`~repro.exec.coordinator.ProgressEvent` updates.
+        max_attempts: Dispatch budget per spec across worker losses
+            before quarantine.
 
     Returns:
         A :class:`SweepReport`; ``.results[i]`` corresponds to
-        ``specs[i]`` regardless of worker count or completion order.
+        ``specs[i]`` regardless of executor, worker count, or
+        completion order.
 
     Raises:
-        DCudaUsageError: Unknown entrypoint or unhashable params.
-        DCudaTimeoutError: A task exceeded *timeout* (parallel mode).
-        DCudaWorkerError: A task raised an untyped exception or its
-            worker process died (parallel mode; serial execution
+        DCudaUsageError: Unknown entrypoint, executor, or bad knobs.
+        DCudaTimeoutError: A task exceeded *timeout* (process modes).
+        DCudaWorkerError: A task raised an untyped exception in a
+            worker, or a spec was quarantined after exhausting its
+            dispatch attempts on distinct workers (serial execution
             propagates task exceptions raw).
     """
-    specs = list(specs)
     if workers is None:
         workers = default_workers()
     workers = max(1, int(workers))
-    shared = dict(shared or {})
-    t0 = time.perf_counter()
-
-    if isinstance(cache, (str, os.PathLike)):
-        cache = ResultCache(cache)
-    shared_digest = canonical_digest(shared) if (cache and shared) else ""
-
-    results: List[Any] = [None] * len(specs)
-    hits = 0
-    todo = []
-    for idx, spec in enumerate(specs):
-        if cache is not None and spec.cacheable:
-            hit, value = cache.get(cache.key_for(spec, shared_digest))
-            if hit:
-                results[idx] = value
-                hits += 1
-                continue
-        todo.append((idx, spec))
-
-    if todo:
-        if workers > 1 and len(todo) > 1:
-            shared_blob = pickle.dumps(shared,
-                                       protocol=pickle.HIGHEST_PROTOCOL)
-            executed = _run_parallel(todo, shared_blob, workers, timeout)
-        else:
-            executed = {idx: resolve_entrypoint(spec.entrypoint)(
-                dict(spec.params), shared) for idx, spec in todo}
-        for idx, spec in todo:
-            results[idx] = executed[idx]
-            if cache is not None and spec.cacheable:
-                cache.put(cache.key_for(spec, shared_digest),
-                          executed[idx], label=spec.describe())
-
-    return SweepReport(results=results, tasks=len(specs),
-                       executed=len(todo), cache_hits=hits,
-                       workers=workers,
-                       wall_s=time.perf_counter() - t0)
+    ex, fallback = _resolve_executor(executor, workers, hosts)
+    coordinator = Coordinator(ex, cache=cache, max_attempts=max_attempts,
+                              on_event=on_event, workers_hint=workers,
+                              serial_fallback=fallback)
+    return coordinator.run(specs, shared=shared, timeout=timeout)

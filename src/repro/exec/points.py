@@ -33,6 +33,7 @@ __all__ = [
     "simperf_probe",
     "sleep_probe",
     "crash_probe",
+    "selftest_point",
 ]
 
 
@@ -509,3 +510,36 @@ def crash_probe(params: Mapping[str, Any], shared: Mapping[str, Any]):
     ``RuntimeError`` (or taking down the sweep).
     """
     raise RuntimeError(params.get("message", "crash_probe"))
+
+
+@entrypoint("selftest_point")
+def selftest_point(params: Mapping[str, Any], shared: Mapping[str, Any]):
+    """Sweep-service test probe: echo, sleep, raise, or kill the worker.
+
+    ``mode`` selects the behaviour:
+
+    * ``echo`` (default) — return a deterministic record of ``(params,
+      shared keys)``; the chaos fuzz harness digests these.
+    * ``sleep`` — sleep ``seconds`` of host time, then echo.
+    * ``raise`` — raise an untyped ``RuntimeError(message)``.
+    * ``exit`` — hard-kill the hosting process with ``os._exit(code)``
+      (the poisoned-spec case: the transport sees EOF / a broken pool,
+      never an exception).
+
+    Lives in the registry — rather than in test code — because spawned
+    workers resolve entrypoints by importing this module; a test-local
+    function would not exist in their interpreter.
+    """
+    import os
+    import time
+
+    mode = params.get("mode", "echo")
+    if mode == "sleep":
+        time.sleep(params.get("seconds", 0.0))
+    elif mode == "raise":
+        raise RuntimeError(params.get("message", "selftest_point"))
+    elif mode == "exit":
+        os._exit(int(params.get("code", 17)))
+    return {"token": params.get("token"),
+            "payload": sorted(shared) if shared else [],
+            "mode": mode}

@@ -11,7 +11,10 @@ cached results are interchangeable.
 
 The assembly functions are pure reshaping: all simulation work happens
 inside entrypoints (:mod:`repro.exec.points`), all scheduling inside the
-engine (:mod:`repro.exec.engine`).
+coordinator (:mod:`repro.exec.coordinator`) over whichever executor
+transport (:mod:`repro.exec.executors`) the caller picked — a suite is
+transport-agnostic by construction, which is what makes its digest the
+bit-identity witness across serial, pool, subprocess, and HTTP runs.
 """
 
 from __future__ import annotations

@@ -89,7 +89,7 @@ def _run_report(args: argparse.Namespace) -> int:
 def _run_sweep(args: argparse.Namespace) -> int:
     outcomes = chaos_sweep(range(args.sweep), args.nodes, args.ranks,
                            wl=_workload(args), workers=args.workers,
-                           cache=args.cache_dir)
+                           cache=args.cache_dir, executor=args.executor)
     print(sweep_table(outcomes).render())
     dirty = [o for o in outcomes if not o.clean]
     for o in dirty:
@@ -157,6 +157,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     rep.add_argument("--workers", "-j", type=int, default=None,
                      help="sweep engine worker processes (default: "
                           "$REPRO_EXEC_WORKERS or 1; --sweep only)")
+    rep.add_argument("--executor", type=str, default=None,
+                     choices=("serial", "local", "subprocess", "http"),
+                     help="sweep executor transport (default: "
+                          "$REPRO_EXEC_EXECUTOR or by worker count; "
+                          "--sweep only)")
     rep.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
                      help="result-cache directory for --sweep (default: "
                           "no caching)")

@@ -189,12 +189,13 @@ def chaos_specs(seeds: Sequence[int], num_nodes: int = 2,
 def chaos_sweep(seeds: Sequence[int], num_nodes: int = 2,
                 ranks_per_device: int = 2, wl=None, workers=None,
                 cache=None,
-                comm_backend: str = "proxy") -> List[ChaosOutcome]:
+                comm_backend: str = "proxy",
+                executor=None) -> List[ChaosOutcome]:
     """Run :func:`run_chaos_case` for every seed; returns all outcomes.
 
-    Fans the seeds out through the sweep engine: outcomes are returned in
-    seed order and are bit-identical for any *workers* count (see
-    :mod:`repro.exec.engine`).
+    Fans the seeds out through the sweep service: outcomes are returned
+    in seed order and are bit-identical for any *workers* count and any
+    *executor* transport (see :mod:`repro.exec.engine`).
 
     Args:
         seeds: Fault-plan seeds, one independent run each.
@@ -205,13 +206,16 @@ def chaos_sweep(seeds: Sequence[int], num_nodes: int = 2,
         cache: Optional :class:`~repro.exec.cache.ResultCache` or cache
             directory path; the baseline digest salts every key, so a
             changed baseline invalidates cached outcomes.
+        executor: Transport name or :class:`~repro.exec.executors.
+            Executor` instance (``None`` = ``$REPRO_EXEC_EXECUTOR`` or
+            by worker count).
     """
     from ..exec import run_specs
 
     specs, shared = chaos_specs(seeds, num_nodes, ranks_per_device, wl=wl,
                                 comm_backend=comm_backend)
     return run_specs(specs, workers=workers, cache=cache,
-                     shared=shared).results
+                     shared=shared, executor=executor).results
 
 
 def sweep_table(outcomes: Sequence[ChaosOutcome]) -> Table:
